@@ -1,0 +1,70 @@
+// Fig. 3 of the paper: the easy/hard/complex taxonomy. Class-wise
+// complexity = validation FDR of the main block; instance-wise
+// complexity = prediction entropy. This bench trains a system, then
+// prints the FDR ranking (with the induced easy/hard split) and the
+// entropy statistics with the derived complex-instance threshold range.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "core/complexity.h"
+#include "util/stopwatch.h"
+
+using namespace meanet;
+
+int main() {
+  util::Stopwatch sw;
+  std::printf("=== Fig. 3: easy/hard/complex complexity categories ===\n\n");
+
+  const bench::TrainedSystem system = bench::train_system(
+      bench::EdgeModel::kResNetB, bench::DatasetKind::kCifarLike,
+      bench::default_num_hard(bench::DatasetKind::kCifarLike), core::FusionMode::kSum,
+      bench::TrainBudget{});
+  core::MEANet& net = const_cast<core::MEANet&>(system.net);
+
+  const core::MainProfile profile = core::profile_main(net, system.validation);
+
+  std::printf("class-wise complexity (validation FDR of the main block):\n");
+  std::printf("%-8s %-10s %-8s\n", "class", "FDR", "category");
+  std::vector<int> order(static_cast<std::size_t>(system.validation.num_classes));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return profile.confusion.false_discovery_rate(a) >
+           profile.confusion.false_discovery_rate(b);
+  });
+  for (int c : order) {
+    std::printf("%-8d %-10.3f %-8s\n", c, profile.confusion.false_discovery_rate(c),
+                system.dict.is_hard(c) ? "hard" : "easy");
+  }
+
+  std::printf("\ninstance-wise complexity (prediction entropy at the main exit):\n");
+  std::printf("  mu_correct = %.3f nats (%lld instances)\n", profile.entropy.mu_correct(),
+              static_cast<long long>(profile.entropy.num_correct()));
+  std::printf("  mu_wrong   = %.3f nats (%lld instances)\n", profile.entropy.mu_wrong(),
+              static_cast<long long>(profile.entropy.num_wrong()));
+  const auto [lo, hi] = profile.entropy.threshold_range();
+  std::printf("  complex-instance threshold range (mu_c, mu_w) = (%.3f, %.3f)\n", lo, hi);
+
+  // Category occupancy on the test set at the default threshold.
+  const double threshold = profile.entropy.default_threshold();
+  const core::MainProfile test_profile = core::profile_main(net, system.data.test);
+  std::int64_t easy = 0, hard = 0, complex_count = 0;
+  for (std::size_t i = 0; i < test_profile.predictions.size(); ++i) {
+    if (test_profile.entropies[i] > threshold) {
+      ++complex_count;  // complex may overlap easy/hard (Fig. 3 note)
+    }
+    if (system.dict.is_hard(test_profile.predictions[i])) {
+      ++hard;
+    } else {
+      ++easy;
+    }
+  }
+  const double n = static_cast<double>(test_profile.predictions.size());
+  std::printf("\ntest-set category occupancy at threshold %.3f:\n", threshold);
+  std::printf("  detected easy:    %5.1f%%\n", 100.0 * easy / n);
+  std::printf("  detected hard:    %5.1f%%\n", 100.0 * hard / n);
+  std::printf("  complex (overlaps the above, sent to cloud): %5.1f%%\n",
+              100.0 * complex_count / n);
+  std::printf("\n[fig3] done in %.1f s\n", sw.seconds());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 5 of the paper: the proportion of the four main-block error
+// types (easy-as-hard / hard-as-easy / easy-as-easy / hard-as-hard)
+// with half the classes marked hard, on both dataset families.
+// Paper reports type IV (hard-as-hard) as the biggest bucket: 45%
+// (CIFAR-100) and 54% (ImageNet).
+#include <cstdio>
+
+#include "common.h"
+#include "core/complexity.h"
+#include "metrics/classification_metrics.h"
+#include "util/stopwatch.h"
+
+using namespace meanet;
+
+namespace {
+
+void run(bench::DatasetKind kind) {
+  bench::TrainBudget budget;
+  budget.edge_epochs = 1;  // only the main block matters here
+  const bench::TrainedSystem system =
+      bench::train_system(bench::EdgeModel::kResNetB, kind, bench::default_num_hard(kind),
+                          core::FusionMode::kSum, budget);
+  core::MEANet& net = const_cast<core::MEANet&>(system.net);
+  const core::MainProfile profile = core::profile_main(net, system.data.test);
+
+  std::vector<bool> is_hard(static_cast<std::size_t>(system.data.test.num_classes), false);
+  for (int c : system.dict.hard_classes()) is_hard[static_cast<std::size_t>(c)] = true;
+  const metrics::ErrorTypeBreakdown b =
+      metrics::error_types(profile.predictions, system.data.test.labels, is_hard);
+
+  std::printf("%s (main-block test accuracy %.1f%%, %lld errors):\n",
+              bench::dataset_name(kind), 100.0 * profile.accuracy,
+              static_cast<long long>(b.total_errors()));
+  std::printf("  (I)   easy as hard : %5.1f%%\n", 100.0 * b.fraction(b.easy_as_hard));
+  std::printf("  (II)  hard as easy : %5.1f%%\n", 100.0 * b.fraction(b.hard_as_easy));
+  std::printf("  (III) easy as easy : %5.1f%%\n", 100.0 * b.fraction(b.easy_as_easy));
+  std::printf("  (IV)  hard as hard : %5.1f%%  <- the extension block's target\n",
+              100.0 * b.fraction(b.hard_as_hard));
+  std::printf("  paper reference: IV = 45%% (CIFAR-100), 54%% (ImageNet)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch sw;
+  std::printf("=== Fig. 5: proportions of the four error types ===\n\n");
+  run(bench::DatasetKind::kCifarLike);
+  run(bench::DatasetKind::kImageNetLike);
+  std::printf("[fig5] done in %.1f s\n", sw.seconds());
+  return 0;
+}

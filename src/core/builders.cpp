@@ -1,0 +1,206 @@
+#include "core/builders.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/inverted_residual.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual_block.h"
+
+namespace meanet::core {
+
+namespace {
+
+using nn::Sequential;
+
+void add_stem(Sequential& seq, int in_channels, int out_channels, util::Rng& rng,
+              const std::string& prefix) {
+  seq.emplace<nn::Conv2d>(in_channels, out_channels, 3, 1, 1, /*bias=*/false, rng,
+                          prefix + ".stem.conv");
+  seq.emplace<nn::BatchNorm2d>(out_channels, 0.1f, 1e-5f, prefix + ".stem.bn");
+  seq.emplace<nn::ReLU>(prefix + ".stem.relu");
+}
+
+void add_stage(Sequential& seq, int in_channels, int out_channels, int blocks, int first_stride,
+               util::Rng& rng, const std::string& prefix) {
+  for (int b = 0; b < blocks; ++b) {
+    const int ic = b == 0 ? in_channels : out_channels;
+    const int stride = b == 0 ? first_stride : 1;
+    seq.emplace<nn::ResidualBlock>(ic, out_channels, stride, rng,
+                                   prefix + ".block" + std::to_string(b));
+  }
+}
+
+/// Exit head: global average pool + FC.
+Sequential make_exit(int in_channels, int num_classes, util::Rng& rng, const std::string& prefix) {
+  Sequential exit(prefix);
+  exit.emplace<nn::GlobalAvgPool>(prefix + ".avgpool");
+  exit.emplace<nn::Linear>(in_channels, num_classes, rng, prefix + ".fc");
+  return exit;
+}
+
+/// Lightweight adaptive block: one stride-matched conv(+BN+ReLU) per
+/// downsampling step of the mimicked trunk, ending at `out_channels`.
+/// `stage_channels`/`stage_strides` describe the trunk's stages.
+Sequential make_adaptive(int image_channels, const std::vector<int>& stage_channels,
+                         const std::vector<int>& stage_strides, util::Rng& rng,
+                         const std::string& prefix) {
+  if (stage_channels.size() != stage_strides.size() || stage_channels.empty()) {
+    throw std::invalid_argument("make_adaptive: bad stage description");
+  }
+  Sequential adaptive(prefix);
+  int in_c = image_channels;
+  for (std::size_t i = 0; i < stage_channels.size(); ++i) {
+    const std::string layer_prefix = prefix + ".conv" + std::to_string(i);
+    adaptive.emplace<nn::Conv2d>(in_c, stage_channels[i], 3, stage_strides[i], 1, /*bias=*/false,
+                                 rng, layer_prefix);
+    adaptive.emplace<nn::BatchNorm2d>(stage_channels[i], 0.1f, 1e-5f, layer_prefix + ".bn");
+    adaptive.emplace<nn::ReLU>(layer_prefix + ".relu");
+    in_c = stage_channels[i];
+  }
+  return adaptive;
+}
+
+}  // namespace
+
+Sequential build_resnet_classifier(const ResNetConfig& config, util::Rng& rng,
+                                   const std::string& name) {
+  Sequential net(name);
+  add_stem(net, config.image_channels, config.channels[0], rng, name);
+  add_stage(net, config.channels[0], config.channels[0], config.blocks_per_stage, 1, rng,
+            name + ".stage1");
+  add_stage(net, config.channels[0], config.channels[1], config.blocks_per_stage, 2, rng,
+            name + ".stage2");
+  add_stage(net, config.channels[1], config.channels[2], config.blocks_per_stage, 2, rng,
+            name + ".stage3");
+  net.emplace<nn::GlobalAvgPool>(name + ".avgpool");
+  net.emplace<nn::Linear>(config.channels[2], config.num_classes, rng, name + ".fc");
+  return net;
+}
+
+MEANet build_resnet_meanet_a(const ResNetConfig& config, int num_hard_classes, FusionMode fusion,
+                             util::Rng& rng) {
+  if (num_hard_classes <= 0 || num_hard_classes > config.num_classes) {
+    throw std::invalid_argument("build_resnet_meanet_a: bad num_hard_classes");
+  }
+  // Main trunk: stem + stage1 + stage2 (features at channels[1], /2).
+  Sequential trunk("mainA");
+  add_stem(trunk, config.image_channels, config.channels[0], rng, "mainA");
+  add_stage(trunk, config.channels[0], config.channels[0], config.blocks_per_stage, 1, rng,
+            "mainA.stage1");
+  add_stage(trunk, config.channels[0], config.channels[1], config.blocks_per_stage, 2, rng,
+            "mainA.stage2");
+
+  Sequential exit1 = make_exit(config.channels[1], config.num_classes, rng, "exit1A");
+
+  // Adaptive block mirrors the trunk's stages with one conv each.
+  Sequential adaptive = make_adaptive(config.image_channels,
+                                      {config.channels[0], config.channels[1]}, {1, 2}, rng,
+                                      "adaptiveA");
+
+  // Extension block: the original stage 3 + exit over hard classes.
+  const int ext_in =
+      fusion == FusionMode::kConcat ? 2 * config.channels[1] : config.channels[1];
+  Sequential extension("extensionA");
+  add_stage(extension, ext_in, config.channels[2], config.blocks_per_stage, 2, rng,
+            "extensionA.stage3");
+  extension.emplace<nn::GlobalAvgPool>("extensionA.avgpool");
+  extension.emplace<nn::Linear>(config.channels[2], num_hard_classes, rng, "extensionA.fc");
+
+  return MEANet(std::move(trunk), std::move(exit1), std::move(adaptive), std::move(extension),
+                fusion);
+}
+
+MEANet build_resnet_meanet_b(const ResNetConfig& config, int num_hard_classes, FusionMode fusion,
+                             util::Rng& rng, int extension_blocks) {
+  if (num_hard_classes <= 0 || num_hard_classes > config.num_classes) {
+    throw std::invalid_argument("build_resnet_meanet_b: bad num_hard_classes");
+  }
+  // Main trunk: the complete ResNet body (features at channels[2], /4).
+  Sequential trunk("mainB");
+  add_stem(trunk, config.image_channels, config.channels[0], rng, "mainB");
+  add_stage(trunk, config.channels[0], config.channels[0], config.blocks_per_stage, 1, rng,
+            "mainB.stage1");
+  add_stage(trunk, config.channels[0], config.channels[1], config.blocks_per_stage, 2, rng,
+            "mainB.stage2");
+  add_stage(trunk, config.channels[1], config.channels[2], config.blocks_per_stage, 2, rng,
+            "mainB.stage3");
+
+  Sequential exit1 = make_exit(config.channels[2], config.num_classes, rng, "exit1B");
+
+  Sequential adaptive = make_adaptive(
+      config.image_channels, {config.channels[0], config.channels[1], config.channels[2]},
+      {1, 2, 2}, rng, "adaptiveB");
+
+  const int ext_in =
+      fusion == FusionMode::kConcat ? 2 * config.channels[2] : config.channels[2];
+  Sequential extension("extensionB");
+  add_stage(extension, ext_in, config.channels[2], extension_blocks, 1, rng, "extensionB.stage");
+  extension.emplace<nn::GlobalAvgPool>("extensionB.avgpool");
+  extension.emplace<nn::Linear>(config.channels[2], num_hard_classes, rng, "extensionB.fc");
+
+  return MEANet(std::move(trunk), std::move(exit1), std::move(adaptive), std::move(extension),
+                fusion);
+}
+
+MEANet build_mobilenet_meanet_b(const MobileNetConfig& config, int num_hard_classes,
+                                FusionMode fusion, util::Rng& rng, int extension_blocks) {
+  if (config.blocks.empty()) throw std::invalid_argument("build_mobilenet_meanet_b: no blocks");
+  if (num_hard_classes <= 0 || num_hard_classes > config.num_classes) {
+    throw std::invalid_argument("build_mobilenet_meanet_b: bad num_hard_classes");
+  }
+  Sequential trunk("mnetB");
+  add_stem(trunk, config.image_channels, config.stem_channels, rng, "mnetB");
+  int in_c = config.stem_channels;
+  // Track downsampling structure for the adaptive block.
+  std::vector<int> adaptive_channels;
+  std::vector<int> adaptive_strides;
+  int pending_stride = 1;
+  for (std::size_t i = 0; i < config.blocks.size(); ++i) {
+    const auto [out_c, stride, expansion] = config.blocks[i];
+    trunk.emplace<nn::InvertedResidual>(in_c, out_c, stride, expansion, rng,
+                                        "mnetB.ir" + std::to_string(i));
+    pending_stride *= stride;
+    if (stride > 1 || i + 1 == config.blocks.size()) {
+      adaptive_channels.push_back(out_c);
+      adaptive_strides.push_back(pending_stride);
+      pending_stride = 1;
+    }
+    in_c = out_c;
+  }
+  const int feature_channels = in_c;
+
+  Sequential exit1 = make_exit(feature_channels, config.num_classes, rng, "mnetB.exit1");
+
+  Sequential adaptive = make_adaptive(config.image_channels, adaptive_channels, adaptive_strides,
+                                      rng, "mnetB.adaptive");
+
+  const int ext_in = fusion == FusionMode::kConcat ? 2 * feature_channels : feature_channels;
+  Sequential extension("mnetB.extension");
+  int ec = ext_in;
+  for (int b = 0; b < extension_blocks; ++b) {
+    extension.emplace<nn::InvertedResidual>(ec, feature_channels, 1, 4, rng,
+                                            "mnetB.ext.ir" + std::to_string(b));
+    ec = feature_channels;
+  }
+  extension.emplace<nn::GlobalAvgPool>("mnetB.ext.avgpool");
+  extension.emplace<nn::Linear>(feature_channels, num_hard_classes, rng, "mnetB.ext.fc");
+
+  return MEANet(std::move(trunk), std::move(exit1), std::move(adaptive), std::move(extension),
+                fusion);
+}
+
+Sequential build_cloud_classifier(int image_channels, int num_classes, util::Rng& rng) {
+  ResNetConfig config;
+  config.blocks_per_stage = 3;           // deeper than the edge nets
+  config.channels = {16, 32, 64};        // and wider
+  config.image_channels = image_channels;
+  config.num_classes = num_classes;
+  return build_resnet_classifier(config, rng, "cloud");
+}
+
+}  // namespace meanet::core

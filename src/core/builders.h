@@ -1,0 +1,66 @@
+// Model builders: restructure ResNet / MobileNetV2-family CNNs into
+// MEANets (paper Fig. 4, Models A and B) and build plain classifiers for
+// the cloud side and for baselines.
+//
+// Model A splits the original network: early stages become the main
+// block (with a new FC exit), the last stage + original FC become the
+// extension block.
+// Model B keeps the whole network as the main block and appends new
+// layers as the extension block. The adaptive block is always a
+// lightweight (one conv per stage) version of the main trunk whose
+// output shape matches the main features.
+#pragma once
+
+#include <array>
+
+#include "core/meanet.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace meanet::core {
+
+/// Geometry of the scaled-down ResNet family used in the experiments.
+struct ResNetConfig {
+  /// Residual blocks per stage ("n"; ResNet depth = 6n+2 in the paper).
+  int blocks_per_stage = 2;
+  /// Stage output channels (the paper uses 16/32/64 for CIFAR; the
+  /// benches scale to 8/16/32 for the single-core budget).
+  std::array<int, 3> channels = {8, 16, 32};
+  int image_channels = 3;
+  int num_classes = 20;
+};
+
+/// Geometry of the scaled-down MobileNetV2 family.
+struct MobileNetConfig {
+  int stem_channels = 8;
+  /// (out_channels, stride, expansion) per inverted-residual block.
+  std::vector<std::array<int, 3>> blocks = {
+      {8, 1, 1}, {12, 2, 4}, {12, 1, 4}, {16, 2, 4}, {16, 1, 4}};
+  int image_channels = 3;
+  int num_classes = 20;
+};
+
+/// Plain ResNet classifier (stem + 3 stages + avgpool + FC). Used for
+/// the cloud model and the Fig. 2 baseline.
+nn::Sequential build_resnet_classifier(const ResNetConfig& config, util::Rng& rng,
+                                       const std::string& name = "resnet");
+
+/// Model A: main = stem + stages 1-2, extension = stage 3 (+ exit).
+MEANet build_resnet_meanet_a(const ResNetConfig& config, int num_hard_classes, FusionMode fusion,
+                             util::Rng& rng);
+
+/// Model B: main = full ResNet, extension = `extension_blocks` extra
+/// residual blocks at the last stage's width (+ exit).
+MEANet build_resnet_meanet_b(const ResNetConfig& config, int num_hard_classes, FusionMode fusion,
+                             util::Rng& rng, int extension_blocks = 2);
+
+/// Model B on the MobileNetV2 family; the extension block has four
+/// inverted-residual blocks as in the paper (§IV-A).
+MEANet build_mobilenet_meanet_b(const MobileNetConfig& config, int num_hard_classes,
+                                FusionMode fusion, util::Rng& rng, int extension_blocks = 4);
+
+/// Deeper/wider cloud-side classifier (the paper uses ResNet101: the
+/// only property relied on is higher accuracy than the edge model).
+nn::Sequential build_cloud_classifier(int image_channels, int num_classes, util::Rng& rng);
+
+}  // namespace meanet::core

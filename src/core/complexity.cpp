@@ -1,0 +1,78 @@
+#include "core/complexity.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace meanet::core {
+
+namespace {
+
+template <typename ForwardLogits>
+MainProfile profile_impl(ForwardLogits&& forward_logits, const data::Dataset& dataset,
+                         int batch_size) {
+  if (dataset.size() == 0) throw std::invalid_argument("profile: empty dataset");
+  MainProfile profile{metrics::ConfusionMatrix(dataset.num_classes), {}, {}, {}, 0.0};
+  profile.predictions.reserve(static_cast<std::size_t>(dataset.size()));
+  profile.entropies.reserve(static_cast<std::size_t>(dataset.size()));
+  std::int64_t correct = 0;
+  for (int start = 0; start < dataset.size(); start += batch_size) {
+    const int count = std::min(batch_size, dataset.size() - start);
+    const Tensor batch = dataset.images.slice_batch(start, count);
+    const Tensor logits = forward_logits(batch);
+    const Tensor probs = ops::softmax(logits);
+    const std::vector<int> preds = ops::row_argmax(probs);
+    const std::vector<float> ent = ops::row_entropy(probs);
+    for (int i = 0; i < count; ++i) {
+      const int label = dataset.labels[static_cast<std::size_t>(start + i)];
+      const int pred = preds[static_cast<std::size_t>(i)];
+      const bool ok = pred == label;
+      profile.confusion.add(label, pred);
+      profile.entropy.add(ent[static_cast<std::size_t>(i)], ok);
+      profile.predictions.push_back(pred);
+      profile.entropies.push_back(ent[static_cast<std::size_t>(i)]);
+      if (ok) ++correct;
+    }
+  }
+  profile.accuracy = static_cast<double>(correct) / static_cast<double>(dataset.size());
+  return profile;
+}
+
+}  // namespace
+
+MainProfile profile_main(MEANet& net, const data::Dataset& dataset, int batch_size) {
+  return profile_impl(
+      [&](const Tensor& batch) { return net.forward_main(batch, nn::Mode::kEval).logits; },
+      dataset, batch_size);
+}
+
+MainProfile profile_classifier(nn::Sequential& net, const data::Dataset& dataset,
+                               int batch_size) {
+  return profile_impl([&](const Tensor& batch) { return net.forward(batch, nn::Mode::kEval); },
+                      dataset, batch_size);
+}
+
+std::vector<int> select_hard_classes(const metrics::ConfusionMatrix& confusion, int num_hard) {
+  if (num_hard <= 0 || num_hard > confusion.num_classes()) {
+    throw std::invalid_argument("select_hard_classes: bad num_hard");
+  }
+  const std::vector<int> ranked = confusion.classes_by_ascending_precision();
+  return {ranked.begin(), ranked.begin() + num_hard};
+}
+
+std::vector<int> select_random_classes(int num_classes, int num_hard, util::Rng& rng) {
+  if (num_hard <= 0 || num_hard > num_classes) {
+    throw std::invalid_argument("select_random_classes: bad num_hard");
+  }
+  std::vector<int> all(static_cast<std::size_t>(num_classes));
+  std::iota(all.begin(), all.end(), 0);
+  rng.shuffle(all);
+  return {all.begin(), all.begin() + num_hard};
+}
+
+data::ClassDict make_class_dict(int num_classes, const std::vector<int>& hard_classes) {
+  return data::ClassDict(num_classes, hard_classes);
+}
+
+}  // namespace meanet::core

@@ -1,0 +1,46 @@
+// Complexity profiling (paper §III, Fig. 3):
+//  * class-wise complexity = validation FDR of the main block
+//    -> hard-class selection (Alg. 1 step 2);
+//  * instance-wise complexity = prediction entropy of the main block
+//    -> cloud-offload threshold range (mu_correct, mu_wrong).
+#pragma once
+
+#include <vector>
+
+#include "core/meanet.h"
+#include "data/class_dict.h"
+#include "data/dataset.h"
+#include "metrics/confusion_matrix.h"
+#include "metrics/entropy_stats.h"
+#include "util/rng.h"
+
+namespace meanet::core {
+
+/// Everything measured in one evaluation pass of the main block.
+struct MainProfile {
+  metrics::ConfusionMatrix confusion;
+  metrics::EntropyStats entropy;
+  std::vector<int> predictions;
+  std::vector<float> entropies;  // per instance, aligned with the dataset
+  double accuracy = 0.0;
+};
+
+/// Runs the main block (eval mode) over `dataset` in batches.
+MainProfile profile_main(MEANet& net, const data::Dataset& dataset, int batch_size = 64);
+
+/// Same profiling for a plain classifier (used for the cloud model and
+/// baselines).
+MainProfile profile_classifier(nn::Sequential& net, const data::Dataset& dataset,
+                               int batch_size = 64);
+
+/// The paper's selection rule: the `num_hard` classes with the lowest
+/// validation precision.
+std::vector<int> select_hard_classes(const metrics::ConfusionMatrix& confusion, int num_hard);
+
+/// Ablation baseline (Table IV/V): a uniformly random class subset.
+std::vector<int> select_random_classes(int num_classes, int num_hard, util::Rng& rng);
+
+/// Builds the ClassDict of Alg. 1 step 3 from selected hard classes.
+data::ClassDict make_class_dict(int num_classes, const std::vector<int>& hard_classes);
+
+}  // namespace meanet::core

@@ -1,0 +1,98 @@
+#include "core/edge_inference.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace meanet::core {
+
+namespace {
+
+/// Copies the listed batch rows of `source` into a new tensor.
+Tensor gather_rows(const Tensor& source, const std::vector<int>& rows) {
+  std::vector<int> dims = source.shape().dims();
+  dims[0] = static_cast<int>(rows.size());
+  Tensor out{Shape(dims)};
+  const std::int64_t stride = source.numel() / source.shape().dim(0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* src = source.data() + rows[i] * stride;
+    std::copy(src, src + stride, out.data() + static_cast<std::int64_t>(i) * stride);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<InstanceDecision> EdgeInferenceEngine::infer(const Tensor& images) {
+  const int batch = images.shape().batch();
+  const MainForward fwd = net_->forward_main(images, nn::Mode::kEval);
+  const Tensor p1 = ops::softmax(fwd.logits);
+  const std::vector<int> pred1 = ops::row_argmax(p1);
+  const std::vector<float> conf1 = ops::row_max(p1);
+  const std::vector<float> entropy = ops::row_entropy(p1);
+
+  std::vector<InstanceDecision> decisions(static_cast<std::size_t>(batch));
+  std::vector<int> extension_rows;
+  for (int n = 0; n < batch; ++n) {
+    InstanceDecision& d = decisions[static_cast<std::size_t>(n)];
+    d.main_prediction = pred1[static_cast<std::size_t>(n)];
+    d.entropy = entropy[static_cast<std::size_t>(n)];
+    d.main_confidence = conf1[static_cast<std::size_t>(n)];
+    d.route = policy_.route(d.entropy, d.main_prediction);
+    d.prediction = d.main_prediction;  // default / cloud fallback
+    if (d.route == Route::kExtensionExit) extension_rows.push_back(n);
+  }
+
+  if (!extension_rows.empty()) {
+    // Batch all hard-detected instances through the extension path once.
+    const Tensor sub_images = gather_rows(images, extension_rows);
+    const Tensor sub_features = gather_rows(fwd.features, extension_rows);
+    const Tensor y2 = net_->forward_extension(sub_images, sub_features, nn::Mode::kEval);
+    const Tensor p2 = ops::softmax(y2);
+    const std::vector<int> pred2 = ops::row_argmax(p2);
+    const std::vector<float> conf2 = ops::row_max(p2);
+    const data::ClassDict& dict = policy_.dict();
+    for (std::size_t i = 0; i < extension_rows.size(); ++i) {
+      InstanceDecision& d = decisions[static_cast<std::size_t>(extension_rows[i])];
+      d.extension_confidence = conf2[i];
+      // Alg. 2: keep the more confident of the two exits.
+      if (d.extension_confidence > d.main_confidence) {
+        d.prediction = dict.to_global(pred2[i]);
+      }
+    }
+  }
+  return decisions;
+}
+
+std::vector<InstanceDecision> EdgeInferenceEngine::infer_dataset(const data::Dataset& dataset,
+                                                                 int batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("infer_dataset: batch_size");
+  std::vector<InstanceDecision> all;
+  all.reserve(static_cast<std::size_t>(dataset.size()));
+  for (int start = 0; start < dataset.size(); start += batch_size) {
+    const int count = std::min(batch_size, dataset.size() - start);
+    const std::vector<InstanceDecision> part = infer(dataset.images.slice_batch(start, count));
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+RouteCounts count_routes(const std::vector<InstanceDecision>& decisions) {
+  RouteCounts counts;
+  for (const InstanceDecision& d : decisions) {
+    switch (d.route) {
+      case Route::kMainExit:
+        ++counts.main_exit;
+        break;
+      case Route::kExtensionExit:
+        ++counts.extension_exit;
+        break;
+      case Route::kCloud:
+        ++counts.cloud;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace meanet::core

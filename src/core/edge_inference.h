@@ -1,0 +1,62 @@
+// Edge half of Alg. 2: main-block pass, routing, extension-block pass
+// with the confidence comparison between the two exits.
+//
+// Instances routed to the cloud are *marked*, not classified — the
+// sim::DistributedSystem pairs this engine with a CloudNode to complete
+// the algorithm.
+#pragma once
+
+#include <vector>
+
+#include "core/inference_policy.h"
+#include "core/meanet.h"
+#include "data/dataset.h"
+
+namespace meanet::core {
+
+struct InstanceDecision {
+  Route route = Route::kMainExit;
+  /// Final edge prediction in global label space; for kCloud routes this
+  /// holds the edge's best guess (used when the cloud is unreachable).
+  int prediction = -1;
+  int main_prediction = -1;
+  float entropy = 0.0f;
+  /// Max softmax score at exit 1.
+  float main_confidence = 0.0f;
+  /// Max softmax score at exit 2 (0 when the extension did not run).
+  float extension_confidence = 0.0f;
+};
+
+class EdgeInferenceEngine {
+ public:
+  EdgeInferenceEngine(MEANet& net, const data::ClassDict& dict, PolicyConfig config)
+      : net_(&net), policy_(dict, config) {}
+
+  /// Runs Alg. 2 (edge part) on a batch of images.
+  std::vector<InstanceDecision> infer(const Tensor& images);
+
+  /// Convenience: whole dataset in batches of `batch_size`.
+  std::vector<InstanceDecision> infer_dataset(const data::Dataset& dataset, int batch_size = 64);
+
+  const InferencePolicy& policy() const { return policy_; }
+  void set_config(PolicyConfig config) { policy_ = InferencePolicy(policy_.dict(), config); }
+
+ private:
+  MEANet* net_;
+  InferencePolicy policy_;
+};
+
+/// Route occupancy summary over a set of decisions.
+struct RouteCounts {
+  std::int64_t main_exit = 0;
+  std::int64_t extension_exit = 0;
+  std::int64_t cloud = 0;
+  std::int64_t total() const { return main_exit + extension_exit + cloud; }
+  double cloud_fraction() const {
+    return total() == 0 ? 0.0 : static_cast<double>(cloud) / static_cast<double>(total());
+  }
+};
+
+RouteCounts count_routes(const std::vector<InstanceDecision>& decisions);
+
+}  // namespace meanet::core

@@ -1,0 +1,55 @@
+#include "core/hard_detector.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual_block.h"
+#include "tensor/ops.h"
+
+namespace meanet::core {
+
+BinaryHardDetector::BinaryHardDetector(int image_channels, util::Rng& rng)
+    : model_("hard_detector") {
+  model_.emplace<nn::Conv2d>(image_channels, 8, 3, 1, 1, /*bias=*/false, rng, "det.stem");
+  model_.emplace<nn::BatchNorm2d>(8, 0.1f, 1e-5f, "det.stem.bn");
+  model_.emplace<nn::ReLU>("det.stem.relu");
+  model_.emplace<nn::ResidualBlock>(8, 16, 2, rng, "det.block");
+  model_.emplace<nn::GlobalAvgPool>("det.avgpool");
+  model_.emplace<nn::Linear>(16, 2, rng, "det.fc");
+}
+
+TrainCurve BinaryHardDetector::train(const data::Dataset& train, const data::ClassDict& dict,
+                                     const TrainOptions& options, util::Rng& rng) {
+  // Binary relabeling: 1 = hard class, 0 = easy class.
+  data::Dataset binary = train;
+  binary.num_classes = 2;
+  for (int& label : binary.labels) label = dict.is_hard(label) ? 1 : 0;
+  return train_classifier(model_, binary, options, rng);
+}
+
+std::vector<bool> BinaryHardDetector::detect(const Tensor& images) {
+  const Tensor logits = model_.forward(images, nn::Mode::kEval);
+  const std::vector<int> preds = ops::row_argmax(logits);
+  std::vector<bool> out(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) out[i] = preds[i] == 1;
+  return out;
+}
+
+double BinaryHardDetector::detection_accuracy(const data::Dataset& dataset,
+                                              const data::ClassDict& dict, int batch_size) {
+  std::int64_t correct = 0;
+  for (int start = 0; start < dataset.size(); start += batch_size) {
+    const int count = std::min(batch_size, dataset.size() - start);
+    const std::vector<bool> detected = detect(dataset.images.slice_batch(start, count));
+    for (int i = 0; i < count; ++i) {
+      const bool truly_hard =
+          dict.is_hard(dataset.labels[static_cast<std::size_t>(start + i)]);
+      if (detected[static_cast<std::size_t>(i)] == truly_hard) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / dataset.size();
+}
+
+}  // namespace meanet::core

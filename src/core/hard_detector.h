@@ -1,0 +1,40 @@
+// Optional binary easy/hard detector (paper §III-B: "it is optional to
+// train a binary classifier as a detector" — the paper finds the
+// main-block argmax rule simpler and at least as effective; this class
+// exists to reproduce that comparison).
+#pragma once
+
+#include "core/trainer.h"
+#include "data/class_dict.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace meanet::core {
+
+class BinaryHardDetector {
+ public:
+  /// Builds a small CNN (stem + one residual stage + 2-way head) for
+  /// images with `image_channels` channels.
+  BinaryHardDetector(int image_channels, util::Rng& rng);
+
+  /// Trains on `train` with binary labels derived from `dict`
+  /// (hard class -> 1, easy -> 0).
+  TrainCurve train(const data::Dataset& train, const data::ClassDict& dict,
+                   const TrainOptions& options, util::Rng& rng);
+
+  /// True where the detector predicts "hard".
+  std::vector<bool> detect(const Tensor& images);
+
+  /// Fraction of `dataset` instances whose detection matches the true
+  /// category under `dict`.
+  double detection_accuracy(const data::Dataset& dataset, const data::ClassDict& dict,
+                            int batch_size = 64);
+
+  nn::Sequential& model() { return model_; }
+
+ private:
+  nn::Sequential model_;
+};
+
+}  // namespace meanet::core

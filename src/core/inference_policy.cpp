@@ -1,0 +1,25 @@
+#include "core/inference_policy.h"
+
+namespace meanet::core {
+
+const char* route_name(Route route) {
+  switch (route) {
+    case Route::kMainExit:
+      return "main";
+    case Route::kExtensionExit:
+      return "extension";
+    case Route::kCloud:
+      return "cloud";
+  }
+  return "?";
+}
+
+Route InferencePolicy::route(float main_entropy, int main_prediction) const {
+  if (config_.cloud_available &&
+      static_cast<double>(main_entropy) > config_.entropy_threshold) {
+    return Route::kCloud;
+  }
+  return is_hard(main_prediction) ? Route::kExtensionExit : Route::kMainExit;
+}
+
+}  // namespace meanet::core

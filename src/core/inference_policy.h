@@ -1,0 +1,49 @@
+// Routing policy of Alg. 2: where does an instance's inference end?
+//
+//   entropy(y1) > threshold and cloud available  -> cloud ("complex")
+//   argmax(y1) in hard classes                   -> extension block
+//   otherwise                                    -> main-block early exit
+#pragma once
+
+#include <limits>
+
+#include "data/class_dict.h"
+
+namespace meanet::core {
+
+enum class Route {
+  kMainExit,
+  kExtensionExit,
+  kCloud,
+};
+
+const char* route_name(Route route);
+
+struct PolicyConfig {
+  /// Instances with main-exit entropy above this go to the cloud.
+  /// +infinity disables offloading even when the cloud is available.
+  double entropy_threshold = std::numeric_limits<double>::infinity();
+  /// Paper: "if Cloud is available and Entropy > threshold".
+  bool cloud_available = false;
+};
+
+class InferencePolicy {
+ public:
+  InferencePolicy(const data::ClassDict& dict, PolicyConfig config)
+      : dict_(&dict), config_(config) {}
+
+  /// The IsHard detector of §III-B: hard iff the main-block argmax is a
+  /// hard class.
+  bool is_hard(int main_prediction) const { return dict_->is_hard(main_prediction); }
+
+  Route route(float main_entropy, int main_prediction) const;
+
+  const PolicyConfig& config() const { return config_; }
+  const data::ClassDict& dict() const { return *dict_; }
+
+ private:
+  const data::ClassDict* dict_;
+  PolicyConfig config_;
+};
+
+}  // namespace meanet::core

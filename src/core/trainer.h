@@ -1,0 +1,91 @@
+// Training algorithms (paper §III-A, Alg. 1).
+//
+// Three optimization regimes for a multi-exit network are implemented:
+//  * blockwise (the paper's approach): the main block is trained first
+//    (at the "cloud"), then frozen; the adaptive + extension blocks are
+//    trained on hard-class data only;
+//  * joint (BranchyNet-style baseline): all parameters trained together
+//    on a weighted sum of exit losses;
+//  * separate: train the backbone to convergence, freeze it, then train
+//    the remaining exits (a middle ground used for comparisons).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/complexity.h"
+#include "core/meanet.h"
+#include "data/augment.h"
+#include "data/batcher.h"
+#include "data/class_dict.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/lr_schedule.h"
+#include "nn/optimizer.h"
+
+namespace meanet::core {
+
+struct TrainOptions {
+  int epochs = 10;
+  int batch_size = 32;
+  nn::SgdOptions sgd{0.05f, 0.9f, 5e-4f};
+  /// Epochs (1-based) at which lr is multiplied by `lr_gamma` (the paper
+  /// uses {60,120,160} for CIFAR and {30,100} for ImageNet).
+  std::vector<int> milestones;
+  float lr_gamma = 0.1f;
+  /// Optional train-time augmentation (random crop / flip), applied to
+  /// each batch before the forward pass.
+  std::optional<data::AugmentOptions> augment;
+};
+
+struct EpochStats {
+  float loss = 0.0f;
+  double accuracy = 0.0;
+};
+
+using TrainCurve = std::vector<EpochStats>;
+
+/// Trains a plain classifier with softmax cross-entropy + SGD.
+TrainCurve train_classifier(nn::Sequential& net, const data::Dataset& train,
+                            const TrainOptions& options, util::Rng& rng);
+
+/// Orchestrates Alg. 1 end to end on an MEANet.
+class DistributedTrainer {
+ public:
+  explicit DistributedTrainer(MEANet& net) : net_(net) {}
+
+  /// Alg. 1 step 1 (edge half): trains main trunk + exit on the full
+  /// dataset. In the paper this runs at the cloud for Model B and can
+  /// run at the edge for Model A — the arithmetic is identical.
+  TrainCurve train_main(const data::Dataset& train, const TrainOptions& options, util::Rng& rng);
+
+  /// Alg. 1 step 2-4: profiles the main block on `validation`, selects
+  /// the `num_hard` lowest-precision classes and builds the ClassDict.
+  data::ClassDict select_hard_classes_from_validation(const data::Dataset& validation,
+                                                      int num_hard, int batch_size = 64);
+
+  /// Alg. 1 steps 5-8: filters `train` to hard-class instances, remaps
+  /// labels, freezes the main block, and trains adaptive + extension.
+  TrainCurve train_edge_blocks(const data::Dataset& train, const data::ClassDict& dict,
+                               const TrainOptions& options, util::Rng& rng);
+
+  /// Joint-optimization baseline: all blocks trained together; the exit-2
+  /// loss is applied to hard-class instances (weighted `w2`), exit-1 loss
+  /// to all instances (weighted `w1`).
+  TrainCurve train_joint(const data::Dataset& train, const data::ClassDict& dict,
+                         const TrainOptions& options, util::Rng& rng, float w1 = 1.0f,
+                         float w2 = 1.0f);
+
+  /// Separate-optimization baseline (paper §III-A): first train all
+  /// convolutional blocks on the loss at the final (extension) exit,
+  /// then freeze them and train the remaining exit (exit 1) alone.
+  /// Returns the concatenated curves of the two phases.
+  TrainCurve train_separate(const data::Dataset& train, const data::ClassDict& dict,
+                            const TrainOptions& options, util::Rng& rng);
+
+ private:
+  MEANet& net_;
+};
+
+}  // namespace meanet::core

@@ -1,0 +1,74 @@
+#include "data/augment.h"
+
+#include <stdexcept>
+
+namespace meanet::data {
+
+namespace {
+
+/// Shifted copy with zero fill: output(h, w) = input(h + dy, w + dx).
+void shift_instance(const float* src, float* dst, int channels, int height, int width, int dy,
+                    int dx) {
+  for (int c = 0; c < channels; ++c) {
+    const float* src_c = src + static_cast<std::int64_t>(c) * height * width;
+    float* dst_c = dst + static_cast<std::int64_t>(c) * height * width;
+    for (int h = 0; h < height; ++h) {
+      const int sh = h + dy;
+      for (int w = 0; w < width; ++w) {
+        const int sw = w + dx;
+        dst_c[h * width + w] = (sh >= 0 && sh < height && sw >= 0 && sw < width)
+                                   ? src_c[sh * width + sw]
+                                   : 0.0f;
+      }
+    }
+  }
+}
+
+void flip_instance(float* img, int channels, int height, int width) {
+  for (int c = 0; c < channels; ++c) {
+    float* img_c = img + static_cast<std::int64_t>(c) * height * width;
+    for (int h = 0; h < height; ++h) {
+      float* row = img_c + static_cast<std::int64_t>(h) * width;
+      for (int w = 0; w < width / 2; ++w) std::swap(row[w], row[width - 1 - w]);
+    }
+  }
+}
+
+}  // namespace
+
+void augment_batch(Tensor& images, const AugmentOptions& options, util::Rng& rng) {
+  if (images.shape().rank() != 4) throw std::invalid_argument("augment_batch: expected NCHW");
+  if (options.crop_padding < 0) throw std::invalid_argument("augment_batch: negative padding");
+  const int batch = images.shape().batch();
+  const int channels = images.shape().channels();
+  const int height = images.shape().height();
+  const int width = images.shape().width();
+  const std::int64_t chw = static_cast<std::int64_t>(channels) * height * width;
+  std::vector<float> scratch(static_cast<std::size_t>(chw));
+  for (int n = 0; n < batch; ++n) {
+    float* img = images.data() + n * chw;
+    if (options.crop_padding > 0) {
+      // Random crop == random shift within +-padding with zero fill.
+      const int dy = rng.uniform_int(-options.crop_padding, options.crop_padding);
+      const int dx = rng.uniform_int(-options.crop_padding, options.crop_padding);
+      if (dy != 0 || dx != 0) {
+        shift_instance(img, scratch.data(), channels, height, width, dy, dx);
+        std::copy(scratch.begin(), scratch.end(), img);
+      }
+    }
+    if (options.flip_probability > 0.0 && rng.bernoulli(options.flip_probability)) {
+      flip_instance(img, channels, height, width);
+    }
+    if (options.noise_stddev > 0.0f) {
+      for (std::int64_t i = 0; i < chw; ++i) img[i] += rng.normal(0.0f, options.noise_stddev);
+    }
+  }
+}
+
+Tensor augment_instance(const Tensor& image, const AugmentOptions& options, util::Rng& rng) {
+  Tensor out = image;
+  augment_batch(out, options, rng);
+  return out;
+}
+
+}  // namespace meanet::data

@@ -1,0 +1,27 @@
+// Training-time data augmentation — the standard CIFAR recipe the
+// paper's training setup implies (random crop with padding + horizontal
+// flip), implemented for NCHW float images.
+#pragma once
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace meanet::data {
+
+struct AugmentOptions {
+  /// Zero-padding added on each side before a random crop back to the
+  /// original size (CIFAR standard: 4).
+  int crop_padding = 2;
+  /// Probability of a horizontal flip.
+  double flip_probability = 0.5;
+  /// Stddev of additive pixel noise (0 disables).
+  float noise_stddev = 0.0f;
+};
+
+/// Augments one batch in place (each instance independently).
+void augment_batch(Tensor& images, const AugmentOptions& options, util::Rng& rng);
+
+/// Returns an augmented copy of a single [1, C, H, W] instance.
+Tensor augment_instance(const Tensor& image, const AugmentOptions& options, util::Rng& rng);
+
+}  // namespace meanet::data

@@ -1,0 +1,31 @@
+#include "data/batcher.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace meanet::data {
+
+Batcher::Batcher(int dataset_size, int batch_size, util::Rng& rng)
+    : dataset_size_(dataset_size), batch_size_(batch_size), rng_(rng),
+      order_(static_cast<std::size_t>(dataset_size)) {
+  if (dataset_size <= 0) throw std::invalid_argument("Batcher: dataset is empty");
+  if (batch_size <= 0) throw std::invalid_argument("Batcher: batch_size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+int Batcher::batches_per_epoch() const {
+  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<std::vector<int>> Batcher::epoch() {
+  rng_.shuffle(order_);
+  std::vector<std::vector<int>> batches;
+  batches.reserve(static_cast<std::size_t>(batches_per_epoch()));
+  for (int start = 0; start < dataset_size_; start += batch_size_) {
+    const int end = std::min(start + batch_size_, dataset_size_);
+    batches.emplace_back(order_.begin() + start, order_.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace meanet::data

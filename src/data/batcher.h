@@ -1,0 +1,29 @@
+// Epoch batcher: shuffles instance indices each epoch and yields
+// contiguous batches.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meanet::data {
+
+class Batcher {
+ public:
+  Batcher(int dataset_size, int batch_size, util::Rng& rng);
+
+  /// Reshuffles and returns the batches (index lists) for one epoch. The
+  /// final batch may be smaller; it is dropped only if empty.
+  std::vector<std::vector<int>> epoch();
+
+  int batch_size() const { return batch_size_; }
+  int batches_per_epoch() const;
+
+ private:
+  int dataset_size_;
+  int batch_size_;
+  util::Rng& rng_;
+  std::vector<int> order_;
+};
+
+}  // namespace meanet::data

@@ -1,0 +1,48 @@
+#include "data/class_dict.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meanet::data {
+
+ClassDict::ClassDict(int num_classes, const std::vector<int>& hard_classes)
+    : num_classes_(num_classes), global_to_hard_(static_cast<std::size_t>(num_classes), -1) {
+  if (num_classes <= 0) throw std::invalid_argument("ClassDict: num_classes must be positive");
+  hard_to_global_ = hard_classes;
+  std::sort(hard_to_global_.begin(), hard_to_global_.end());
+  if (std::adjacent_find(hard_to_global_.begin(), hard_to_global_.end()) !=
+      hard_to_global_.end()) {
+    throw std::invalid_argument("ClassDict: duplicate hard class");
+  }
+  for (std::size_t i = 0; i < hard_to_global_.size(); ++i) {
+    const int c = hard_to_global_[i];
+    if (c < 0 || c >= num_classes) throw std::out_of_range("ClassDict: hard class out of range");
+    global_to_hard_[static_cast<std::size_t>(c)] = static_cast<int>(i);
+  }
+}
+
+bool ClassDict::is_hard(int global_label) const { return to_hard(global_label) >= 0; }
+
+int ClassDict::to_hard(int global_label) const {
+  if (global_label < 0 || global_label >= num_classes_) {
+    throw std::out_of_range("ClassDict::to_hard: label out of range");
+  }
+  return global_to_hard_[static_cast<std::size_t>(global_label)];
+}
+
+int ClassDict::to_global(int hard_label) const {
+  if (hard_label < 0 || hard_label >= num_hard()) {
+    throw std::out_of_range("ClassDict::to_global: label out of range");
+  }
+  return hard_to_global_[static_cast<std::size_t>(hard_label)];
+}
+
+std::vector<int> ClassDict::easy_classes() const {
+  std::vector<int> out;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (!is_hard(c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace meanet::data

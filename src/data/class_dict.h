@@ -1,0 +1,45 @@
+// ClassDict — Alg. 1 step 3 of the paper: the bidirectional mapping
+// between global class labels and the compact label space used by the
+// extension block, which is trained on hard classes only.
+#pragma once
+
+#include <vector>
+
+namespace meanet::data {
+
+class ClassDict {
+ public:
+  ClassDict() = default;
+
+  /// Builds the dictionary from the selected hard classes. `hard_classes`
+  /// entries must be distinct and in [0, num_classes).
+  ClassDict(int num_classes, const std::vector<int>& hard_classes);
+
+  int num_classes() const { return num_classes_; }
+  int num_hard() const { return static_cast<int>(hard_to_global_.size()); }
+  int num_easy() const { return num_classes_ - num_hard(); }
+
+  bool is_hard(int global_label) const;
+
+  /// Global -> hard label; -1 for easy classes.
+  int to_hard(int global_label) const;
+
+  /// Hard -> global label.
+  int to_global(int hard_label) const;
+
+  /// Sorted list of hard classes (global labels).
+  const std::vector<int>& hard_classes() const { return hard_to_global_; }
+
+  /// Global labels not in the hard set.
+  std::vector<int> easy_classes() const;
+
+  /// The full global->hard mapping vector (for Dataset::remap_labels).
+  const std::vector<int>& mapping() const { return global_to_hard_; }
+
+ private:
+  int num_classes_ = 0;
+  std::vector<int> global_to_hard_;  // -1 for easy classes
+  std::vector<int> hard_to_global_;
+};
+
+}  // namespace meanet::data

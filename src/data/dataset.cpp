@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace meanet::data {
+
+Shape Dataset::instance_shape() const {
+  const Shape& s = images.shape();
+  return Shape{1, s.channels(), s.height(), s.width()};
+}
+
+Dataset select(const Dataset& source, const std::vector<int>& indices) {
+  const Shape& s = source.images.shape();
+  const int c = s.channels(), h = s.height(), w = s.width();
+  Dataset out;
+  out.num_classes = source.num_classes;
+  out.images = Tensor(Shape{static_cast<int>(indices.size()), c, h, w});
+  out.labels.reserve(indices.size());
+  const std::int64_t stride = static_cast<std::int64_t>(c) * h * w;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    if (idx < 0 || idx >= source.size()) throw std::out_of_range("select: index out of range");
+    const float* src = source.images.data() + idx * stride;
+    float* dst = out.images.data() + static_cast<std::int64_t>(i) * stride;
+    std::copy(src, src + stride, dst);
+    out.labels.push_back(source.labels[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+Dataset filter_by_labels(const Dataset& source, const std::vector<int>& keep) {
+  std::vector<bool> keep_mask(static_cast<std::size_t>(source.num_classes), false);
+  for (int c : keep) {
+    if (c < 0 || c >= source.num_classes) throw std::out_of_range("filter_by_labels: bad class");
+    keep_mask[static_cast<std::size_t>(c)] = true;
+  }
+  std::vector<int> indices;
+  for (int i = 0; i < source.size(); ++i) {
+    if (keep_mask[static_cast<std::size_t>(source.labels[static_cast<std::size_t>(i)])]) {
+      indices.push_back(i);
+    }
+  }
+  return select(source, indices);
+}
+
+Dataset remap_labels(const Dataset& source, const std::vector<int>& mapping, int new_num_classes) {
+  Dataset out = source;
+  out.num_classes = new_num_classes;
+  for (auto& label : out.labels) {
+    if (label < 0 || label >= static_cast<int>(mapping.size())) {
+      throw std::out_of_range("remap_labels: label outside mapping");
+    }
+    const int mapped = mapping[static_cast<std::size_t>(label)];
+    if (mapped < 0 || mapped >= new_num_classes) {
+      throw std::invalid_argument("remap_labels: instance maps to invalid class " +
+                                  std::to_string(mapped));
+    }
+    label = mapped;
+  }
+  return out;
+}
+
+SplitResult split(const Dataset& source, double first_fraction, util::Rng& rng) {
+  if (first_fraction < 0.0 || first_fraction > 1.0) {
+    throw std::invalid_argument("split: fraction must be in [0, 1]");
+  }
+  std::vector<int> indices(static_cast<std::size_t>(source.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.shuffle(indices);
+  const auto cut = static_cast<std::size_t>(first_fraction * static_cast<double>(indices.size()));
+  const std::vector<int> first_idx(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(cut));
+  const std::vector<int> second_idx(indices.begin() + static_cast<std::ptrdiff_t>(cut), indices.end());
+  return SplitResult{select(source, first_idx), select(source, second_idx)};
+}
+
+std::pair<Tensor, std::vector<int>> gather_batch(const Dataset& source,
+                                                 const std::vector<int>& indices) {
+  Dataset batch = select(source, indices);
+  return {std::move(batch.images), std::move(batch.labels)};
+}
+
+}  // namespace meanet::data

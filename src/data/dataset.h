@@ -1,0 +1,52 @@
+// In-memory labelled image dataset plus selection/split helpers.
+//
+// Alg. 1 of the paper filters the training set down to hard-class
+// instances (steps 3 and 5); `filter_by_labels` and `remap_labels`
+// implement exactly that.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace meanet::data {
+
+struct Dataset {
+  /// [N, C, H, W] images.
+  Tensor images;
+  /// N labels in [0, num_classes).
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  int size() const { return static_cast<int>(labels.size()); }
+  Shape instance_shape() const;
+
+  /// Copies instance `index` as a [1, C, H, W] tensor.
+  Tensor instance(int index) const { return images.slice_batch(index); }
+};
+
+/// Copies the rows at `indices` into a new dataset (labels preserved).
+Dataset select(const Dataset& source, const std::vector<int>& indices);
+
+/// Keeps only instances whose label is in `keep` (num_classes preserved).
+Dataset filter_by_labels(const Dataset& source, const std::vector<int>& keep);
+
+/// Replaces each label via `mapping[label]` and sets `num_classes` to
+/// `new_num_classes`; every instance's label must map to >= 0.
+Dataset remap_labels(const Dataset& source, const std::vector<int>& mapping, int new_num_classes);
+
+struct SplitResult {
+  Dataset first;
+  Dataset second;
+};
+
+/// Shuffled split: `first_fraction` of instances into .first, rest into
+/// .second. Used for the paper's 90/10 train/validation split.
+SplitResult split(const Dataset& source, double first_fraction, util::Rng& rng);
+
+/// Gathers a batch of instances at `indices` into ([B,C,H,W], labels).
+std::pair<Tensor, std::vector<int>> gather_batch(const Dataset& source,
+                                                 const std::vector<int>& indices);
+
+}  // namespace meanet::data

@@ -1,0 +1,146 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace meanet::data {
+
+namespace {
+
+/// Smooth prototype: coarse random grid, bilinearly upsampled per channel.
+Tensor make_prototype(const SyntheticSpec& spec, util::Rng& rng) {
+  const int grid = spec.prototype_grid;
+  Tensor coarse = Tensor::normal(Shape{spec.channels, grid, grid}, rng, 0.0f, 1.0f);
+  Tensor proto(Shape{1, spec.channels, spec.height, spec.width});
+  for (int c = 0; c < spec.channels; ++c) {
+    for (int h = 0; h < spec.height; ++h) {
+      // Map pixel centre to coarse-grid coordinates.
+      const float gy = (static_cast<float>(h) + 0.5f) / static_cast<float>(spec.height) *
+                           static_cast<float>(grid) -
+                       0.5f;
+      const int y0 = static_cast<int>(std::floor(gy));
+      const float fy = gy - static_cast<float>(y0);
+      for (int w = 0; w < spec.width; ++w) {
+        const float gx = (static_cast<float>(w) + 0.5f) / static_cast<float>(spec.width) *
+                             static_cast<float>(grid) -
+                         0.5f;
+        const int x0 = static_cast<int>(std::floor(gx));
+        const float fx = gx - static_cast<float>(x0);
+        auto sample = [&](int y, int x) {
+          y = std::min(std::max(y, 0), grid - 1);
+          x = std::min(std::max(x, 0), grid - 1);
+          return coarse[(static_cast<std::int64_t>(c) * grid + y) * grid + x];
+        };
+        const float v = (1 - fy) * ((1 - fx) * sample(y0, x0) + fx * sample(y0, x0 + 1)) +
+                        fy * ((1 - fx) * sample(y0 + 1, x0) + fx * sample(y0 + 1, x0 + 1));
+        proto.at(0, c, h, w) = v;
+      }
+    }
+  }
+  return proto;
+}
+
+Dataset generate_split(const SyntheticSpec& spec, int per_class,
+                       const std::vector<Tensor>& prototypes, const std::vector<float>& difficulty,
+                       const std::vector<int>& confuser, util::Rng& rng) {
+  const int total = spec.num_classes * per_class;
+  Dataset out;
+  out.num_classes = spec.num_classes;
+  out.images = Tensor(Shape{total, spec.channels, spec.height, spec.width});
+  out.labels.resize(static_cast<std::size_t>(total));
+  const std::int64_t stride = static_cast<std::int64_t>(spec.channels) * spec.height * spec.width;
+  int row = 0;
+  for (int c = 0; c < spec.num_classes; ++c) {
+    const Tensor& own = prototypes[static_cast<std::size_t>(c)];
+    const Tensor& other = prototypes[static_cast<std::size_t>(confuser[static_cast<std::size_t>(c)])];
+    for (int i = 0; i < per_class; ++i, ++row) {
+      const float alpha = rng.uniform(0.0f, difficulty[static_cast<std::size_t>(c)]);
+      float* dst = out.images.data() + row * stride;
+      for (std::int64_t j = 0; j < stride; ++j) {
+        dst[j] = (1.0f - alpha) * own[j] + alpha * other[j] +
+                 rng.normal(0.0f, spec.noise_stddev);
+      }
+      out.labels[static_cast<std::size_t>(row)] = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SyntheticDataset make_synthetic(const SyntheticSpec& spec, std::uint64_t seed) {
+  if (spec.num_classes < 2 || spec.num_classes % 2 != 0) {
+    throw std::invalid_argument("make_synthetic: num_classes must be even and >= 2");
+  }
+  if (spec.min_difficulty < 0.0f || spec.max_difficulty > 1.0f ||
+      spec.min_difficulty > spec.max_difficulty) {
+    throw std::invalid_argument("make_synthetic: bad difficulty range");
+  }
+  util::Rng rng(seed);
+
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) prototypes.push_back(make_prototype(spec, rng));
+
+  // Confuser pairing: shuffle classes, pair consecutive entries.
+  std::vector<int> order(static_cast<std::size_t>(spec.num_classes));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<int> confuser(static_cast<std::size_t>(spec.num_classes), 0);
+  for (int i = 0; i < spec.num_classes; i += 2) {
+    confuser[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        order[static_cast<std::size_t>(i + 1)];
+    confuser[static_cast<std::size_t>(order[static_cast<std::size_t>(i + 1)])] =
+        order[static_cast<std::size_t>(i)];
+  }
+
+  // Difficulty ramp over a second shuffled order, so difficulty is not
+  // correlated with label index or pairing.
+  std::vector<int> diff_order(static_cast<std::size_t>(spec.num_classes));
+  std::iota(diff_order.begin(), diff_order.end(), 0);
+  rng.shuffle(diff_order);
+  std::vector<float> difficulty(static_cast<std::size_t>(spec.num_classes), 0.0f);
+  for (int rank = 0; rank < spec.num_classes; ++rank) {
+    const float t = spec.num_classes == 1
+                        ? 0.0f
+                        : static_cast<float>(rank) / static_cast<float>(spec.num_classes - 1);
+    difficulty[static_cast<std::size_t>(diff_order[static_cast<std::size_t>(rank)])] =
+        spec.min_difficulty + t * (spec.max_difficulty - spec.min_difficulty);
+  }
+
+  SyntheticDataset out;
+  out.difficulty = difficulty;
+  out.confuser = confuser;
+  util::Rng train_rng = rng.fork();
+  util::Rng test_rng = rng.fork();
+  out.train = generate_split(spec, spec.train_per_class, prototypes, difficulty, confuser,
+                             train_rng);
+  out.test = generate_split(spec, spec.test_per_class, prototypes, difficulty, confuser, test_rng);
+  return out;
+}
+
+SyntheticSpec cifar_like_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 20;
+  spec.channels = 3;
+  spec.height = 16;
+  spec.width = 16;
+  spec.train_per_class = 100;
+  spec.test_per_class = 25;
+  return spec;
+}
+
+SyntheticSpec imagenet_like_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.channels = 3;
+  spec.height = 24;
+  spec.width = 24;
+  spec.train_per_class = 80;
+  spec.test_per_class = 25;
+  spec.max_difficulty = 0.7f;
+  return spec;
+}
+
+}  // namespace meanet::data

@@ -1,0 +1,61 @@
+// Procedural image-classification dataset with controllable class-wise
+// and instance-wise complexity — the stand-in for CIFAR-100 / ImageNet
+// (DESIGN.md §1 documents the substitution).
+//
+// Generation model:
+//  * every class gets a smooth random prototype image (coarse noise grid,
+//    bilinearly upsampled);
+//  * classes are paired into confuser pairs; class c draws a per-instance
+//    mixing weight alpha ~ U(0, difficulty(c)) and the instance is
+//    (1-alpha) * prototype(c) + alpha * prototype(confuser(c)) + noise;
+//  * difficulty varies linearly across (shuffled) classes, so some
+//    classes are intrinsically hard (low main-block precision -> high
+//    FDR, the paper's class-wise complexity) while high-alpha / noisy
+//    instances are complex (high entropy, the paper's instance-wise
+//    complexity).
+#pragma once
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace meanet::data {
+
+struct SyntheticSpec {
+  int num_classes = 20;
+  int channels = 3;
+  int height = 16;
+  int width = 16;
+  int train_per_class = 100;
+  int test_per_class = 25;
+  /// Easiest class difficulty (max confuser mixing weight).
+  float min_difficulty = 0.05f;
+  /// Hardest class difficulty.
+  float max_difficulty = 0.75f;
+  /// I.i.d. pixel noise stddev added to every instance.
+  float noise_stddev = 0.25f;
+  /// Cells per axis of the coarse prototype grid (smoothness control).
+  int prototype_grid = 4;
+};
+
+struct SyntheticDataset {
+  Dataset train;
+  Dataset test;
+  /// Ground-truth per-class difficulty (for tests; learning code must not
+  /// look at this — hard classes are *discovered* from validation stats).
+  std::vector<float> difficulty;
+  /// Ground-truth confuser pairing.
+  std::vector<int> confuser;
+};
+
+/// Deterministically generates train and test sets from `seed`.
+SyntheticDataset make_synthetic(const SyntheticSpec& spec, std::uint64_t seed);
+
+/// The scaled-down "CIFAR-100-like" configuration used by the benches:
+/// 20 classes of 16x16x3 images.
+SyntheticSpec cifar_like_spec();
+
+/// The scaled-down "ImageNet-like" configuration: fewer, larger images
+/// (24x24x3) so communication cost dominates, as in the paper's Fig. 8.
+SyntheticSpec imagenet_like_spec();
+
+}  // namespace meanet::data

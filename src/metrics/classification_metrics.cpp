@@ -1,0 +1,89 @@
+#include "metrics/classification_metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meanet::metrics {
+
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predictions.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+double accuracy_on_classes(const std::vector<int>& predictions, const std::vector<int>& labels,
+                           const std::vector<int>& classes, int num_classes) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("accuracy_on_classes: size mismatch");
+  }
+  std::vector<bool> keep(static_cast<std::size_t>(num_classes), false);
+  for (int c : classes) {
+    if (c < 0 || c >= num_classes) throw std::out_of_range("accuracy_on_classes: bad class");
+    keep[static_cast<std::size_t>(c)] = true;
+  }
+  std::int64_t correct = 0, total = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!keep[static_cast<std::size_t>(labels[i])]) continue;
+    ++total;
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+ErrorTypeBreakdown error_types(const std::vector<int>& predictions,
+                               const std::vector<int>& labels, const std::vector<bool>& is_hard) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("error_types: size mismatch");
+  }
+  ErrorTypeBreakdown out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i], p = predictions[i];
+    if (y == p) continue;
+    const bool y_hard = is_hard.at(static_cast<std::size_t>(y));
+    const bool p_hard = is_hard.at(static_cast<std::size_t>(p));
+    if (!y_hard && p_hard) {
+      ++out.easy_as_hard;
+    } else if (y_hard && !p_hard) {
+      ++out.hard_as_easy;
+    } else if (!y_hard && !p_hard) {
+      ++out.easy_as_easy;
+    } else {
+      ++out.hard_as_hard;
+    }
+  }
+  return out;
+}
+
+double top_k_accuracy(const Tensor& scores, const std::vector<int>& labels, int k) {
+  if (scores.shape().rank() != 2) {
+    throw std::invalid_argument("top_k_accuracy: expected [batch, classes]");
+  }
+  const int batch = scores.shape().dim(0), classes = scores.shape().dim(1);
+  if (static_cast<int>(labels.size()) != batch) {
+    throw std::invalid_argument("top_k_accuracy: label count mismatch");
+  }
+  if (k <= 0 || k > classes) throw std::invalid_argument("top_k_accuracy: bad k");
+  if (batch == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (int n = 0; n < batch; ++n) {
+    const float* row = scores.data() + static_cast<std::int64_t>(n) * classes;
+    const int y = labels[static_cast<std::size_t>(n)];
+    if (y < 0 || y >= classes) throw std::out_of_range("top_k_accuracy: label out of range");
+    // Count entries strictly greater than the label's score; the label
+    // is in the top k iff fewer than k entries beat it.
+    int beaten_by = 0;
+    for (int c = 0; c < classes; ++c) {
+      if (row[c] > row[y]) ++beaten_by;
+    }
+    if (beaten_by < k) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace meanet::metrics

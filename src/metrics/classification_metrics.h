@@ -1,0 +1,43 @@
+// Scalar classification metrics shared by trainers and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace meanet::metrics {
+
+/// Fraction of positions where predictions[i] == labels[i].
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels);
+
+/// Accuracy restricted to instances whose label is in `classes`.
+double accuracy_on_classes(const std::vector<int>& predictions, const std::vector<int>& labels,
+                           const std::vector<int>& classes, int num_classes);
+
+/// The paper's Fig. 5 taxonomy of main-block errors given an easy/hard
+/// class partition.
+struct ErrorTypeBreakdown {
+  std::int64_t easy_as_hard = 0;    // type I
+  std::int64_t hard_as_easy = 0;    // type II
+  std::int64_t easy_as_easy = 0;    // type III (wrong easy class)
+  std::int64_t hard_as_hard = 0;    // type IV (wrong hard class)
+  std::int64_t total_errors() const {
+    return easy_as_hard + hard_as_easy + easy_as_easy + hard_as_hard;
+  }
+  double fraction(std::int64_t part) const {
+    const std::int64_t t = total_errors();
+    return t == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(t);
+  }
+};
+
+/// Classifies each misprediction into the four types. `is_hard[c]` marks
+/// hard classes.
+ErrorTypeBreakdown error_types(const std::vector<int>& predictions,
+                               const std::vector<int>& labels, const std::vector<bool>& is_hard);
+
+/// Top-k accuracy from a [batch, classes] probability/logit matrix:
+/// fraction of rows whose true label is among the k largest entries.
+double top_k_accuracy(const Tensor& scores, const std::vector<int>& labels, int k);
+
+}  // namespace meanet::metrics

@@ -1,0 +1,85 @@
+#include "metrics/confusion_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace meanet::metrics {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(num_classes), 0) {
+  if (num_classes <= 0) throw std::invalid_argument("ConfusionMatrix: num_classes");
+}
+
+std::int64_t ConfusionMatrix::index(int t, int p) const {
+  if (t < 0 || t >= num_classes_ || p < 0 || p >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix: label out of range");
+  }
+  return static_cast<std::int64_t>(t) * num_classes_ + p;
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  ++counts_[static_cast<std::size_t>(index(true_label, predicted_label))];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  return counts_[static_cast<std::size_t>(index(true_label, predicted_label))];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::int64_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += count(t, cls);
+  if (predicted == 0) return 1.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::int64_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+std::vector<double> ConfusionMatrix::per_class_precision() const {
+  std::vector<double> out(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) out[static_cast<std::size_t>(c)] = precision(c);
+  return out;
+}
+
+std::vector<int> ConfusionMatrix::classes_by_ascending_precision() const {
+  std::vector<int> order(static_cast<std::size_t>(num_classes_));
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<double> prec = per_class_precision();
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return prec[static_cast<std::size_t>(a)] < prec[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"true\\pred"};
+  for (int p = 0; p < num_classes_; ++p) header.push_back(std::to_string(p));
+  header.push_back("prec%");
+  rows.push_back(header);
+  for (int t = 0; t < num_classes_; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (int p = 0; p < num_classes_; ++p) row.push_back(std::to_string(count(t, p)));
+    row.push_back(util::format_double(100.0 * precision(t), 1));
+    rows.push_back(row);
+  }
+  return util::render_table(rows);
+}
+
+}  // namespace meanet::metrics

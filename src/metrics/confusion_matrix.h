@@ -1,0 +1,50 @@
+// Confusion matrix and the per-class precision / FDR statistics the
+// paper uses to define class-wise complexity (Figs. 2 and 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace meanet::metrics {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int true_label, int predicted_label);
+
+  int num_classes() const { return num_classes_; }
+  std::int64_t total() const { return total_; }
+  std::int64_t count(int true_label, int predicted_label) const;
+
+  /// Fraction of all instances on the diagonal.
+  double accuracy() const;
+
+  /// TP / (TP + FP) for predictions of `cls`; 1.0 when the class was
+  /// never predicted (no positives -> no false discoveries).
+  double precision(int cls) const;
+
+  /// TP / (TP + FN) for true instances of `cls`; 0.0 when absent.
+  double recall(int cls) const;
+
+  /// False discovery rate = 1 - precision (the paper's class-wise
+  /// complexity measure, Fig. 3).
+  double false_discovery_rate(int cls) const { return 1.0 - precision(cls); }
+
+  std::vector<double> per_class_precision() const;
+
+  /// Classes sorted by ascending precision (hardest first) — the paper's
+  /// hard-class ranking (Alg. 1 step 2).
+  std::vector<int> classes_by_ascending_precision() const;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t index(int t, int p) const;
+  int num_classes_;
+  std::vector<std::int64_t> counts_;  // row: true, col: predicted
+  std::int64_t total_ = 0;
+};
+
+}  // namespace meanet::metrics

@@ -1,0 +1,39 @@
+// Pointwise activations: ReLU (ResNet) and ReLU6 (MobileNetV2).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerStats stats(const Shape& input) const override;
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+/// min(max(x, 0), 6) — the clipped ReLU used by MobileNetV2.
+class ReLU6 : public Layer {
+ public:
+  explicit ReLU6(std::string name = "relu6") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerStats stats(const Shape& input) const override;
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,45 @@
+// Batch normalization over NCHW activations.
+//
+// Freezing (the paper's fixed main block) pins the layer to its running
+// statistics even when the surrounding model is in train mode, matching
+// the paper's "layers in the main block are set to evaluation mode".
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/parameter.h"
+
+namespace meanet::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f,
+                       std::string name = "bn");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> state() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int channels_;
+  float momentum_, eps_;
+  std::string name_;
+  Parameter gamma_;  // [channels]
+  Parameter beta_;   // [channels]
+  Tensor running_mean_, running_var_;
+
+  // Backward cache.
+  Tensor cached_xhat_;          // normalized activations
+  std::vector<float> inv_std_;  // per channel
+  bool cached_batch_stats_ = false;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,231 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace meanet::nn {
+
+namespace {
+
+Tensor he_normal(Shape shape, int fan_in, util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::normal(std::move(shape), rng, 0.0f, stddev);
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding, bool bias,
+               util::Rng& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      name_(std::move(name)),
+      weight_(name_ + ".weight",
+              he_normal(Shape{out_channels, in_channels * kernel * kernel},
+                        in_channels * kernel * kernel, rng)),
+      bias_(name_ + ".bias", Tensor::zeros(Shape{out_channels})) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || padding < 0) {
+    throw std::invalid_argument("Conv2d: invalid geometry");
+  }
+}
+
+ops::ConvGeometry Conv2d::geometry(const Shape& input) const {
+  if (input.channels() != in_channels_) {
+    throw std::invalid_argument(name_ + ": expected " + std::to_string(in_channels_) +
+                                " input channels, got " + input.to_string());
+  }
+  ops::ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_height = input.height();
+  g.in_width = input.width();
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.padding = padding_;
+  return g;
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  const ops::ConvGeometry g = geometry(input);
+  return Shape{input.batch(), out_channels_, g.out_height(), g.out_width()};
+}
+
+Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
+  const ops::ConvGeometry g = geometry(input.shape());
+  const int batch = input.shape().batch();
+  const int out_h = g.out_height(), out_w = g.out_width();
+  const int out_hw = out_h * out_w;
+  const int patch = g.patch_size();
+  Tensor output(Shape{batch, out_channels_, out_h, out_w});
+  std::vector<float> columns(static_cast<std::size_t>(patch) * out_hw);
+  const std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * g.in_height * g.in_width;
+  const std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_hw;
+  for (int n = 0; n < batch; ++n) {
+    ops::im2col(input.data() + n * in_stride, g, columns.data());
+    // output[n] = W [out_c, patch] * columns [patch, out_hw]
+    ops::gemm(false, false, out_channels_, out_hw, patch, 1.0f, weight_.value.data(), patch,
+              columns.data(), out_hw, 0.0f, output.data() + n * out_stride, out_hw);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        float* dst = output.data() + n * out_stride + static_cast<std::int64_t>(oc) * out_hw;
+        const float b = bias_.value[oc];
+        for (int i = 0; i < out_hw; ++i) dst[i] += b;
+      }
+    }
+  }
+  cached_input_ = input;
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward");
+  const ops::ConvGeometry g = geometry(cached_input_.shape());
+  const int batch = cached_input_.shape().batch();
+  const int out_hw = g.out_height() * g.out_width();
+  const int patch = g.patch_size();
+  const std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * g.in_height * g.in_width;
+  const std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_hw;
+
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> columns(static_cast<std::size_t>(patch) * out_hw);
+  std::vector<float> grad_columns(static_cast<std::size_t>(patch) * out_hw);
+
+  for (int n = 0; n < batch; ++n) {
+    const float* gout = grad_output.data() + n * out_stride;
+    if (!frozen_) {
+      // dW += gout [out_c, out_hw] * columns^T [out_hw, patch]
+      ops::im2col(cached_input_.data() + n * in_stride, g, columns.data());
+      ops::gemm(false, true, out_channels_, patch, out_hw, 1.0f, gout, out_hw, columns.data(),
+                out_hw, 1.0f, weight_.grad.data(), patch);
+      if (has_bias_) {
+        for (int oc = 0; oc < out_channels_; ++oc) {
+          const float* go = gout + static_cast<std::int64_t>(oc) * out_hw;
+          float acc = 0.0f;
+          for (int i = 0; i < out_hw; ++i) acc += go[i];
+          bias_.grad[oc] += acc;
+        }
+      }
+    }
+    // grad_columns = W^T [patch, out_c] * gout [out_c, out_hw]
+    ops::gemm(true, false, patch, out_hw, out_channels_, 1.0f, weight_.value.data(), patch, gout,
+              out_hw, 0.0f, grad_columns.data(), out_hw);
+    ops::col2im(grad_columns.data(), g, grad_input.data() + n * in_stride);
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+LayerStats Conv2d::stats(const Shape& input) const {
+  const ops::ConvGeometry g = geometry(input);
+  LayerStats s;
+  s.params = weight_.numel() + (has_bias_ ? bias_.numel() : 0);
+  s.macs = static_cast<std::int64_t>(out_channels_) * g.patch_size() * g.out_height() *
+           g.out_width();
+  s.activation_elems =
+      static_cast<std::int64_t>(in_channels_) * g.in_height * g.in_width;  // cached input
+  return s;
+}
+
+DepthwiseConv2d::DepthwiseConv2d(int channels, int kernel, int stride, int padding, util::Rng& rng,
+                                 std::string name)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", he_normal(Shape{channels, kernel * kernel}, kernel * kernel, rng)) {
+  if (channels <= 0 || kernel <= 0 || stride <= 0 || padding < 0) {
+    throw std::invalid_argument("DepthwiseConv2d: invalid geometry");
+  }
+}
+
+Shape DepthwiseConv2d::output_shape(const Shape& input) const {
+  if (input.channels() != channels_) {
+    throw std::invalid_argument(name_ + ": channel mismatch, got " + input.to_string());
+  }
+  const int out_h = (input.height() + 2 * padding_ - kernel_) / stride_ + 1;
+  const int out_w = (input.width() + 2 * padding_ - kernel_) / stride_ + 1;
+  return Shape{input.batch(), channels_, out_h, out_w};
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, Mode /*mode*/) {
+  const Shape out_shape = output_shape(input.shape());
+  const int batch = input.shape().batch();
+  const int in_h = input.shape().height(), in_w = input.shape().width();
+  const int out_h = out_shape.height(), out_w = out_shape.width();
+  Tensor output(out_shape);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* filt = weight_.value.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          float acc = 0.0f;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = oh * stride_ - padding_ + kh;
+            if (ih < 0 || ih >= in_h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = ow * stride_ - padding_ + kw;
+              if (iw < 0 || iw >= in_w) continue;
+              acc += filt[kh * kernel_ + kw] * input.at(n, c, ih, iw);
+            }
+          }
+          output.at(n, c, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  cached_input_ = input;
+  return output;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward");
+  const Shape& in_shape = cached_input_.shape();
+  const int batch = in_shape.batch();
+  const int in_h = in_shape.height(), in_w = in_shape.width();
+  const int out_h = grad_output.shape().height(), out_w = grad_output.shape().width();
+  Tensor grad_input(in_shape);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* filt = weight_.value.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+      float* gfilt = weight_.grad.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          const float go = grad_output.at(n, c, oh, ow);
+          if (go == 0.0f) continue;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int ih = oh * stride_ - padding_ + kh;
+            if (ih < 0 || ih >= in_h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int iw = ow * stride_ - padding_ + kw;
+              if (iw < 0 || iw >= in_w) continue;
+              if (!frozen_) gfilt[kh * kernel_ + kw] += go * cached_input_.at(n, c, ih, iw);
+              grad_input.at(n, c, ih, iw) += go * filt[kh * kernel_ + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> DepthwiseConv2d::parameters() { return {&weight_}; }
+
+LayerStats DepthwiseConv2d::stats(const Shape& input) const {
+  const Shape out = output_shape(input);
+  LayerStats s;
+  s.params = weight_.numel();
+  s.macs = static_cast<std::int64_t>(channels_) * kernel_ * kernel_ * out.height() * out.width();
+  s.activation_elems = static_cast<std::int64_t>(input.channels()) * input.height() * input.width();
+  return s;
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,70 @@
+// 2-D convolutions: standard (im2col + GEMM) and depthwise.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/parameter.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+/// Standard NCHW convolution with square kernels.
+class Conv2d : public Layer {
+ public:
+  /// He-normal weight init; bias optional (ResNet-style convs followed by
+  /// BatchNorm typically disable it).
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding, bool bias,
+         util::Rng& rng, std::string name = "conv");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int padding() const { return padding_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  ops::ConvGeometry geometry(const Shape& input) const;
+
+  int in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  Tensor cached_input_;
+};
+
+/// Depthwise convolution (one filter per channel), the core of the
+/// MobileNetV2-style inverted-residual blocks.
+class DepthwiseConv2d : public Layer {
+ public:
+  DepthwiseConv2d(int channels, int kernel, int stride, int padding, util::Rng& rng,
+                  std::string name = "dwconv");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+  Parameter& weight() { return weight_; }
+
+ private:
+  int channels_, kernel_, stride_, padding_;
+  std::string name_;
+  Parameter weight_;  // [channels, k, k] stored flat as [channels, k*k]
+  Tensor cached_input_;
+};
+
+}  // namespace meanet::nn

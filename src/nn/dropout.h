@@ -1,0 +1,30 @@
+// Inverted dropout: active only in train mode; eval is the identity.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `probability` is the drop probability in [0, 1).
+  Dropout(float probability, util::Rng& rng, std::string name = "dropout");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerStats stats(const Shape& input) const override;
+
+  float probability() const { return probability_; }
+
+ private:
+  float probability_;
+  util::Rng* rng_;
+  std::string name_;
+  Tensor mask_;  // scaled keep-mask from the last train-mode forward
+  bool last_was_train_ = false;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,22 @@
+#include "nn/flatten.h"
+
+#include <stdexcept>
+
+namespace meanet::nn {
+
+Shape Flatten::output_shape(const Shape& input) const {
+  if (input.rank() < 2) throw std::invalid_argument(name_ + ": rank must be >= 2");
+  return Shape{input.dim(0), static_cast<int>(input.numel() / input.dim(0))};
+}
+
+Tensor Flatten::forward(const Tensor& input, Mode /*mode*/) {
+  cached_input_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() == 0) throw std::logic_error(name_ + ": backward before forward");
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+}  // namespace meanet::nn

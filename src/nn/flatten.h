@@ -1,0 +1,23 @@
+// Flattens NCHW activations to [batch, features] for FC heads.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& /*input*/) const override { return {}; }
+
+ private:
+  std::string name_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace meanet::nn

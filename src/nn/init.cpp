@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace meanet::nn {
+
+Tensor he_normal_init(Shape shape, int fan_in, util::Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("he_normal_init: fan_in must be positive");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::normal(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor xavier_uniform_init(Shape shape, int fan_in, int fan_out, util::Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform_init: fans must be positive");
+  }
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(std::move(shape), rng, -limit, limit);
+}
+
+}  // namespace meanet::nn

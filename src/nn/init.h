@@ -1,0 +1,16 @@
+// Weight initialization helpers (He / Xavier), exposed for tests and
+// for re-initializing parameters of existing models.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+/// He (Kaiming) normal: N(0, sqrt(2 / fan_in)).
+Tensor he_normal_init(Shape shape, int fan_in, util::Rng& rng);
+
+/// Xavier (Glorot) uniform: U(-a, a) with a = sqrt(6 / (fan_in+fan_out)).
+Tensor xavier_uniform_init(Shape shape, int fan_in, int fan_out, util::Rng& rng);
+
+}  // namespace meanet::nn

@@ -1,0 +1,49 @@
+// MobileNetV2 inverted residual block:
+//   1x1 expand Conv+BN+ReLU6 -> 3x3 depthwise Conv+BN+ReLU6
+//   -> 1x1 project Conv+BN (linear bottleneck), with a residual skip
+//   when stride == 1 and in_channels == out_channels.
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+class InvertedResidual : public Layer {
+ public:
+  InvertedResidual(int in_channels, int out_channels, int stride, int expansion, util::Rng& rng,
+                   std::string name = "invres");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> state() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+  void set_frozen(bool frozen) override;
+
+  bool has_skip() const { return use_skip_; }
+
+ private:
+  std::vector<Layer*> main_layers();
+  std::vector<const Layer*> main_layers() const;
+
+  std::string name_;
+  bool use_skip_;
+  std::unique_ptr<Conv2d> expand_conv_;  // null when expansion == 1
+  std::unique_ptr<BatchNorm2d> expand_bn_;
+  std::unique_ptr<ReLU6> expand_relu_;
+  DepthwiseConv2d dw_conv_;
+  BatchNorm2d dw_bn_;
+  ReLU6 dw_relu_;
+  Conv2d project_conv_;
+  BatchNorm2d project_bn_;
+};
+
+}  // namespace meanet::nn

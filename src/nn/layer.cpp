@@ -1,0 +1,21 @@
+#include "nn/layer.h"
+
+#include "nn/parameter.h"
+
+namespace meanet::nn {
+
+void Layer::set_frozen(bool frozen) {
+  frozen_ = frozen;
+  for (Parameter* p : parameters()) p->trainable = !frozen;
+}
+
+std::int64_t count_parameters(const std::vector<Parameter*>& params, bool trainable_only) {
+  std::int64_t total = 0;
+  for (const Parameter* p : params) {
+    if (trainable_only && !p->trainable) continue;
+    total += p->numel();
+  }
+  return total;
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,87 @@
+// Layer interface for manual backpropagation.
+//
+// Layers own their parameters and cache whatever activations their
+// backward pass needs. The contract is strict call pairing:
+//   y = layer.forward(x, mode);      // caches
+//   dx = layer.backward(dy);         // consumes the cache
+// Freezing a layer (paper Alg. 1 step 6, "fix the main block") marks its
+// parameters non-trainable and pins BatchNorm to running statistics,
+// matching the paper's "set main block to evaluation mode" detail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace meanet::nn {
+
+struct Parameter;
+
+enum class Mode {
+  kTrain,
+  kEval,
+};
+
+/// A named non-trainable state tensor (e.g. BatchNorm running statistics),
+/// included in serialization alongside parameters.
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+/// Per-layer resource statistics used for Table VI (params / multiply-adds)
+/// and Fig. 6 (training memory).
+struct LayerStats {
+  std::int64_t params = 0;
+  /// Multiply-accumulate count for a single instance forward pass.
+  std::int64_t macs = 0;
+  /// Elements of activation state cached for backward, per instance.
+  std::int64_t activation_elems = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output; `mode` selects train/eval behaviour
+  /// (BatchNorm statistics). Caches state for a following backward().
+  virtual Tensor forward(const Tensor& input, Mode mode) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients (unless frozen)
+  /// and returns dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Owned parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Owned non-trainable state (e.g. BatchNorm running statistics);
+  /// serialized together with the parameters so a model "downloaded to
+  /// the edge" (paper Alg. 1 step 4) is bit-identical.
+  virtual std::vector<NamedTensor> state() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Shape produced for a given input shape (no forward executed).
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Params / MACs / activation-cache size for one instance of `input`.
+  virtual LayerStats stats(const Shape& input) const = 0;
+
+  /// Freezes or unfreezes all parameters; see file comment.
+  virtual void set_frozen(bool frozen);
+
+  bool frozen() const { return frozen_; }
+
+ protected:
+  bool frozen_ = false;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Total parameter count across `layers`, optionally only trainable ones.
+std::int64_t count_parameters(const std::vector<Parameter*>& params, bool trainable_only = false);
+
+}  // namespace meanet::nn

@@ -1,0 +1,35 @@
+// Fully-connected layer; used as the per-exit classifier heads.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+class Linear : public Layer {
+ public:
+  /// Xavier-uniform init. Input must be rank-2 [batch, in_features].
+  Linear(int in_features, int out_features, util::Rng& rng, std::string name = "fc");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_features_, out_features_;
+  std::string name_;
+  Parameter weight_;  // [out_features, in_features]
+  Parameter bias_;    // [out_features]
+  Tensor cached_input_;
+};
+
+}  // namespace meanet::nn

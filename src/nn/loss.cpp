@@ -1,0 +1,41 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace meanet::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy expects [batch, classes]");
+  }
+  const int batch = logits.shape().dim(0), classes = logits.shape().dim(1);
+  if (static_cast<int>(labels.size()) != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  const Tensor log_probs = ops::log_softmax(logits);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  result.predictions = ops::row_argmax(logits);
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const int y = labels[static_cast<std::size_t>(n)];
+    if (y < 0 || y >= classes) {
+      throw std::out_of_range("softmax_cross_entropy: label " + std::to_string(y) +
+                              " out of range for " + std::to_string(classes) + " classes");
+    }
+    const float* lp = log_probs.data() + static_cast<std::int64_t>(n) * classes;
+    float* g = result.grad.data() + static_cast<std::int64_t>(n) * classes;
+    total -= lp[y];
+    for (int c = 0; c < classes; ++c) {
+      g[c] = (std::exp(lp[c]) - (c == y ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(total / batch);
+  return result;
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss (the paper's training objective, Alg. 1
+// step 8).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace meanet::nn {
+
+struct LossResult {
+  /// Mean negative log-likelihood over the batch.
+  float loss = 0.0f;
+  /// dL/d(logits), already divided by batch size.
+  Tensor grad;
+  /// Per-instance argmax predictions (convenience for accuracy tracking).
+  std::vector<int> predictions;
+};
+
+/// logits: [batch, classes]; labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace meanet::nn

@@ -1,0 +1,19 @@
+#include "nn/lr_schedule.h"
+
+#include <algorithm>
+
+namespace meanet::nn {
+
+MultiStepLR::MultiStepLR(SGD& optimizer, std::vector<int> milestones, float gamma)
+    : optimizer_(optimizer), milestones_(std::move(milestones)), gamma_(gamma) {
+  std::sort(milestones_.begin(), milestones_.end());
+}
+
+void MultiStepLR::step() {
+  ++epoch_;
+  if (std::binary_search(milestones_.begin(), milestones_.end(), epoch_)) {
+    optimizer_.set_learning_rate(optimizer_.learning_rate() * gamma_);
+  }
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,29 @@
+// Multi-step learning-rate decay: lr *= gamma at each milestone epoch
+// (the paper decays at epochs 60/120/160 for CIFAR and 30/100 for
+// ImageNet).
+#pragma once
+
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace meanet::nn {
+
+class MultiStepLR {
+ public:
+  MultiStepLR(SGD& optimizer, std::vector<int> milestones, float gamma = 0.1f);
+
+  /// Call once per epoch *after* training that epoch; applies the decay
+  /// when the finished epoch index (0-based) + 1 hits a milestone.
+  void step();
+
+  int epoch() const { return epoch_; }
+
+ private:
+  SGD& optimizer_;
+  std::vector<int> milestones_;
+  float gamma_;
+  int epoch_ = 0;
+};
+
+}  // namespace meanet::nn

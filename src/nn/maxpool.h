@@ -1,0 +1,26 @@
+// Max pooling (non-overlapping windows), used by ImageNet-style stems.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int kernel, std::string name = "maxpool");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+ private:
+  int kernel_;
+  std::string name_;
+  Shape cached_input_shape_;
+  /// Flat input index of the max element for each output element.
+  std::vector<std::int64_t> argmax_;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,44 @@
+#include "nn/model_stats.h"
+
+#include <cstdio>
+
+namespace meanet::nn {
+
+ModelStats& ModelStats::operator+=(const ModelStats& other) {
+  fixed_params += other.fixed_params;
+  trained_params += other.trained_params;
+  fixed_macs += other.fixed_macs;
+  trained_macs += other.trained_macs;
+  return *this;
+}
+
+ModelStats collect_stats(const Layer& layer, const Shape& input_per_instance) {
+  const LayerStats ls = layer.stats(input_per_instance);
+  ModelStats out;
+  if (layer.frozen()) {
+    out.fixed_params = ls.params;
+    out.fixed_macs = ls.macs;
+  } else {
+    out.trained_params = ls.params;
+    out.trained_macs = ls.macs;
+  }
+  return out;
+}
+
+ModelStats collect_stats(const std::vector<const Layer*>& layers, Shape input_per_instance) {
+  ModelStats total;
+  Shape s = std::move(input_per_instance);
+  for (const Layer* layer : layers) {
+    total += collect_stats(*layer, s);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+std::string format_millions(std::int64_t count) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", static_cast<double>(count) / 1e6);
+  return std::string(buffer);
+}
+
+}  // namespace meanet::nn

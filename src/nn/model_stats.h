@@ -1,0 +1,39 @@
+// Parameter / multiply-add accounting, split by fixed vs trained —
+// the C++ counterpart of the paper's ptflops usage (Table VI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+/// Aggregated counts over a set of (layer, input-shape) pairs.
+struct ModelStats {
+  std::int64_t fixed_params = 0;
+  std::int64_t trained_params = 0;
+  /// Per-instance forward multiply-adds attributable to fixed layers.
+  std::int64_t fixed_macs = 0;
+  /// Per-instance forward multiply-adds attributable to trained layers.
+  std::int64_t trained_macs = 0;
+
+  std::int64_t total_params() const { return fixed_params + trained_params; }
+  std::int64_t total_macs() const { return fixed_macs + trained_macs; }
+
+  ModelStats& operator+=(const ModelStats& other);
+};
+
+/// Counts one layer (recursing through composites via Layer::stats) and
+/// attributes it to the fixed or trained bucket by its frozen() flag.
+ModelStats collect_stats(const Layer& layer, const Shape& input_per_instance);
+
+/// Sums stats over a pipeline of layers applied in sequence, threading
+/// the shape through. `input_per_instance` has batch dim 1.
+ModelStats collect_stats(const std::vector<const Layer*>& layers, Shape input_per_instance);
+
+/// Formats a count in millions with two decimals, e.g. "0.37".
+std::string format_millions(std::int64_t count);
+
+}  // namespace meanet::nn

@@ -1,0 +1,36 @@
+#include "nn/optimizer.h"
+
+#include <stdexcept>
+
+namespace meanet::nn {
+
+SGD::SGD(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("SGD: null parameter");
+    velocity_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (!p.trainable) continue;
+    Tensor& v = velocity_[i];
+    const float lr = options_.learning_rate;
+    const float mu = options_.momentum;
+    const float wd = options_.weight_decay;
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      v[j] = mu * v[j] + g;
+      p.value[j] -= lr * v[j];
+    }
+  }
+}
+
+void SGD::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,38 @@
+// SGD with momentum and weight decay — the paper trains all models with
+// SGD and a multi-step learning-rate decay (Sec. IV-A).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace meanet::nn {
+
+struct SgdOptions {
+  float learning_rate = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+};
+
+class SGD {
+ public:
+  SGD(std::vector<Parameter*> params, SgdOptions options);
+
+  /// Applies one update to every trainable parameter, then the caller
+  /// typically calls zero_grad().
+  void step();
+
+  /// Clears gradient accumulators of all managed parameters.
+  void zero_grad();
+
+  float learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // parallel to params_
+};
+
+}  // namespace meanet::nn

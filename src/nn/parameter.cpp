@@ -1,0 +1,3 @@
+#include "nn/parameter.h"
+
+namespace meanet::nn {}

@@ -1,0 +1,27 @@
+// Trainable parameter: a value tensor plus its gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace meanet::nn {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name, Tensor value)
+      : name(std::move(name)), value(std::move(value)), grad(this->value.shape(), 0.0f) {}
+
+  /// Human-readable identifier, e.g. "conv1.weight".
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// False for frozen parameters (the paper's fixed main block): the
+  /// optimizer skips them and layers skip computing their gradients.
+  bool trainable = true;
+
+  std::int64_t numel() const { return value.numel(); }
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,42 @@
+// Pooling layers. The CNNs in the paper end with global average pooling
+// before the fully-connected exit.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+/// [N, C, H, W] -> [N, C]: mean over the spatial dimensions.
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "avgpool") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+ private:
+  std::string name_;
+  Shape cached_input_shape_;
+};
+
+/// Windowed average pooling with stride = kernel (non-overlapping).
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(int kernel, std::string name = "avgpool2d");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+
+ private:
+  int kernel_;
+  std::string name_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,31 @@
+// Post-training weight quantization (fake-quantization) for the edge
+// deployment — the hybrid low-precision-edge / full-precision-cloud
+// configuration the paper cites as complementary ([7], [43]).
+//
+// Symmetric uniform quantization per parameter tensor:
+//   scale = max|w| / (2^(bits-1) - 1),  w_q = round(w / scale) * scale.
+// Weights are modified in place; inference then runs on the quantized
+// values (the arithmetic itself stays float, as in standard
+// fake-quantization evaluation).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+struct QuantizationReport {
+  int bits = 0;
+  std::int64_t quantized_params = 0;
+  /// Largest absolute weight change introduced by quantization.
+  float max_abs_error = 0.0f;
+  /// Mean absolute weight change.
+  float mean_abs_error = 0.0f;
+};
+
+/// Quantizes every parameter of `layer` (recursing through composites)
+/// to `bits` bits. `bits` must be in [2, 16].
+QuantizationReport quantize_weights(Layer& layer, int bits);
+
+}  // namespace meanet::nn

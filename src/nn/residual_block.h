@@ -1,0 +1,43 @@
+// Basic residual block (ResNet v1 style):
+//   out = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+// with a 1x1 Conv+BN shortcut when the shape changes.
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int in_channels, int out_channels, int stride, util::Rng& rng,
+                std::string name = "resblock");
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> state() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+  void set_frozen(bool frozen) override;
+
+  bool has_projection() const { return static_cast<bool>(shortcut_conv_); }
+
+ private:
+  std::string name_;
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  std::unique_ptr<Conv2d> shortcut_conv_;  // null => identity shortcut
+  std::unique_ptr<BatchNorm2d> shortcut_bn_;
+  Tensor cached_pre_relu_;  // main + shortcut, before the final ReLU
+  Tensor relu1_out_;        // output of the inner ReLU (backward mask)
+};
+
+}  // namespace meanet::nn

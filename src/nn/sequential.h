@@ -1,0 +1,48 @@
+// Ordered container of layers with chained forward/backward.
+//
+// MEANet's main, adaptive and extension blocks are each a Sequential;
+// the MEANet class wires them together (sum/concat fusion, two exits).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "sequential") : name_(std::move(name)) {}
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedTensor> state() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  LayerStats stats(const Shape& input) const override;
+  void set_frozen(bool frozen) override;
+
+  int size() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int index) { return *layers_.at(static_cast<std::size_t>(index)); }
+  const Layer& layer(int index) const { return *layers_.at(static_cast<std::size_t>(index)); }
+
+  /// Per-layer stats for a given input shape (used by ModelStats).
+  std::vector<LayerStats> layer_stats(const Shape& input) const;
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace meanet::nn

@@ -1,0 +1,116 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "nn/parameter.h"
+
+namespace meanet::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'E', 'A', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+/// All serializable tensors of a layer, keyed by unique name.
+std::map<std::string, Tensor*> named_tensors(Layer& layer) {
+  std::map<std::string, Tensor*> out;
+  auto insert = [&out](const std::string& name, Tensor* tensor) {
+    if (!out.emplace(name, tensor).second) {
+      throw std::logic_error("serialize: duplicate tensor name '" + name + "'");
+    }
+  };
+  for (Parameter* p : layer.parameters()) insert(p->name, &p->value);
+  for (const NamedTensor& s : layer.state()) insert(s.name, s.tensor);
+  return out;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("serialize: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_model(Layer& layer, const std::string& path) {
+  const auto tensors = named_tensors(layer);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_model: cannot open '" + path + "'");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& dims = tensor->shape().dims();
+    write_pod(os, static_cast<std::uint32_t>(dims.size()));
+    for (int d : dims) write_pod(os, static_cast<std::int32_t>(d));
+    os.write(reinterpret_cast<const char*>(tensor->data()),
+             static_cast<std::streamsize>(sizeof(float) * static_cast<std::size_t>(tensor->numel())));
+  }
+  if (!os) throw std::runtime_error("save_model: write failed for '" + path + "'");
+}
+
+void load_model(Layer& layer, const std::string& path) {
+  auto tensors = named_tensors(layer);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_model: cannot open '" + path + "'");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_model: bad magic in '" + path + "'");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("load_model: unsupported version " + std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != tensors.size()) {
+    throw std::runtime_error("load_model: file has " + std::to_string(count) +
+                             " tensors, model expects " + std::to_string(tensors.size()));
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    std::vector<int> dims(rank);
+    for (auto& d : dims) d = read_pod<std::int32_t>(is);
+    const auto it = tensors.find(name);
+    if (it == tensors.end()) {
+      throw std::runtime_error("load_model: unknown tensor '" + name + "'");
+    }
+    Tensor* dst = it->second;
+    if (Shape(dims) != dst->shape()) {
+      throw std::runtime_error("load_model: shape mismatch for '" + name + "': file " +
+                               Shape(dims).to_string() + " vs model " +
+                               dst->shape().to_string());
+    }
+    is.read(reinterpret_cast<char*>(dst->data()),
+            static_cast<std::streamsize>(sizeof(float) * static_cast<std::size_t>(dst->numel())));
+    if (!is) throw std::runtime_error("load_model: truncated data for '" + name + "'");
+  }
+}
+
+std::int64_t serialized_size(Layer& layer) {
+  std::int64_t bytes = 4 + 4 + 8;  // magic + version + count
+  for (const auto& [name, tensor] : named_tensors(layer)) {
+    bytes += 4 + static_cast<std::int64_t>(name.size());
+    bytes += 4 + 4 * tensor->shape().rank();
+    bytes += 4 * tensor->numel();
+  }
+  return bytes;
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,33 @@
+// Binary model serialization — the mechanism behind the paper's
+// "download the main block (and ClassDict) to the edge" (Alg. 1 step 4).
+//
+// Format (little-endian):
+//   magic "MEAN" | version u32 | entry count u64 |
+//   per entry: name length u32 | name bytes | rank u32 | dims i32[] |
+//              float32 data
+// Entries are the layer's parameters plus its state() tensors (BatchNorm
+// running statistics), so a loaded model reproduces the exact inference
+// behaviour of the saved one. Loading matches entries by name and
+// validates shapes; unknown or missing names are errors.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+/// Serializes parameters + state of `layer` (recursing through
+/// composites) to `path`. Throws std::runtime_error on I/O failure.
+void save_model(Layer& layer, const std::string& path);
+
+/// Loads a file written by save_model into `layer`. Every entry in the
+/// file must match a tensor in the layer by name and shape, and every
+/// tensor in the layer must be present in the file.
+void load_model(Layer& layer, const std::string& path);
+
+/// Byte size the serialized form of `layer` will occupy (useful to price
+/// the model-download communication cost).
+std::int64_t serialized_size(Layer& layer);
+
+}  // namespace meanet::nn

@@ -1,0 +1,25 @@
+#include "nn/training_memory.h"
+
+#include <stdexcept>
+
+namespace meanet::nn {
+
+MemoryBreakdown estimate_training_memory(const std::vector<MemorySegment>& segments,
+                                         int batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("estimate_training_memory: batch_size");
+  constexpr std::int64_t kFloatBytes = 4;
+  MemoryBreakdown out;
+  for (const MemorySegment& seg : segments) {
+    if (seg.layer == nullptr) throw std::invalid_argument("estimate_training_memory: null layer");
+    const LayerStats stats = seg.layer->stats(seg.input_shape);
+    out.parameter_bytes += kFloatBytes * stats.params;
+    if (seg.trained) {
+      out.gradient_bytes += kFloatBytes * stats.params;
+      out.momentum_bytes += kFloatBytes * stats.params;
+      out.activation_bytes += kFloatBytes * stats.activation_elems * batch_size;
+    }
+  }
+  return out;
+}
+
+}  // namespace meanet::nn

@@ -1,0 +1,50 @@
+// Analytic training-memory accounting — the substitute for the paper's
+// GPU memory monitor (Fig. 6). See DESIGN.md §1.
+//
+// Training memory for a batch is modelled as:
+//   parameters            : 4 bytes * all params          (always resident)
+//   gradients             : 4 bytes * trainable params
+//   optimizer momentum    : 4 bytes * trainable params
+//   activation caches     : 4 bytes * batch * activation elements of
+//                           layers that participate in backprop
+// Blockwise optimization (the paper's approach) freezes the main block,
+// so its gradients, momentum and activation caches disappear; joint
+// optimization keeps everything. This reproduces the structural claim of
+// Fig. 6 (60% less for ResNets, 30% less for MobileNets in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace meanet::nn {
+
+struct MemoryBreakdown {
+  std::int64_t parameter_bytes = 0;
+  std::int64_t gradient_bytes = 0;
+  std::int64_t momentum_bytes = 0;
+  std::int64_t activation_bytes = 0;
+
+  std::int64_t total() const {
+    return parameter_bytes + gradient_bytes + momentum_bytes + activation_bytes;
+  }
+  double total_mib() const { return static_cast<double>(total()) / (1024.0 * 1024.0); }
+};
+
+/// One segment of a model: a layer pipeline plus whether it is trained.
+struct MemorySegment {
+  const Layer* layer = nullptr;
+  /// Per-instance input shape fed to this segment.
+  Shape input_shape;
+  /// True if this segment's parameters receive gradients.
+  bool trained = true;
+};
+
+/// Computes the breakdown for a batch of `batch_size` instances.
+/// Frozen segments contribute parameter bytes only (forward pass reuses
+/// transient buffers that are not proportional to depth).
+MemoryBreakdown estimate_training_memory(const std::vector<MemorySegment>& segments,
+                                         int batch_size);
+
+}  // namespace meanet::nn

@@ -1,0 +1,13 @@
+#include "sim/cloud_node.h"
+
+#include "tensor/ops.h"
+
+namespace meanet::sim {
+
+std::vector<int> CloudNode::classify(const Tensor& images) {
+  const Tensor logits = model_.forward(images, nn::Mode::kEval);
+  served_ += images.shape().batch();
+  return ops::row_argmax(logits);
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,31 @@
+// Cloud side of the distributed system: a deeper classifier that
+// receives raw images (the paper's preferred mode, §III-C) and returns
+// predictions.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace meanet::sim {
+
+class CloudNode {
+ public:
+  explicit CloudNode(nn::Sequential model) : model_(std::move(model)) {}
+
+  /// Classifies a batch of raw images.
+  std::vector<int> classify(const Tensor& images);
+
+  nn::Sequential& model() { return model_; }
+  const nn::Sequential& model() const { return model_; }
+
+  /// Number of classify() instances served so far.
+  std::int64_t instances_served() const { return served_; }
+
+ private:
+  nn::Sequential model_;
+  std::int64_t served_ = 0;
+};
+
+}  // namespace meanet::sim

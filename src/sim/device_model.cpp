@@ -1,0 +1,29 @@
+#include "sim/device_model.h"
+
+#include <stdexcept>
+
+namespace meanet::sim {
+
+double DeviceModel::compute_time_s(std::int64_t macs) const {
+  if (macs < 0) throw std::invalid_argument("compute_time_s: negative MACs");
+  if (macs_per_second <= 0.0) throw std::logic_error("DeviceModel: non-positive throughput");
+  return static_cast<double>(macs) / macs_per_second;
+}
+
+DeviceModel DeviceModel::paper_cifar_gpu() {
+  // 56 W GPU, 0.056 ms per image for a 69 MMAC ResNet32 => ~1.23 TMAC/s.
+  DeviceModel m;
+  m.compute_power_w = 56.0;
+  m.macs_per_second = 69e6 / 0.056e-3;
+  return m;
+}
+
+DeviceModel DeviceModel::paper_imagenet_gpu() {
+  // 75 W GPU, 0.203 ms per image for a ~1.8 GMAC ResNet18.
+  DeviceModel m;
+  m.compute_power_w = 75.0;
+  m.macs_per_second = 1.8e9 / 0.203e-3;
+  return m;
+}
+
+}  // namespace meanet::sim

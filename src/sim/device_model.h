@@ -1,0 +1,34 @@
+// Edge compute device model (the substitute for the paper's GPU power
+// measurements, Table VII): per-image latency is derived from the
+// model's counted multiply-adds and a device throughput; energy is
+// power * time. The paper's published constants (56 W / 75 W at the
+// edge, 0.056 ms / 0.203 ms per image) are provided as presets so the
+// Table VII bench can reproduce the published rows exactly while the
+// synthetic-model benches derive latency from their own MAC counts.
+#pragma once
+
+#include <cstdint>
+
+namespace meanet::sim {
+
+struct DeviceModel {
+  /// Average board power while computing, watts.
+  double compute_power_w = 56.0;
+  /// Sustained multiply-add throughput, MACs per second.
+  double macs_per_second = 5.0e9;
+
+  /// Seconds to run a model with `macs` multiply-adds on one image.
+  double compute_time_s(std::int64_t macs) const;
+
+  /// Joules for one image of `macs` multiply-adds.
+  double compute_energy_j(std::int64_t macs) const {
+    return compute_power_w * compute_time_s(macs);
+  }
+
+  /// The paper's CIFAR-100 / ResNet32-A edge device row (Table VII).
+  static DeviceModel paper_cifar_gpu();
+  /// The paper's ImageNet / ResNet18-B edge device row (Table VII).
+  static DeviceModel paper_imagenet_gpu();
+};
+
+}  // namespace meanet::sim

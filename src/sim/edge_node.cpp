@@ -1,0 +1,32 @@
+#include "sim/edge_node.h"
+
+namespace meanet::sim {
+
+std::int64_t EdgeNode::route_macs(core::Route route) const {
+  // Every instance pays the main path; only extension-exit instances pay
+  // the adaptive + extension path on top (cloud-routed instances stop at
+  // the main block per Alg. 2).
+  std::int64_t macs = costs_.main_macs;
+  if (route == core::Route::kExtensionExit) macs += costs_.extension_macs;
+  return macs;
+}
+
+double EdgeNode::compute_energy_j(const core::InstanceDecision& decision) const {
+  return costs_.device.compute_energy_j(route_macs(decision.route));
+}
+
+double EdgeNode::compute_time_s(const core::InstanceDecision& decision) const {
+  return costs_.device.compute_time_s(route_macs(decision.route));
+}
+
+double EdgeNode::comm_energy_j(const core::InstanceDecision& decision) const {
+  if (decision.route != core::Route::kCloud) return 0.0;
+  return costs_.wifi.upload_energy_j(costs_.upload_bytes_per_instance);
+}
+
+double EdgeNode::comm_time_s(const core::InstanceDecision& decision) const {
+  if (decision.route != core::Route::kCloud) return 0.0;
+  return costs_.wifi.upload_time_s(costs_.upload_bytes_per_instance);
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,49 @@
+// Edge side of the distributed system: owns an MEANet + inference
+// engine and the device/WiFi cost models that price its work.
+#pragma once
+
+#include <memory>
+
+#include "core/edge_inference.h"
+#include "core/meanet.h"
+#include "data/class_dict.h"
+#include "sim/device_model.h"
+#include "sim/wifi_model.h"
+
+namespace meanet::sim {
+
+struct EdgeNodeCosts {
+  DeviceModel device;
+  WifiModel wifi;
+  /// Bytes uploaded per offloaded instance (raw image size by default).
+  std::int64_t upload_bytes_per_instance = 0;
+  /// Per-instance multiply-adds of the main path (trunk + exit 1).
+  std::int64_t main_macs = 0;
+  /// Additional multiply-adds when the extension path runs.
+  std::int64_t extension_macs = 0;
+};
+
+class EdgeNode {
+ public:
+  EdgeNode(core::MEANet& net, const data::ClassDict& dict, core::PolicyConfig policy,
+           EdgeNodeCosts costs)
+      : engine_(net, dict, policy), costs_(costs) {}
+
+  core::EdgeInferenceEngine& engine() { return engine_; }
+  const EdgeNodeCosts& costs() const { return costs_; }
+
+  /// Per-instance compute energy (J) for a decision's route.
+  double compute_energy_j(const core::InstanceDecision& decision) const;
+  /// Per-instance compute latency (s) for a decision's route.
+  double compute_time_s(const core::InstanceDecision& decision) const;
+  /// Upload energy (J) if the instance goes to the cloud, else 0.
+  double comm_energy_j(const core::InstanceDecision& decision) const;
+  double comm_time_s(const core::InstanceDecision& decision) const;
+
+ private:
+  std::int64_t route_macs(core::Route route) const;
+  core::EdgeInferenceEngine engine_;
+  EdgeNodeCosts costs_;
+};
+
+}  // namespace meanet::sim

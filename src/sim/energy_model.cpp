@@ -1,0 +1,43 @@
+#include "sim/energy_model.h"
+
+#include <stdexcept>
+
+namespace meanet::sim {
+
+void EnergyModel::check_beta(double beta) const {
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("EnergyModel: beta outside [0, 1]");
+}
+
+CostBreakdown EnergyModel::edge_only(std::int64_t n) const {
+  CostBreakdown out;
+  out.edge_compute = static_cast<double>(n) * params_.edge_compute;
+  return out;
+}
+
+CostBreakdown EnergyModel::cloud_only(std::int64_t n) const {
+  CostBreakdown out;
+  out.cloud_compute = static_cast<double>(n) * params_.cloud_compute;
+  out.communication = static_cast<double>(n) * params_.comm_raw;
+  return out;
+}
+
+CostBreakdown EnergyModel::edge_cloud_raw(std::int64_t n, double beta) const {
+  check_beta(beta);
+  CostBreakdown out;
+  out.edge_compute = static_cast<double>(n) * params_.edge_compute;
+  out.cloud_compute = beta * static_cast<double>(n) * params_.cloud_compute;
+  out.communication = beta * static_cast<double>(n) * params_.comm_raw;
+  return out;
+}
+
+CostBreakdown EnergyModel::edge_cloud_features(std::int64_t n, double beta, double q) const {
+  check_beta(beta);
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("EnergyModel: q outside [0, 1]");
+  CostBreakdown out;
+  out.edge_compute = static_cast<double>(n) * q * params_.edge_compute;
+  out.cloud_compute = beta * static_cast<double>(n) * (1.0 - q) * params_.cloud_compute;
+  out.communication = beta * static_cast<double>(n) * params_.comm_features;
+  return out;
+}
+
+}  // namespace meanet::sim

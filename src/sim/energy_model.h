@@ -1,0 +1,61 @@
+// Table I of the paper: analytic cost of inference under the four
+// deployment modes (edge-only, cloud-only, edge-cloud with raw data,
+// edge-cloud with features).
+//
+// Symbols (paper Table I):
+//   N      total instances
+//   x      edge cost per instance (energy J or latency s)
+//   x_cl   cloud compute cost per instance
+//   x_cu   communication cost per instance when sending raw data
+//   x'_cu  communication cost per instance when sending features
+//   beta   fraction of instances sent to the cloud
+//   q      fraction of layers kept at the edge (feature-split mode)
+#pragma once
+
+#include <string>
+
+namespace meanet::sim {
+
+/// Per-instance cost constants (joules or seconds — the formulas are
+/// unit-agnostic, exactly as in the paper).
+struct CostParams {
+  double edge_compute = 0.0;          // x
+  double cloud_compute = 0.0;         // x_cl
+  double comm_raw = 0.0;              // x_cu
+  double comm_features = 0.0;         // x'_cu
+};
+
+struct CostBreakdown {
+  double edge_compute = 0.0;
+  double cloud_compute = 0.0;
+  double communication = 0.0;
+  double total() const { return edge_compute + cloud_compute + communication; }
+  /// Cost borne by the edge device (Fig. 8: edge compute + comm).
+  double edge_total() const { return edge_compute + communication; }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(CostParams params) : params_(params) {}
+
+  /// Row 1 of Table I: everything at the edge.
+  CostBreakdown edge_only(std::int64_t n) const;
+
+  /// Row 2: everything at the cloud (raw data uploaded for all N).
+  CostBreakdown cloud_only(std::int64_t n) const;
+
+  /// Row 3: edge-cloud, raw data for the beta fraction.
+  CostBreakdown edge_cloud_raw(std::int64_t n, double beta) const;
+
+  /// Row 4: edge-cloud, features for the beta fraction; q = fraction of
+  /// layers at the edge (paper: typically in [1/3, 2/3]).
+  CostBreakdown edge_cloud_features(std::int64_t n, double beta, double q) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  void check_beta(double beta) const;
+  CostParams params_;
+};
+
+}  // namespace meanet::sim

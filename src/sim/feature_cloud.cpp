@@ -1,0 +1,64 @@
+#include "sim/feature_cloud.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual_block.h"
+#include "tensor/ops.h"
+
+namespace meanet::sim {
+
+FeatureCloudNode::FeatureCloudNode(const Shape& feature_shape, int num_classes, util::Rng& rng)
+    : head_("feature_cloud") {
+  if (feature_shape.rank() != 4) {
+    throw std::invalid_argument("FeatureCloudNode: feature shape must be NCHW");
+  }
+  const int c = feature_shape.channels();
+  // A deeper continuation than the edge's own extension: two residual
+  // stages at 2x and 4x the feature width.
+  head_.emplace<nn::ResidualBlock>(c, 2 * c, 1, rng, "fcloud.block1");
+  head_.emplace<nn::ResidualBlock>(2 * c, 2 * c, 1, rng, "fcloud.block2");
+  head_.emplace<nn::ResidualBlock>(2 * c, 4 * c, 1, rng, "fcloud.block3");
+  head_.emplace<nn::GlobalAvgPool>("fcloud.avgpool");
+  head_.emplace<nn::Linear>(4 * c, num_classes, rng, "fcloud.fc");
+}
+
+data::Dataset extract_features(core::MEANet& edge, const data::Dataset& dataset,
+                               int batch_size) {
+  if (dataset.size() == 0) throw std::invalid_argument("extract_features: empty dataset");
+  data::Dataset features;
+  features.num_classes = dataset.num_classes;
+  features.labels = dataset.labels;
+  const Shape per_instance = edge.main_trunk().output_shape(dataset.instance_shape());
+  features.images = Tensor(Shape{dataset.size(), per_instance.channels(), per_instance.height(),
+                                 per_instance.width()});
+  const std::int64_t stride = features.images.numel() / dataset.size();
+  for (int start = 0; start < dataset.size(); start += batch_size) {
+    const int count = std::min(batch_size, dataset.size() - start);
+    const Tensor batch = dataset.images.slice_batch(start, count);
+    const Tensor f = edge.main_trunk().forward(batch, nn::Mode::kEval);
+    std::copy(f.data(), f.data() + count * stride,
+              features.images.data() + static_cast<std::int64_t>(start) * stride);
+  }
+  return features;
+}
+
+core::TrainCurve FeatureCloudNode::train(core::MEANet& edge, const data::Dataset& train,
+                                         const core::TrainOptions& options, util::Rng& rng) {
+  const data::Dataset features = extract_features(edge, train);
+  return core::train_classifier(head_, features, options, rng);
+}
+
+std::vector<int> FeatureCloudNode::classify_features(const Tensor& features) {
+  const Tensor logits = head_.forward(features, nn::Mode::kEval);
+  return ops::row_argmax(logits);
+}
+
+std::int64_t FeatureCloudNode::feature_bytes(const Shape& feature_shape) {
+  return 4 * feature_shape.numel() / feature_shape.dim(0);
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,46 @@
+// Feature-offload cloud node — the paper's second edge-cloud
+// collaboration mode (§III-C, Table I row 4): instead of raw images, the
+// edge uploads the main-block features F and the cloud finishes a
+// *partitioned* network. The paper prefers raw-data offload for
+// flexibility (an independent, stronger cloud model); this class exists
+// so both modes can be compared quantitatively.
+#pragma once
+
+#include "core/meanet.h"
+#include "core/trainer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace meanet::sim {
+
+class FeatureCloudNode {
+ public:
+  /// Builds a cloud-side head for per-instance features of
+  /// `feature_shape` ([1, c, h, w]) classifying into `num_classes`.
+  FeatureCloudNode(const Shape& feature_shape, int num_classes, util::Rng& rng);
+
+  /// Trains the head on features produced by the (frozen) main trunk of
+  /// `edge` over `train`. The trunk is run in eval mode, mirroring
+  /// deployment where the edge ships features upward.
+  core::TrainCurve train(core::MEANet& edge, const data::Dataset& train,
+                         const core::TrainOptions& options, util::Rng& rng);
+
+  /// Classifies a batch of uploaded feature maps.
+  std::vector<int> classify_features(const Tensor& features);
+
+  /// Upload payload per instance for this feature geometry (float32).
+  static std::int64_t feature_bytes(const Shape& feature_shape);
+
+  nn::Sequential& head() { return head_; }
+
+ private:
+  nn::Sequential head_;
+};
+
+/// Materializes the main-trunk features of every instance in `dataset`
+/// as a feature "dataset" (labels preserved). Used to train/evaluate
+/// partitioned heads.
+data::Dataset extract_features(core::MEANet& edge, const data::Dataset& dataset,
+                               int batch_size = 64);
+
+}  // namespace meanet::sim

@@ -1,0 +1,58 @@
+#include "sim/latency_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meanet::sim {
+
+double instance_latency_s(const core::InstanceDecision& decision, const LatencyParams& params) {
+  double latency = params.edge_device.compute_time_s(params.main_macs);
+  switch (decision.route) {
+    case core::Route::kMainExit:
+      break;
+    case core::Route::kExtensionExit:
+      latency += params.edge_device.compute_time_s(params.extension_macs);
+      break;
+    case core::Route::kCloud: {
+      latency += params.wifi.upload_time_s(params.upload_bytes);
+      if (params.cloud_macs_per_second <= 0.0) {
+        throw std::logic_error("instance_latency_s: non-positive cloud throughput");
+      }
+      latency += static_cast<double>(params.cloud_macs) / params.cloud_macs_per_second;
+      latency += params.rtt_s;
+      break;
+    }
+  }
+  return latency;
+}
+
+LatencyStats analyze_latency(const std::vector<core::InstanceDecision>& decisions,
+                             const LatencyParams& params) {
+  LatencyStats stats;
+  if (decisions.empty()) return stats;
+  std::vector<double> latencies;
+  latencies.reserve(decisions.size());
+  std::int64_t edge_count = 0;
+  double total = 0.0;
+  for (const core::InstanceDecision& d : decisions) {
+    const double l = instance_latency_s(d, params);
+    latencies.push_back(l);
+    total += l;
+    if (d.route != core::Route::kCloud) ++edge_count;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  stats.mean_s = total / static_cast<double>(latencies.size());
+  stats.p50_s = percentile(0.50);
+  stats.p95_s = percentile(0.95);
+  stats.p99_s = percentile(0.99);
+  stats.max_s = latencies.back();
+  stats.edge_fraction =
+      static_cast<double>(edge_count) / static_cast<double>(decisions.size());
+  return stats;
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,52 @@
+// Per-instance inference latency analysis for the distributed system.
+//
+// The paper argues (Fig. 8 discussion) that even when the edge-cloud
+// energy approaches cloud-only, the distributed system keeps a latency
+// advantage because >50% of instances terminate at the edge. This module
+// prices each routed instance:
+//   main exit      : edge compute (main path)
+//   extension exit : edge compute (main + extension paths)
+//   cloud          : edge compute (main) + upload + cloud compute +
+//                    response download (assumed small constant) + RTT
+// and aggregates mean / percentile statistics.
+#pragma once
+
+#include <vector>
+
+#include "core/edge_inference.h"
+#include "sim/device_model.h"
+#include "sim/wifi_model.h"
+
+namespace meanet::sim {
+
+struct LatencyParams {
+  DeviceModel edge_device;
+  WifiModel wifi;
+  std::int64_t upload_bytes = 0;     // raw-image payload per offload
+  std::int64_t main_macs = 0;        // edge main path
+  std::int64_t extension_macs = 0;   // edge extension path
+  std::int64_t cloud_macs = 0;       // cloud model per instance
+  /// Cloud device throughput (much faster than the edge).
+  double cloud_macs_per_second = 1e12;
+  /// Network round-trip latency per offloaded instance (s).
+  double rtt_s = 0.020;
+};
+
+struct LatencyStats {
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+  /// Fraction of instances that terminated at the edge.
+  double edge_fraction = 0.0;
+};
+
+/// Latency of a single decision under `params`.
+double instance_latency_s(const core::InstanceDecision& decision, const LatencyParams& params);
+
+/// Aggregates the latency distribution of a full run.
+LatencyStats analyze_latency(const std::vector<core::InstanceDecision>& decisions,
+                             const LatencyParams& params);
+
+}  // namespace meanet::sim

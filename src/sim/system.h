@@ -1,0 +1,49 @@
+// The full distributed inference system (paper Alg. 2 + Fig. 1):
+// EdgeNode runs MEANet routing; complex instances travel to the
+// CloudNode; results and costs are aggregated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/cloud_node.h"
+#include "sim/edge_node.h"
+
+namespace meanet::sim {
+
+struct SystemReport {
+  // Accuracy.
+  double accuracy = 0.0;
+  double hard_class_accuracy = 0.0;
+  // Routing.
+  core::RouteCounts routes;
+  double cloud_fraction = 0.0;  // the paper's beta
+  // Edge-side energy (Fig. 8 quantities).
+  double edge_compute_energy_j = 0.0;
+  double communication_energy_j = 0.0;
+  double edge_energy_j() const { return edge_compute_energy_j + communication_energy_j; }
+  // Latency (seconds, summed over all instances).
+  double edge_compute_time_s = 0.0;
+  double communication_time_s = 0.0;
+  // Per-instance outcome (prediction in global label space).
+  std::vector<int> predictions;
+  std::vector<core::Route> instance_routes;
+};
+
+class DistributedSystem {
+ public:
+  /// `cloud` may be null: the edge then answers every instance itself
+  /// (its cloud-marked instances fall back to the main-exit prediction).
+  DistributedSystem(EdgeNode edge, CloudNode* cloud) : edge_(std::move(edge)), cloud_(cloud) {}
+
+  /// Runs Alg. 2 over the dataset and aggregates accuracy / energy.
+  SystemReport run(const data::Dataset& dataset, int batch_size = 64);
+
+  EdgeNode& edge() { return edge_; }
+
+ private:
+  EdgeNode edge_;
+  CloudNode* cloud_;
+};
+
+}  // namespace meanet::sim

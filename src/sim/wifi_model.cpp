@@ -1,0 +1,14 @@
+#include "sim/wifi_model.h"
+
+#include <stdexcept>
+
+namespace meanet::sim {
+
+double WifiModel::upload_time_s(std::int64_t payload_bytes) const {
+  if (payload_bytes < 0) throw std::invalid_argument("upload_time_s: negative payload");
+  if (throughput_mbps <= 0.0) throw std::logic_error("WifiModel: non-positive throughput");
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  return bits / (throughput_mbps * 1e6);
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,32 @@
+// WiFi upload power/energy model (paper §IV-B, after [40], [48]):
+//   P_upload = 283.17 mW/Mbps * throughput + 132.86 mW
+// Upload time is payload bits / throughput; energy = power * time.
+#pragma once
+
+#include <cstdint>
+
+namespace meanet::sim {
+
+struct WifiModel {
+  /// Average upload throughput; the paper assumes 18.88 Mb/s.
+  double throughput_mbps = 18.88;
+  /// Slope of the power model in mW per Mbps.
+  double mw_per_mbps = 283.17;
+  /// Constant term in mW.
+  double base_mw = 132.86;
+
+  /// Upload power in watts at the configured throughput.
+  double upload_power_w() const {
+    return (mw_per_mbps * throughput_mbps + base_mw) / 1000.0;
+  }
+
+  /// Seconds to upload `payload_bytes`.
+  double upload_time_s(std::int64_t payload_bytes) const;
+
+  /// Joules to upload `payload_bytes`.
+  double upload_energy_j(std::int64_t payload_bytes) const {
+    return upload_power_w() * upload_time_s(payload_bytes);
+  }
+};
+
+}  // namespace meanet::sim

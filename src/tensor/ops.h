@@ -1,0 +1,65 @@
+// Numeric kernels: GEMM, im2col/col2im, softmax-family ops.
+//
+// All convolution in the library is im2col + GEMM; the GEMM is a
+// cache-friendly single-threaded kernel (the target platform for the
+// experiments is a single-core edge-class CPU). Backward passes use the
+// transposed variants.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace meanet::ops {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// A is [M, K] after optional transpose, B is [K, N] after optional
+/// transpose, C is [M, N]. C must be pre-sized; beta = 0 overwrites.
+void gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta, float* c, int ldc);
+
+/// Convenience wrapper on rank-2 tensors: returns op(A)*op(B).
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+/// Geometry of a convolution; shared by conv layers and the stats counter.
+struct ConvGeometry {
+  int in_channels = 0;
+  int in_height = 0;
+  int in_width = 0;
+  int kernel = 1;
+  int stride = 1;
+  int padding = 0;
+
+  int out_height() const { return (in_height + 2 * padding - kernel) / stride + 1; }
+  int out_width() const { return (in_width + 2 * padding - kernel) / stride + 1; }
+  /// Rows of the im2col matrix (= in_channels * kernel^2).
+  int patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// Expands one image [C, H, W] into a patch matrix
+/// [C*k*k, out_h*out_w] (column-major over output positions).
+/// `columns` must have patch_size() * out_h * out_w elements.
+void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+/// Inverse scatter-add of im2col: accumulates patch-matrix gradients back
+/// into an image gradient buffer of size C*H*W (which must be zeroed by
+/// the caller if accumulation from zero is desired).
+void col2im(const float* columns, const ConvGeometry& g, float* image);
+
+/// Row-wise softmax of a [rows, cols] tensor (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+/// Row-wise log-softmax of a [rows, cols] tensor.
+Tensor log_softmax(const Tensor& logits);
+
+/// Shannon entropy (natural log) of each row of a probability matrix.
+std::vector<float> row_entropy(const Tensor& probabilities);
+
+/// Index of the max element in each row of a [rows, cols] tensor.
+std::vector<int> row_argmax(const Tensor& values);
+
+/// Max element of each row of a [rows, cols] tensor.
+std::vector<float> row_max(const Tensor& values);
+
+}  // namespace meanet::ops

@@ -1,0 +1,72 @@
+#include "tensor/shape.h"
+
+#include <stdexcept>
+
+namespace meanet {
+
+Shape::Shape(std::initializer_list<int> dims) : dims_(dims) { validate(); }
+
+Shape::Shape(std::vector<int> dims) : dims_(std::move(dims)) { validate(); }
+
+void Shape::validate() const {
+  if (dims_.size() > 4) {
+    throw std::invalid_argument("Shape supports at most 4 dimensions, got " +
+                                std::to_string(dims_.size()));
+  }
+  for (int d : dims_) {
+    if (d < 0) {
+      throw std::invalid_argument("Shape dimensions must be non-negative");
+    }
+  }
+}
+
+int Shape::dim(int axis) const {
+  const int r = rank();
+  if (axis < 0) axis += r;
+  if (axis < 0 || axis >= r) {
+    throw std::out_of_range("Shape axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(r));
+  }
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+[[noreturn]] void throw_not_nchw(const Shape& s) {
+  throw std::logic_error("expected rank-4 NCHW shape, got " + s.to_string());
+}
+}  // namespace
+
+int Shape::batch() const {
+  if (rank() != 4) throw_not_nchw(*this);
+  return dims_[0];
+}
+int Shape::channels() const {
+  if (rank() != 4) throw_not_nchw(*this);
+  return dims_[1];
+}
+int Shape::height() const {
+  if (rank() != 4) throw_not_nchw(*this);
+  return dims_[2];
+}
+int Shape::width() const {
+  if (rank() != 4) throw_not_nchw(*this);
+  return dims_[3];
+}
+
+}  // namespace meanet

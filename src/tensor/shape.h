@@ -1,0 +1,49 @@
+// Tensor shapes.
+//
+// The library works with up to 4-D row-major shapes; images follow the
+// NCHW convention (batch, channels, height, width).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace meanet {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+  explicit Shape(std::vector<int> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension `axis`; negative axes count from the end.
+  int dim(int axis) const;
+
+  int operator[](int axis) const { return dim(axis); }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  std::int64_t numel() const;
+
+  const std::vector<int>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  /// e.g. "[2, 3, 8, 8]".
+  std::string to_string() const;
+
+  // NCHW accessors; throw if the shape is not rank-4.
+  int batch() const;
+  int channels() const;
+  int height() const;
+  int width() const;
+
+ private:
+  void validate() const;
+  std::vector<int> dims_;
+};
+
+}  // namespace meanet

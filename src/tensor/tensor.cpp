@@ -1,0 +1,188 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace meanet {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: value count " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+float& Tensor::at(std::int64_t i) {
+  if (i < 0 || i >= numel()) throw std::out_of_range("Tensor::at flat index");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  if (i < 0 || i >= numel()) throw std::out_of_range("Tensor::at flat index");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+void Tensor::check_rank4() const {
+  if (shape_.rank() != 4) {
+    throw std::logic_error("expected rank-4 tensor, got " + shape_.to_string());
+  }
+}
+
+void Tensor::check_rank2() const {
+  if (shape_.rank() != 2) {
+    throw std::logic_error("expected rank-2 tensor, got " + shape_.to_string());
+  }
+}
+
+float& Tensor::at(int n, int c, int h, int w) {
+  check_rank4();
+  const int C = shape_.channels(), H = shape_.height(), W = shape_.width();
+  return data_[static_cast<std::size_t>(((static_cast<std::int64_t>(n) * C + c) * H + h) * W + w)];
+}
+
+float Tensor::at(int n, int c, int h, int w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+float& Tensor::at(int r, int c) {
+  check_rank2();
+  return data_[static_cast<std::size_t>(static_cast<std::int64_t>(r) * shape_.dim(1) + c)];
+}
+
+float Tensor::at(int r, int c) const { return const_cast<Tensor*>(this)->at(r, c); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshaped: numel mismatch " + shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::slice_batch(int index) const { return slice_batch(index, 1); }
+
+Tensor Tensor::slice_batch(int first, int count) const {
+  if (shape_.rank() < 2) throw std::logic_error("slice_batch requires rank >= 2");
+  const int batch = shape_.dim(0);
+  if (first < 0 || count < 0 || first + count > batch) {
+    throw std::out_of_range("slice_batch range [" + std::to_string(first) + ", " +
+                            std::to_string(first + count) + ") out of batch " +
+                            std::to_string(batch));
+  }
+  std::vector<int> dims = shape_.dims();
+  dims[0] = count;
+  const std::int64_t stride = numel() / batch;
+  Tensor out{Shape(dims)};
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(first * stride),
+            data_.begin() + static_cast<std::ptrdiff_t>((first + count) * stride),
+            out.data_.begin());
+  return out;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+void Tensor::add_(const Tensor& other) {
+  check_same_shape(*this, other, "add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::sub_(const Tensor& other) {
+  check_same_shape(*this, other, "sub_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::scale_(float factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+void Tensor::axpy_(float factor, const Tensor& other) {
+  check_same_shape(*this, other, "axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+std::string Tensor::to_string(int max_elements) const {
+  std::string out = "Tensor" + shape_.to_string() + " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elements);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(data_[static_cast<std::size_t>(i)]);
+  }
+  if (numel() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.sub_(b);
+  return out;
+}
+
+Tensor operator*(const Tensor& a, float s) {
+  Tensor out = a;
+  out.scale_(s);
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace meanet

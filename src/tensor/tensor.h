@@ -1,0 +1,106 @@
+// Dense float tensor with value semantics.
+//
+// This is the numeric substrate for the whole library: a contiguous
+// row-major float buffer plus a Shape. It deliberately has no view /
+// stride machinery — every layer works on contiguous NCHW or NC data,
+// which keeps the backprop code simple and the memory behaviour obvious
+// (important because the training-memory model in nn/training_memory.h
+// accounts for these buffers byte-for-byte).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace meanet {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// I.i.d. normal entries.
+  static Tensor normal(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& values() { return data_; }
+  const std::vector<float>& values() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked flat access.
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+
+  // NCHW element access (rank-4 tensors).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+
+  // Matrix access (rank-2 tensors).
+  float& at(int r, int c);
+  float at(int r, int c) const;
+
+  /// Returns a tensor with the same data and a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Copies row `row` (all trailing dims) out of a rank>=2 tensor, giving
+  /// a tensor of shape [1, rest...]. Used to route single instances.
+  Tensor slice_batch(int index) const;
+
+  /// Copies rows [first, first+count) along the batch axis.
+  Tensor slice_batch(int first, int count) const;
+
+  void fill(float value);
+
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this -= other.
+  void sub_(const Tensor& other);
+  /// this *= scalar.
+  void scale_(float factor);
+  /// this += scalar * other (axpy).
+  void axpy_(float factor, const Tensor& other);
+
+  float sum() const;
+  float max() const;
+  float min() const;
+  /// Mean of all elements; 0 for an empty tensor.
+  float mean() const;
+
+  std::string to_string(int max_elements = 16) const;
+
+ private:
+  void check_rank4() const;
+  void check_rank2() const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Element-wise helpers returning new tensors.
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float s);
+
+/// True if shapes match and elements differ by at most `tol`.
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+}  // namespace meanet

@@ -1,0 +1,58 @@
+// Lightweight leveled logging for the meanet library.
+//
+// The library is designed to run in benchmarks and tests where output
+// volume matters, so logging is off (kWarn) by default and controlled
+// globally. Messages are written to stderr; benchmark tables are written
+// by the benches themselves to stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace meanet::util {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global log threshold.
+LogLevel log_level();
+
+/// Emits one message at `level` (if at or above the threshold).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace meanet::util

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Header-only; this translation unit exists to anchor the library target.
+namespace meanet::util {}

@@ -1,0 +1,62 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace meanet::util {
+
+std::string format_double(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return std::string(buffer);
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < rows[r].size() ? rows[r][c] : "";
+      out += pad_right(cell, widths[c]);
+      if (c + 1 < cols) out += "  ";
+    }
+    out += '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        out += std::string(widths[c], '-');
+        if (c + 1 < cols) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace meanet::util

@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared by benches and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace meanet::util {
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string format_double(double value, int digits = 2);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Left-pads (right-aligns) `s` to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads (left-aligns) `s` to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Renders an aligned text table; row 0 is treated as the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace meanet::util

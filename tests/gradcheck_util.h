@@ -1,0 +1,83 @@
+// Finite-difference gradient checking shared by the layer tests.
+//
+// Scheme: for layer L, fixed random cotangent w, and scalar
+// s(x, theta) = <w, L(x)>, compare the analytic gradients produced by
+// L.backward(w) (input gradient and parameter .grad fields) against
+// central differences of s.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.h"
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace meanet::testing {
+
+inline float dot(const Tensor& a, const Tensor& b) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;
+  float tolerance = 2e-2f;  // absolute+relative mix, see check()
+  nn::Mode mode = nn::Mode::kTrain;
+};
+
+/// Checks d<w, L(x)>/dx and d<w, L(x)>/dtheta for every parameter.
+inline void check_layer_gradients(nn::Layer& layer, Tensor x, util::Rng& rng,
+                                  const GradCheckOptions& opts = {}) {
+  const Tensor out = layer.forward(x, opts.mode);
+  Tensor w = Tensor::normal(out.shape(), rng, 0.0f, 1.0f);
+  for (nn::Parameter* p : layer.parameters()) p->zero_grad();
+  const Tensor grad_input = layer.backward(w);
+
+  auto scalar = [&](Tensor& probe) {
+    // Re-runs forward with the (perturbed) state already in place.
+    (void)probe;
+    Tensor y = layer.forward(x, opts.mode);
+    return dot(y, w);
+  };
+
+  auto expect_close = [&](float analytic, float numeric, const std::string& what) {
+    const float scale = std::max({1.0f, std::fabs(analytic), std::fabs(numeric)});
+    EXPECT_NEAR(analytic, numeric, opts.tolerance * scale) << what;
+  };
+
+  // Input gradient (sampled positions to keep runtime sane).
+  const std::int64_t n = x.numel();
+  const std::int64_t step = std::max<std::int64_t>(1, n / 24);
+  for (std::int64_t i = 0; i < n; i += step) {
+    const float orig = x[i];
+    x[i] = orig + opts.epsilon;
+    const float plus = scalar(x);
+    x[i] = orig - opts.epsilon;
+    const float minus = scalar(x);
+    x[i] = orig;
+    expect_close(grad_input[i], (plus - minus) / (2.0f * opts.epsilon),
+                 "input grad at " + std::to_string(i));
+  }
+
+  // Parameter gradients.
+  for (nn::Parameter* p : layer.parameters()) {
+    const std::int64_t pn = p->value.numel();
+    const std::int64_t pstep = std::max<std::int64_t>(1, pn / 16);
+    for (std::int64_t i = 0; i < pn; i += pstep) {
+      const float orig = p->value[i];
+      p->value[i] = orig + opts.epsilon;
+      const float plus = scalar(x);
+      p->value[i] = orig - opts.epsilon;
+      const float minus = scalar(x);
+      p->value[i] = orig;
+      expect_close(p->grad[i], (plus - minus) / (2.0f * opts.epsilon),
+                   p->name + " grad at " + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace meanet::testing

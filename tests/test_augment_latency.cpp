@@ -1,0 +1,216 @@
+// Tests for data augmentation, the latency model, and top-k accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builders.h"
+#include "core/trainer.h"
+#include "data/augment.h"
+#include "metrics/classification_metrics.h"
+#include "sim/latency_model.h"
+#include "tiny_models.h"
+#include "util/rng.h"
+
+namespace meanet {
+namespace {
+
+// ---------- Augmentation ----------
+
+TEST(Augment, ZeroOptionsIsIdentity) {
+  util::Rng rng(1);
+  Tensor images = Tensor::normal(Shape{3, 2, 6, 6}, rng);
+  const Tensor before = images;
+  data::AugmentOptions options;
+  options.crop_padding = 0;
+  options.flip_probability = 0.0;
+  options.noise_stddev = 0.0f;
+  data::augment_batch(images, options, rng);
+  EXPECT_TRUE(allclose(before, images, 0.0f));
+}
+
+TEST(Augment, FlipIsInvolutionOnFullProbability) {
+  util::Rng rng(2);
+  Tensor images = Tensor::normal(Shape{1, 1, 4, 4}, rng);
+  const Tensor before = images;
+  data::AugmentOptions options;
+  options.crop_padding = 0;
+  options.flip_probability = 1.0;
+  data::augment_batch(images, options, rng);
+  // One flip changed the image...
+  EXPECT_FALSE(allclose(before, images, 1e-6f));
+  // ...a second flip restores it.
+  data::augment_batch(images, options, rng);
+  EXPECT_TRUE(allclose(before, images, 0.0f));
+}
+
+TEST(Augment, FlipMirrorsRows) {
+  util::Rng rng(3);
+  Tensor image(Shape{1, 1, 1, 4}, std::vector<float>{1, 2, 3, 4});
+  data::AugmentOptions options;
+  options.crop_padding = 0;
+  options.flip_probability = 1.0;
+  data::augment_batch(image, options, rng);
+  EXPECT_FLOAT_EQ(image[0], 4.0f);
+  EXPECT_FLOAT_EQ(image[3], 1.0f);
+}
+
+TEST(Augment, CropShiftKeepsShapeAndZeroFills) {
+  util::Rng rng(4);
+  Tensor images = Tensor::ones(Shape{8, 1, 6, 6});
+  data::AugmentOptions options;
+  options.crop_padding = 2;
+  options.flip_probability = 0.0;
+  data::augment_batch(images, options, rng);
+  EXPECT_EQ(images.shape(), Shape({8, 1, 6, 6}));
+  // Shifted instances acquire zero borders: total mass cannot grow.
+  EXPECT_LE(images.sum(), 8.0f * 36.0f + 1e-4f);
+  // With 8 instances and padding 2 some shift should have occurred.
+  EXPECT_LT(images.sum(), 8.0f * 36.0f);
+}
+
+TEST(Augment, NoiseChangesEveryPixel) {
+  util::Rng rng(5);
+  Tensor images = Tensor::zeros(Shape{1, 1, 4, 4});
+  data::AugmentOptions options;
+  options.crop_padding = 0;
+  options.flip_probability = 0.0;
+  options.noise_stddev = 1.0f;
+  data::augment_batch(images, options, rng);
+  for (std::int64_t i = 0; i < images.numel(); ++i) EXPECT_NE(images[i], 0.0f);
+}
+
+TEST(Augment, InstanceHelperMatchesBatchPath) {
+  util::Rng image_rng(6);
+  const Tensor image = Tensor::normal(Shape{1, 2, 5, 5}, image_rng);
+  data::AugmentOptions options;
+  options.crop_padding = 1;
+  // Same seed -> same augmentation draws on both paths.
+  util::Rng rng_batch(42), rng_helper(42);
+  Tensor via_batch = image;
+  data::augment_batch(via_batch, options, rng_batch);
+  const Tensor via_helper = data::augment_instance(image, options, rng_helper);
+  EXPECT_TRUE(allclose(via_batch, via_helper, 0.0f));
+}
+
+TEST(Augment, RejectsBadInput) {
+  util::Rng rng(7);
+  Tensor flat(Shape{4, 4});
+  data::AugmentOptions options;
+  EXPECT_THROW(data::augment_batch(flat, options, rng), std::invalid_argument);
+  Tensor images(Shape{1, 1, 4, 4});
+  options.crop_padding = -1;
+  EXPECT_THROW(data::augment_batch(images, options, rng), std::invalid_argument);
+}
+
+// ---------- Augmented training integration ----------
+
+TEST(Augment, TrainingWithAugmentationStillLearns) {
+  util::Rng rng(20);
+  const data::SyntheticDataset ds =
+      data::make_synthetic(meanet::testing::tiny_data_spec(), 71);
+  nn::Sequential net =
+      core::build_resnet_classifier(meanet::testing::tiny_resnet_config(), rng);
+  core::TrainOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 16;
+  opts.augment = data::AugmentOptions{};  // crop padding 2 + flips
+  util::Rng train_rng(21);
+  const core::TrainCurve curve = core::train_classifier(net, ds.train, opts, train_rng);
+  EXPECT_LT(curve.back().loss, curve.front().loss);
+  EXPECT_GT(curve.back().accuracy, 0.4);
+}
+
+// ---------- Latency model ----------
+
+sim::LatencyParams latency_params() {
+  sim::LatencyParams p;
+  p.edge_device.compute_power_w = 5.0;
+  p.edge_device.macs_per_second = 1e9;
+  p.upload_bytes = 10000;
+  p.main_macs = 1'000'000;       // 1 ms at the edge
+  p.extension_macs = 500'000;    // +0.5 ms
+  p.cloud_macs = 100'000'000;    // 0.1 ms at the cloud
+  p.cloud_macs_per_second = 1e12;
+  p.rtt_s = 0.020;
+  return p;
+}
+
+core::InstanceDecision decision_with(core::Route route) {
+  core::InstanceDecision d;
+  d.route = route;
+  return d;
+}
+
+TEST(LatencyModel, PerRouteOrdering) {
+  const sim::LatencyParams p = latency_params();
+  const double main_l = sim::instance_latency_s(decision_with(core::Route::kMainExit), p);
+  const double ext_l = sim::instance_latency_s(decision_with(core::Route::kExtensionExit), p);
+  const double cloud_l = sim::instance_latency_s(decision_with(core::Route::kCloud), p);
+  EXPECT_LT(main_l, ext_l);
+  EXPECT_LT(ext_l, cloud_l);  // upload + RTT dominate
+  EXPECT_NEAR(main_l, 1e-3, 1e-9);
+  EXPECT_NEAR(ext_l, 1.5e-3, 1e-9);
+  // cloud: 1 ms edge + 80000 bits / 18.88 Mbps + 0.1 ms + 20 ms RTT.
+  const double upload = 80000.0 / 18.88e6;
+  EXPECT_NEAR(cloud_l, 1e-3 + upload + 1e-4 + 0.020, 1e-6);
+}
+
+TEST(LatencyModel, StatsPercentilesOrdered) {
+  const sim::LatencyParams p = latency_params();
+  std::vector<core::InstanceDecision> decisions;
+  for (int i = 0; i < 90; ++i) decisions.push_back(decision_with(core::Route::kMainExit));
+  for (int i = 0; i < 10; ++i) decisions.push_back(decision_with(core::Route::kCloud));
+  const sim::LatencyStats stats = sim::analyze_latency(decisions, p);
+  EXPECT_LE(stats.p50_s, stats.p95_s);
+  EXPECT_LE(stats.p95_s, stats.p99_s);
+  EXPECT_LE(stats.p99_s, stats.max_s);
+  EXPECT_DOUBLE_EQ(stats.edge_fraction, 0.9);
+  // Median is an edge instance; p95+ are cloud instances.
+  EXPECT_NEAR(stats.p50_s, 1e-3, 1e-9);
+  EXPECT_GT(stats.p95_s, 0.02);
+}
+
+TEST(LatencyModel, EmptyDecisionsGiveZeroStats) {
+  const sim::LatencyStats stats = sim::analyze_latency({}, latency_params());
+  EXPECT_DOUBLE_EQ(stats.mean_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.edge_fraction, 0.0);
+}
+
+TEST(LatencyModel, RejectsBadCloudThroughput) {
+  sim::LatencyParams p = latency_params();
+  p.cloud_macs_per_second = 0.0;
+  EXPECT_THROW(sim::instance_latency_s(decision_with(core::Route::kCloud), p),
+               std::logic_error);
+}
+
+// ---------- Top-k accuracy ----------
+
+TEST(TopK, KOneMatchesArgmaxAccuracy) {
+  Tensor scores(Shape{2, 3}, std::vector<float>{0.1f, 0.7f, 0.2f, 0.6f, 0.3f, 0.1f});
+  EXPECT_DOUBLE_EQ(metrics::top_k_accuracy(scores, {1, 1}, 1), 0.5);
+}
+
+TEST(TopK, LargerKIsMonotone) {
+  util::Rng rng(8);
+  const Tensor scores = Tensor::normal(Shape{20, 6}, rng);
+  std::vector<int> labels(20);
+  for (int i = 0; i < 20; ++i) labels[static_cast<std::size_t>(i)] = i % 6;
+  double prev = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double acc = metrics::top_k_accuracy(scores, labels, k);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // k == classes always hits
+}
+
+TEST(TopK, Validation) {
+  Tensor scores(Shape{1, 3});
+  EXPECT_THROW(metrics::top_k_accuracy(scores, {0}, 0), std::invalid_argument);
+  EXPECT_THROW(metrics::top_k_accuracy(scores, {0}, 4), std::invalid_argument);
+  EXPECT_THROW(metrics::top_k_accuracy(scores, {3}, 1), std::out_of_range);
+  EXPECT_THROW(metrics::top_k_accuracy(scores, {0, 1}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meanet

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "nn/inverted_residual.h"
+#include "nn/residual_block.h"
+#include "nn/sequential.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/activations.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+namespace {
+
+TEST(ResidualBlock, IdentityShortcutWhenShapePreserved) {
+  util::Rng rng(1);
+  ResidualBlock block(4, 4, 1, rng);
+  EXPECT_FALSE(block.has_projection());
+  EXPECT_EQ(block.output_shape(Shape{1, 4, 8, 8}), Shape({1, 4, 8, 8}));
+}
+
+TEST(ResidualBlock, ProjectionOnStride) {
+  util::Rng rng(1);
+  ResidualBlock block(4, 8, 2, rng);
+  EXPECT_TRUE(block.has_projection());
+  EXPECT_EQ(block.output_shape(Shape{1, 4, 8, 8}), Shape({1, 8, 4, 4}));
+}
+
+TEST(ResidualBlock, ProjectionOnChannelChange) {
+  util::Rng rng(1);
+  ResidualBlock block(4, 8, 1, rng);
+  EXPECT_TRUE(block.has_projection());
+}
+
+TEST(ResidualBlock, OutputIsNonNegative) {
+  util::Rng rng(2);
+  ResidualBlock block(3, 3, 1, rng);
+  const Tensor y = block.forward(Tensor::normal(Shape{2, 3, 6, 6}, rng), Mode::kTrain);
+  EXPECT_GE(y.min(), 0.0f);  // final ReLU
+}
+
+TEST(ResidualBlock, ParameterCount) {
+  util::Rng rng(3);
+  ResidualBlock block(4, 4, 1, rng);
+  // conv1 4*4*9, bn1 8, conv2 4*4*9, bn2 8 = 304.
+  std::int64_t total = 0;
+  for (Parameter* p : block.parameters()) total += p->numel();
+  EXPECT_EQ(total, 4 * 4 * 9 + 8 + 4 * 4 * 9 + 8);
+}
+
+TEST(ResidualBlock, FreezePropagatesToAllParams) {
+  util::Rng rng(4);
+  ResidualBlock block(2, 4, 2, rng);
+  block.set_frozen(true);
+  for (const Parameter* p : block.parameters()) EXPECT_FALSE(p->trainable);
+}
+
+TEST(ResidualBlock, FrozenBackwardStillPropagatesInputGrad) {
+  util::Rng rng(5);
+  ResidualBlock block(3, 3, 1, rng);
+  block.set_frozen(true);
+  const Tensor x = Tensor::normal(Shape{1, 3, 4, 4}, rng);
+  const Tensor y = block.forward(x, Mode::kTrain);
+  const Tensor dx = block.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+  // Some gradient must flow through the identity shortcut.
+  float abs_sum = 0.0f;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) abs_sum += std::fabs(dx[i]);
+  EXPECT_GT(abs_sum, 0.0f);
+  for (const Parameter* p : block.parameters()) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(InvertedResidual, SkipOnlyWhenShapePreserved) {
+  util::Rng rng(6);
+  EXPECT_TRUE(InvertedResidual(4, 4, 1, 2, rng).has_skip());
+  EXPECT_FALSE(InvertedResidual(4, 8, 1, 2, rng).has_skip());
+  EXPECT_FALSE(InvertedResidual(4, 4, 2, 2, rng).has_skip());
+}
+
+TEST(InvertedResidual, OutputShapeWithStride) {
+  util::Rng rng(6);
+  InvertedResidual block(4, 8, 2, 4, rng);
+  EXPECT_EQ(block.output_shape(Shape{2, 4, 8, 8}), Shape({2, 8, 4, 4}));
+}
+
+TEST(InvertedResidual, ExpansionOneHasNoExpandConv) {
+  util::Rng rng(7);
+  InvertedResidual with(3, 3, 1, 4, rng);
+  InvertedResidual without(3, 3, 1, 1, rng);
+  std::int64_t with_params = 0, without_params = 0;
+  for (Parameter* p : with.parameters()) with_params += p->numel();
+  for (Parameter* p : without.parameters()) without_params += p->numel();
+  EXPECT_GT(with_params, without_params);
+}
+
+TEST(InvertedResidual, RejectsExpansionBelowOne) {
+  util::Rng rng(8);
+  EXPECT_THROW(InvertedResidual(3, 3, 1, 0, rng), std::invalid_argument);
+}
+
+TEST(Sequential, ChainsShapes) {
+  util::Rng rng(9);
+  Sequential net("n");
+  net.emplace<Conv2d>(3, 8, 3, 2, 1, false, rng, "c");
+  net.emplace<ReLU>();
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(8, 5, rng, "fc");
+  EXPECT_EQ(net.output_shape(Shape{2, 3, 16, 16}), Shape({2, 5}));
+  EXPECT_EQ(net.size(), 4);
+}
+
+TEST(Sequential, ForwardBackwardRoundTripShapes) {
+  util::Rng rng(10);
+  Sequential net("n");
+  net.emplace<Conv2d>(2, 4, 3, 1, 1, false, rng, "c");
+  net.emplace<ReLU>();
+  const Tensor x = Tensor::normal(Shape{2, 2, 5, 5}, rng);
+  const Tensor y = net.forward(x, Mode::kTrain);
+  const Tensor dx = net.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Sequential, StatsAggregate) {
+  util::Rng rng(11);
+  Sequential net("n");
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, false, rng, "c1");
+  net.emplace<Conv2d>(2, 2, 3, 1, 1, false, rng, "c2");
+  const LayerStats total = net.stats(Shape{1, 1, 4, 4});
+  const auto per_layer = net.layer_stats(Shape{1, 1, 4, 4});
+  ASSERT_EQ(per_layer.size(), 2u);
+  EXPECT_EQ(total.params, per_layer[0].params + per_layer[1].params);
+  EXPECT_EQ(total.macs, per_layer[0].macs + per_layer[1].macs);
+}
+
+TEST(Sequential, RejectsNullLayer) {
+  Sequential net("n");
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, FreezeRecurses) {
+  util::Rng rng(12);
+  Sequential net("n");
+  net.emplace<Conv2d>(1, 1, 3, 1, 1, false, rng, "c");
+  net.emplace<ResidualBlock>(1, 1, 1, rng, "rb");
+  net.set_frozen(true);
+  for (const Parameter* p : net.parameters()) EXPECT_FALSE(p->trainable);
+  EXPECT_TRUE(net.layer(1).frozen());
+}
+
+}  // namespace
+}  // namespace meanet::nn

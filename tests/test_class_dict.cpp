@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "data/class_dict.h"
+
+namespace meanet::data {
+namespace {
+
+TEST(ClassDict, BasicMapping) {
+  ClassDict dict(6, {5, 1, 3});
+  EXPECT_EQ(dict.num_classes(), 6);
+  EXPECT_EQ(dict.num_hard(), 3);
+  EXPECT_EQ(dict.num_easy(), 3);
+  // Hard classes are sorted: 1 -> 0, 3 -> 1, 5 -> 2.
+  EXPECT_EQ(dict.to_hard(1), 0);
+  EXPECT_EQ(dict.to_hard(3), 1);
+  EXPECT_EQ(dict.to_hard(5), 2);
+  EXPECT_EQ(dict.to_hard(0), -1);
+  EXPECT_EQ(dict.to_global(0), 1);
+  EXPECT_EQ(dict.to_global(2), 5);
+}
+
+TEST(ClassDict, IsHard) {
+  ClassDict dict(4, {2});
+  EXPECT_TRUE(dict.is_hard(2));
+  EXPECT_FALSE(dict.is_hard(0));
+  EXPECT_FALSE(dict.is_hard(3));
+}
+
+TEST(ClassDict, EasyClassesComplement) {
+  ClassDict dict(5, {0, 4});
+  EXPECT_EQ(dict.easy_classes(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ClassDict, RoundTripAllHardLabels) {
+  ClassDict dict(10, {9, 7, 5, 3, 1});
+  for (int h = 0; h < dict.num_hard(); ++h) {
+    EXPECT_EQ(dict.to_hard(dict.to_global(h)), h);
+  }
+}
+
+TEST(ClassDict, MappingVectorMatchesQueries) {
+  ClassDict dict(4, {1, 2});
+  const std::vector<int>& mapping = dict.mapping();
+  ASSERT_EQ(mapping.size(), 4u);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(mapping[static_cast<std::size_t>(c)], dict.to_hard(c));
+}
+
+TEST(ClassDict, AllClassesHard) {
+  ClassDict dict(3, {0, 1, 2});
+  EXPECT_EQ(dict.num_easy(), 0);
+  EXPECT_TRUE(dict.easy_classes().empty());
+}
+
+TEST(ClassDict, Validation) {
+  EXPECT_THROW(ClassDict(0, {}), std::invalid_argument);
+  EXPECT_THROW(ClassDict(4, {4}), std::out_of_range);
+  EXPECT_THROW(ClassDict(4, {-1}), std::out_of_range);
+  EXPECT_THROW(ClassDict(4, {1, 1}), std::invalid_argument);
+}
+
+TEST(ClassDict, OutOfRangeQueriesThrow) {
+  ClassDict dict(4, {1});
+  EXPECT_THROW(dict.to_hard(4), std::out_of_range);
+  EXPECT_THROW(dict.to_hard(-1), std::out_of_range);
+  EXPECT_THROW(dict.to_global(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace meanet::data

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace meanet::data {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 2;
+  spec.height = 6;
+  spec.width = 6;
+  spec.train_per_class = 10;
+  spec.test_per_class = 5;
+  return spec;
+}
+
+TEST(Synthetic, SizesMatchSpec) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 1);
+  EXPECT_EQ(ds.train.size(), 40);
+  EXPECT_EQ(ds.test.size(), 20);
+  EXPECT_EQ(ds.train.num_classes, 4);
+  EXPECT_EQ(ds.train.images.shape(), Shape({40, 2, 6, 6}));
+}
+
+TEST(Synthetic, DeterministicFromSeed) {
+  const SyntheticDataset a = make_synthetic(tiny_spec(), 7);
+  const SyntheticDataset b = make_synthetic(tiny_spec(), 7);
+  EXPECT_TRUE(allclose(a.train.images, b.train.images, 0.0f));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SyntheticDataset a = make_synthetic(tiny_spec(), 7);
+  const SyntheticDataset b = make_synthetic(tiny_spec(), 8);
+  EXPECT_FALSE(allclose(a.train.images, b.train.images, 1e-3f));
+}
+
+TEST(Synthetic, ConfuserPairingIsSymmetricInvolution) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 3);
+  for (int c = 0; c < 4; ++c) {
+    const int partner = ds.confuser[static_cast<std::size_t>(c)];
+    EXPECT_NE(partner, c);
+    EXPECT_EQ(ds.confuser[static_cast<std::size_t>(partner)], c);
+  }
+}
+
+TEST(Synthetic, DifficultySpansConfiguredRange) {
+  SyntheticSpec spec = tiny_spec();
+  spec.min_difficulty = 0.1f;
+  spec.max_difficulty = 0.9f;
+  const SyntheticDataset ds = make_synthetic(spec, 5);
+  const float lo = *std::min_element(ds.difficulty.begin(), ds.difficulty.end());
+  const float hi = *std::max_element(ds.difficulty.begin(), ds.difficulty.end());
+  EXPECT_FLOAT_EQ(lo, 0.1f);
+  EXPECT_FLOAT_EQ(hi, 0.9f);
+}
+
+TEST(Synthetic, RejectsOddClassCount) {
+  SyntheticSpec spec = tiny_spec();
+  spec.num_classes = 5;
+  EXPECT_THROW(make_synthetic(spec, 1), std::invalid_argument);
+}
+
+TEST(Synthetic, LabelsAreBalanced) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 2);
+  std::vector<int> counts(4, 0);
+  for (int label : ds.train.labels) ++counts[static_cast<std::size_t>(label)];
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(counts[static_cast<std::size_t>(c)], 10);
+}
+
+TEST(DatasetOps, SelectCopiesRows) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  const Dataset sel = select(ds.train, {0, 39});
+  EXPECT_EQ(sel.size(), 2);
+  EXPECT_EQ(sel.labels[0], ds.train.labels[0]);
+  EXPECT_EQ(sel.labels[1], ds.train.labels[39]);
+  EXPECT_TRUE(allclose(sel.instance(1), ds.train.instance(39), 0.0f));
+}
+
+TEST(DatasetOps, SelectRejectsBadIndex) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  EXPECT_THROW(select(ds.train, {40}), std::out_of_range);
+}
+
+TEST(DatasetOps, FilterByLabelsKeepsOnlyRequested) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  const Dataset filtered = filter_by_labels(ds.train, {1, 3});
+  EXPECT_EQ(filtered.size(), 20);
+  for (int label : filtered.labels) EXPECT_TRUE(label == 1 || label == 3);
+  EXPECT_EQ(filtered.num_classes, 4);  // label space unchanged
+}
+
+TEST(DatasetOps, RemapLabelsCompactsSpace) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  const Dataset filtered = filter_by_labels(ds.train, {1, 3});
+  std::vector<int> mapping{-1, 0, -1, 1};
+  const Dataset remapped = remap_labels(filtered, mapping, 2);
+  EXPECT_EQ(remapped.num_classes, 2);
+  for (int label : remapped.labels) EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(DatasetOps, RemapRejectsUnmappedInstance) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  std::vector<int> mapping{-1, 0, -1, 1};  // class 0 instances unmapped
+  EXPECT_THROW(remap_labels(ds.train, mapping, 2), std::invalid_argument);
+}
+
+TEST(DatasetOps, SplitPartitionsWithoutOverlap) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  util::Rng rng(1);
+  const SplitResult parts = split(ds.train, 0.9, rng);
+  EXPECT_EQ(parts.first.size(), 36);
+  EXPECT_EQ(parts.second.size(), 4);
+}
+
+TEST(DatasetOps, SplitFractionValidation) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  util::Rng rng(1);
+  EXPECT_THROW(split(ds.train, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(split(ds.train, 1.1, rng), std::invalid_argument);
+}
+
+TEST(DatasetOps, GatherBatchShapes) {
+  const SyntheticDataset ds = make_synthetic(tiny_spec(), 4);
+  const auto [images, labels] = gather_batch(ds.train, {3, 7, 11});
+  EXPECT_EQ(images.shape(), Shape({3, 2, 6, 6}));
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Batcher, CoversAllIndicesOncePerEpoch) {
+  util::Rng rng(5);
+  Batcher batcher(23, 5, rng);
+  const auto batches = batcher.epoch();
+  EXPECT_EQ(batches.size(), 5u);  // ceil(23/5)
+  std::set<int> seen;
+  for (const auto& batch : batches) {
+    for (int idx : batch) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_EQ(batches.back().size(), 3u);
+}
+
+TEST(Batcher, ShufflesBetweenEpochs) {
+  util::Rng rng(6);
+  Batcher batcher(50, 50, rng);
+  const auto epoch1 = batcher.epoch();
+  const auto epoch2 = batcher.epoch();
+  EXPECT_NE(epoch1[0], epoch2[0]);
+}
+
+TEST(Batcher, RejectsEmptyOrBadSizes) {
+  util::Rng rng(7);
+  EXPECT_THROW(Batcher(0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(Batcher(5, 0, rng), std::invalid_argument);
+}
+
+TEST(SpecPresets, AreWellFormed) {
+  const SyntheticSpec cifar = cifar_like_spec();
+  EXPECT_EQ(cifar.num_classes % 2, 0);
+  EXPECT_GT(cifar.train_per_class, 0);
+  const SyntheticSpec imagenet = imagenet_like_spec();
+  // The ImageNet-like images must be larger (communication-dominated
+  // regime in Fig. 8).
+  EXPECT_GT(imagenet.height * imagenet.width, cifar.height * cifar.width);
+}
+
+}  // namespace
+}  // namespace meanet::data

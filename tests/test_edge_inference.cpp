@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_inference.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "tiny_models.h"
+#include "util/rng.h"
+
+namespace meanet::core {
+namespace {
+
+using meanet::testing::tiny_meanet_b;
+
+TEST(EdgeInferenceEngine, DecisionsCoverBatch) {
+  util::Rng rng(1);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  EdgeInferenceEngine engine(net, dict, PolicyConfig{});
+  const Tensor images = Tensor::normal(Shape{5, 2, 8, 8}, rng);
+  const auto decisions = engine.infer(images);
+  EXPECT_EQ(decisions.size(), 5u);
+  for (const InstanceDecision& d : decisions) {
+    EXPECT_GE(d.prediction, 0);
+    EXPECT_LT(d.prediction, 4);
+    EXPECT_GE(d.entropy, 0.0f);
+    EXPECT_GT(d.main_confidence, 0.0f);
+  }
+}
+
+TEST(EdgeInferenceEngine, RoutesMatchPolicy) {
+  util::Rng rng(2);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  PolicyConfig config;
+  config.cloud_available = true;
+  config.entropy_threshold = 0.9;
+  EdgeInferenceEngine engine(net, dict, config);
+  const Tensor images = Tensor::normal(Shape{16, 2, 8, 8}, rng);
+  for (const InstanceDecision& d : engine.infer(images)) {
+    const Route expected = engine.policy().route(d.entropy, d.main_prediction);
+    EXPECT_EQ(d.route, expected);
+  }
+}
+
+TEST(EdgeInferenceEngine, MainExitKeepsMainPrediction) {
+  util::Rng rng(3);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  EdgeInferenceEngine engine(net, dict, PolicyConfig{});
+  const Tensor images = Tensor::normal(Shape{12, 2, 8, 8}, rng);
+  for (const InstanceDecision& d : engine.infer(images)) {
+    if (d.route == Route::kMainExit) {
+      EXPECT_EQ(d.prediction, d.main_prediction);
+      EXPECT_EQ(d.extension_confidence, 0.0f);
+    }
+  }
+}
+
+TEST(EdgeInferenceEngine, ExtensionRouteUsesConfidenceComparison) {
+  util::Rng rng(4);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const Tensor images = Tensor::normal(Shape{32, 2, 8, 8}, rng);
+  // An untrained net can collapse onto one predicted class; build the
+  // hard set around the classes it actually predicts so the extension
+  // route is exercised.
+  const MainForward fwd = net.forward_main(images, nn::Mode::kEval);
+  const std::vector<int> preds = ops::row_argmax(fwd.logits);
+  std::vector<int> counts(4, 0);
+  for (int p : preds) ++counts[static_cast<std::size_t>(p)];
+  std::vector<int> order{0, 1, 2, 3};
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return counts[static_cast<std::size_t>(a)] > counts[static_cast<std::size_t>(b)]; });
+  const data::ClassDict dict(4, {order[0], order[1]});
+  EdgeInferenceEngine engine(net, dict, PolicyConfig{});
+  bool saw_extension = false;
+  for (const InstanceDecision& d : engine.infer(images)) {
+    if (d.route != Route::kExtensionExit) continue;
+    saw_extension = true;
+    EXPECT_GT(d.extension_confidence, 0.0f);
+    if (d.extension_confidence > d.main_confidence) {
+      // Winner was exit 2: prediction must be a hard class.
+      EXPECT_TRUE(dict.is_hard(d.prediction));
+    } else {
+      EXPECT_EQ(d.prediction, d.main_prediction);
+    }
+  }
+  // With an untrained net and 32 inputs, some should be detected hard.
+  EXPECT_TRUE(saw_extension);
+}
+
+TEST(EdgeInferenceEngine, CloudRouteKeepsFallbackPrediction) {
+  util::Rng rng(5);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  PolicyConfig config;
+  config.cloud_available = true;
+  config.entropy_threshold = 0.0;  // everything (entropy > 0) to cloud
+  EdgeInferenceEngine engine(net, dict, config);
+  const Tensor images = Tensor::normal(Shape{6, 2, 8, 8}, rng);
+  for (const InstanceDecision& d : engine.infer(images)) {
+    EXPECT_EQ(d.route, Route::kCloud);
+    EXPECT_EQ(d.prediction, d.main_prediction);
+  }
+}
+
+TEST(EdgeInferenceEngine, InferDatasetMatchesBatchedInfer) {
+  util::Rng rng(6);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  EdgeInferenceEngine engine(net, dict, PolicyConfig{});
+  const data::SyntheticDataset ds = data::make_synthetic(meanet::testing::tiny_data_spec(), 9);
+  const auto via_dataset = engine.infer_dataset(ds.test, 7);  // odd batch size
+  const auto via_batch = engine.infer(ds.test.images);
+  ASSERT_EQ(via_dataset.size(), via_batch.size());
+  for (std::size_t i = 0; i < via_batch.size(); ++i) {
+    EXPECT_EQ(via_dataset[i].prediction, via_batch[i].prediction) << i;
+    EXPECT_EQ(via_dataset[i].route, via_batch[i].route) << i;
+  }
+}
+
+TEST(CountRoutes, TalliesCorrectly) {
+  std::vector<InstanceDecision> decisions(6);
+  decisions[0].route = Route::kMainExit;
+  decisions[1].route = Route::kMainExit;
+  decisions[2].route = Route::kExtensionExit;
+  decisions[3].route = Route::kCloud;
+  decisions[4].route = Route::kCloud;
+  decisions[5].route = Route::kCloud;
+  const RouteCounts counts = count_routes(decisions);
+  EXPECT_EQ(counts.main_exit, 2);
+  EXPECT_EQ(counts.extension_exit, 1);
+  EXPECT_EQ(counts.cloud, 3);
+  EXPECT_EQ(counts.total(), 6);
+  EXPECT_DOUBLE_EQ(counts.cloud_fraction(), 0.5);
+}
+
+TEST(CountRoutes, EmptyIsZero) {
+  const RouteCounts counts = count_routes({});
+  EXPECT_EQ(counts.total(), 0);
+  EXPECT_DOUBLE_EQ(counts.cloud_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace meanet::core

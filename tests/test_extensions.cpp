@@ -1,0 +1,224 @@
+// Tests for the optional/extension features: MaxPool2d, Dropout, weight
+// quantization, the binary hard detector, and the feature-offload cloud
+// head.
+#include <gtest/gtest.h>
+
+#include "core/hard_detector.h"
+#include "core/trainer.h"
+#include "gradcheck_util.h"
+#include "nn/dropout.h"
+#include "nn/maxpool.h"
+#include "nn/quantize.h"
+#include "nn/conv2d.h"
+#include "sim/feature_cloud.h"
+#include "tiny_models.h"
+
+namespace meanet {
+namespace {
+
+using meanet::testing::tiny_data_spec;
+using meanet::testing::tiny_meanet_b;
+
+// ---------- MaxPool2d ----------
+
+TEST(MaxPool2d, SelectsWindowMaxima) {
+  nn::MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 4}, std::vector<float>{1, 5, 2, 0, 3, 4, 8, 6});
+  const Tensor y = pool.forward(x, nn::Mode::kEval);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 8.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmaxOnly) {
+  nn::MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 5, 2, 0});
+  pool.forward(x, nn::Mode::kTrain);
+  Tensor g(Shape{1, 1, 1, 1}, std::vector<float>{3.0f});
+  const Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 3.0f);  // position of the max
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  util::Rng rng(1);
+  nn::MaxPool2d pool(2);
+  // Well-separated values keep the argmax stable under perturbation.
+  Tensor x = Tensor::normal(Shape{2, 2, 4, 4}, rng, 0.0f, 5.0f);
+  meanet::testing::check_layer_gradients(pool, x, rng);
+}
+
+TEST(MaxPool2d, RejectsBadGeometry) {
+  EXPECT_THROW(nn::MaxPool2d(0), std::invalid_argument);
+  nn::MaxPool2d pool(2);
+  EXPECT_THROW(pool.output_shape(Shape{1, 1, 3, 4}), std::invalid_argument);
+}
+
+// ---------- Dropout ----------
+
+TEST(Dropout, EvalModeIsIdentity) {
+  util::Rng rng(2);
+  nn::Dropout dropout(0.5f, rng);
+  const Tensor x = Tensor::normal(Shape{2, 8}, rng);
+  EXPECT_TRUE(allclose(dropout.forward(x, nn::Mode::kEval), x, 0.0f));
+}
+
+TEST(Dropout, TrainModeDropsAndRescales) {
+  util::Rng rng(3);
+  nn::Dropout dropout(0.5f, rng);
+  const Tensor x = Tensor::ones(Shape{1, 1000});
+  const Tensor y = dropout.forward(x, nn::Mode::kTrain);
+  int dropped = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++dropped;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  // Expected ~500 dropped; allow generous slack.
+  EXPECT_GT(dropped, 350);
+  EXPECT_LT(dropped, 650);
+  // Expectation is preserved.
+  EXPECT_NEAR(y.mean(), 1.0f, 0.15f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  util::Rng rng(4);
+  nn::Dropout dropout(0.3f, rng);
+  const Tensor x = Tensor::ones(Shape{1, 100});
+  const Tensor y = dropout.forward(x, nn::Mode::kTrain);
+  const Tensor dx = dropout.backward(Tensor::ones(Shape{1, 100}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(dx[i], y[i]);  // same scaled mask on ones
+  }
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  util::Rng rng(5);
+  EXPECT_THROW(nn::Dropout(-0.1f, rng), std::invalid_argument);
+  EXPECT_THROW(nn::Dropout(1.0f, rng), std::invalid_argument);
+}
+
+// ---------- Quantization ----------
+
+TEST(Quantize, EightBitIsNearLossless) {
+  util::Rng rng(6);
+  nn::Conv2d conv(3, 4, 3, 1, 1, true, rng);
+  const Tensor before = conv.weight().value;
+  const nn::QuantizationReport report = nn::quantize_weights(conv, 8);
+  EXPECT_EQ(report.bits, 8);
+  EXPECT_EQ(report.quantized_params, conv.weight().numel() + conv.bias().numel());
+  // Max error bounded by half a quantization step.
+  const float max_abs = [&] {
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < before.numel(); ++i) m = std::max(m, std::fabs(before[i]));
+    return m;
+  }();
+  EXPECT_LE(report.max_abs_error, 0.5f * max_abs / 127.0f + 1e-6f);
+}
+
+TEST(Quantize, FewerBitsMoreError) {
+  util::Rng rng(7);
+  nn::Conv2d conv8(3, 4, 3, 1, 1, false, rng);
+  util::Rng rng2(7);
+  nn::Conv2d conv2(3, 4, 3, 1, 1, false, rng2);
+  const float err8 = nn::quantize_weights(conv8, 8).mean_abs_error;
+  const float err2 = nn::quantize_weights(conv2, 2).mean_abs_error;
+  EXPECT_GT(err2, err8);
+}
+
+TEST(Quantize, IdempotentAtSameBits) {
+  util::Rng rng(8);
+  nn::Conv2d conv(2, 2, 3, 1, 1, false, rng);
+  nn::quantize_weights(conv, 4);
+  const Tensor once = conv.weight().value;
+  nn::quantize_weights(conv, 4);
+  EXPECT_TRUE(allclose(once, conv.weight().value, 1e-6f));
+}
+
+TEST(Quantize, RejectsBadBits) {
+  util::Rng rng(9);
+  nn::Conv2d conv(2, 2, 3, 1, 1, false, rng);
+  EXPECT_THROW(nn::quantize_weights(conv, 1), std::invalid_argument);
+  EXPECT_THROW(nn::quantize_weights(conv, 17), std::invalid_argument);
+}
+
+// ---------- Binary hard detector ----------
+
+TEST(BinaryHardDetector, LearnsBetterThanChance) {
+  util::Rng rng(10);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 61);
+  const data::ClassDict dict(4, {0, 1});  // any fixed split works
+  core::BinaryHardDetector detector(2, rng);
+  core::TrainOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 16;
+  util::Rng train_rng(11);
+  const core::TrainCurve curve = detector.train(ds.train, dict, opts, train_rng);
+  EXPECT_GT(curve.back().accuracy, 0.6);
+  EXPECT_GT(detector.detection_accuracy(ds.test, dict), 0.55);
+}
+
+TEST(BinaryHardDetector, DetectReturnsPerInstanceFlags) {
+  util::Rng rng(12);
+  core::BinaryHardDetector detector(2, rng);
+  const Tensor images = Tensor::normal(Shape{7, 2, 8, 8}, rng);
+  EXPECT_EQ(detector.detect(images).size(), 7u);
+}
+
+// ---------- Feature-offload cloud ----------
+
+TEST(FeatureCloud, ExtractFeaturesShapes) {
+  util::Rng rng(13);
+  core::MEANet net = tiny_meanet_b(rng, 2);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 62);
+  const data::Dataset features = sim::extract_features(net, ds.test, 16);
+  EXPECT_EQ(features.size(), ds.test.size());
+  EXPECT_EQ(features.labels, ds.test.labels);
+  const Shape expected = net.main_trunk().output_shape(ds.test.instance_shape());
+  EXPECT_EQ(features.images.shape().channels(), expected.channels());
+  EXPECT_EQ(features.images.shape().height(), expected.height());
+}
+
+TEST(FeatureCloud, HeadTrainsOnFeatures) {
+  util::Rng rng(14);
+  core::MEANet net = tiny_meanet_b(rng, 2);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 63);
+  // Give the trunk some structure first.
+  core::DistributedTrainer trainer(net);
+  core::TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 16;
+  util::Rng train_rng(15);
+  trainer.train_main(ds.train, opts, train_rng);
+  net.freeze_main();
+
+  const Shape feature_shape = net.main_trunk().output_shape(ds.test.instance_shape());
+  sim::FeatureCloudNode cloud(feature_shape, 4, rng);
+  const core::TrainCurve curve = cloud.train(net, ds.train, opts, train_rng);
+  EXPECT_GT(curve.back().accuracy, 0.5);
+
+  const data::Dataset test_features = sim::extract_features(net, ds.test);
+  const std::vector<int> preds = cloud.classify_features(test_features.images);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == ds.test.labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.4);
+}
+
+TEST(FeatureCloud, FeatureBytes) {
+  EXPECT_EQ(sim::FeatureCloudNode::feature_bytes(Shape{1, 8, 2, 2}), 4 * 8 * 2 * 2);
+  EXPECT_EQ(sim::FeatureCloudNode::feature_bytes(Shape{5, 8, 2, 2}), 4 * 8 * 2 * 2);
+}
+
+TEST(FeatureCloud, RejectsBadFeatureShape) {
+  util::Rng rng(16);
+  EXPECT_THROW(sim::FeatureCloudNode(Shape{8, 2}, 4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meanet

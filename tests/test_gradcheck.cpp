@@ -1,0 +1,184 @@
+// Finite-difference gradient checks for every trainable layer and both
+// composite blocks — the core correctness property of the backprop
+// substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gradcheck_util.h"
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/inverted_residual.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual_block.h"
+#include "nn/sequential.h"
+
+namespace meanet::nn {
+namespace {
+
+using meanet::testing::check_layer_gradients;
+using meanet::testing::GradCheckOptions;
+
+TEST(GradCheck, Conv2dBasic) {
+  util::Rng rng(100);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  check_layer_gradients(conv, Tensor::normal(Shape{2, 2, 5, 5}, rng), rng);
+}
+
+TEST(GradCheck, Conv2dStridedNoPadding) {
+  util::Rng rng(101);
+  Conv2d conv(3, 2, 3, 2, 0, false, rng);
+  check_layer_gradients(conv, Tensor::normal(Shape{2, 3, 7, 7}, rng), rng);
+}
+
+TEST(GradCheck, Conv2dOneByOne) {
+  util::Rng rng(102);
+  Conv2d conv(4, 2, 1, 1, 0, false, rng);
+  check_layer_gradients(conv, Tensor::normal(Shape{2, 4, 3, 3}, rng), rng);
+}
+
+TEST(GradCheck, DepthwiseConv2d) {
+  util::Rng rng(103);
+  DepthwiseConv2d dw(3, 3, 1, 1, rng);
+  check_layer_gradients(dw, Tensor::normal(Shape{2, 3, 5, 5}, rng), rng);
+}
+
+TEST(GradCheck, DepthwiseConv2dStrided) {
+  util::Rng rng(104);
+  DepthwiseConv2d dw(2, 3, 2, 1, rng);
+  check_layer_gradients(dw, Tensor::normal(Shape{1, 2, 6, 6}, rng), rng);
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(105);
+  Linear fc(6, 4, rng);
+  check_layer_gradients(fc, Tensor::normal(Shape{3, 6}, rng), rng);
+}
+
+TEST(GradCheck, BatchNormTrainMode) {
+  util::Rng rng(106);
+  BatchNorm2d bn(3);
+  GradCheckOptions opts;
+  opts.mode = Mode::kTrain;
+  // Batch statistics make the gradient couple across instances; the
+  // analytic formula must match the full dependency.
+  check_layer_gradients(bn, Tensor::normal(Shape{4, 3, 3, 3}, rng), rng, opts);
+}
+
+TEST(GradCheck, BatchNormEvalMode) {
+  util::Rng rng(107);
+  BatchNorm2d bn(2);
+  GradCheckOptions opts;
+  opts.mode = Mode::kEval;
+  check_layer_gradients(bn, Tensor::normal(Shape{2, 2, 4, 4}, rng), rng, opts);
+}
+
+TEST(GradCheck, ReLU) {
+  util::Rng rng(108);
+  ReLU relu;
+  // Keep activations away from the kink for finite differences.
+  Tensor x = Tensor::normal(Shape{2, 3, 4, 4}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  check_layer_gradients(relu, x, rng);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  util::Rng rng(109);
+  GlobalAvgPool pool;
+  check_layer_gradients(pool, Tensor::normal(Shape{2, 3, 4, 4}, rng), rng);
+}
+
+TEST(GradCheck, AvgPool2d) {
+  util::Rng rng(110);
+  AvgPool2d pool(2);
+  check_layer_gradients(pool, Tensor::normal(Shape{2, 2, 4, 4}, rng), rng);
+}
+
+TEST(GradCheck, ResidualBlockIdentityShortcut) {
+  util::Rng rng(111);
+  ResidualBlock block(3, 3, 1, rng);
+  GradCheckOptions opts;
+  // Composite blocks: ReLU kinks + train-mode BN make coarse finite
+  // differences noisy (error ~ O(eps)); use a finer step.
+  opts.epsilon = 1.5e-3f;
+  opts.tolerance = 2e-2f;
+  check_layer_gradients(block, Tensor::normal(Shape{3, 3, 4, 4}, rng), rng, opts);
+}
+
+TEST(GradCheck, ResidualBlockProjectionShortcut) {
+  util::Rng rng(112);
+  ResidualBlock block(2, 4, 2, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1.5e-3f;
+  opts.tolerance = 2e-2f;
+  check_layer_gradients(block, Tensor::normal(Shape{3, 2, 6, 6}, rng), rng, opts);
+}
+
+TEST(GradCheck, InvertedResidualWithSkip) {
+  util::Rng rng(113);
+  InvertedResidual block(3, 3, 1, 2, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 5e-4f;
+  opts.tolerance = 3e-2f;
+  check_layer_gradients(block, Tensor::normal(Shape{3, 3, 4, 4}, rng), rng, opts);
+}
+
+TEST(GradCheck, InvertedResidualStridedNoSkip) {
+  util::Rng rng(114);
+  InvertedResidual block(2, 4, 2, 2, rng);
+  GradCheckOptions opts;
+  // BN beta shifts whole channels across the ReLU6 kink: needs a
+  // very fine step before the finite difference converges.
+  opts.epsilon = 1e-4f;
+  opts.tolerance = 4e-2f;
+  check_layer_gradients(block, Tensor::normal(Shape{2, 2, 6, 6}, rng), rng, opts);
+}
+
+TEST(GradCheck, InvertedResidualNoExpansion) {
+  util::Rng rng(115);
+  InvertedResidual block(3, 3, 1, 1, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 5e-4f;
+  opts.tolerance = 3e-2f;
+  check_layer_gradients(block, Tensor::normal(Shape{2, 3, 4, 4}, rng), rng, opts);
+}
+
+TEST(GradCheck, SequentialConvBnReluLinearPipeline) {
+  util::Rng rng(116);
+  Sequential net("pipeline");
+  net.emplace<Conv2d>(2, 3, 3, 1, 1, false, rng, "c1");
+  net.emplace<BatchNorm2d>(3);
+  net.emplace<ReLU>();
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(3, 4, rng, "fc");
+  GradCheckOptions opts;
+  opts.epsilon = 1.5e-3f;
+  opts.tolerance = 2e-2f;
+  check_layer_gradients(net, Tensor::normal(Shape{3, 2, 5, 5}, rng), rng, opts);
+}
+
+// Parameterized sweep: conv gradients hold across geometry combinations.
+class ConvGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};  // kernel, stride, padding
+
+TEST_P(ConvGeometrySweep, GradientsMatchFiniteDifferences) {
+  const auto [kernel, stride, padding] = GetParam();
+  util::Rng rng(200 + kernel * 16 + stride * 4 + padding);
+  Conv2d conv(2, 2, kernel, stride, padding, true, rng);
+  const int size = 7;
+  if (conv.output_shape(Shape{1, 2, size, size}).height() <= 0) GTEST_SKIP();
+  check_layer_gradients(conv, Tensor::normal(Shape{1, 2, size, size}, rng), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvGeometrySweep,
+                         ::testing::Combine(::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace meanet::nn

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  Tensor logits(Shape{2, 4}, 0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-3f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbMinusOneHotOverBatch) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{1.0f, 2.0f, 3.0f, 0.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {2, 1});
+  const Tensor p = ops::softmax(logits);
+  for (int n = 0; n < 2; ++n) {
+    for (int c = 0; c < 3; ++c) {
+      const float expected =
+          (p.at(n, c) - ((n == 0 && c == 2) || (n == 1 && c == 1) ? 1.0f : 0.0f)) / 2.0f;
+      EXPECT_NEAR(r.grad.at(n, c), expected, 1e-6f);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng(21);
+  Tensor logits = Tensor::normal(Shape{3, 5}, rng);
+  const std::vector<int> labels{1, 4, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < logits.numel(); i += 2) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float plus = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig - eps;
+    const float minus = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(r.grad[i], (plus - minus) / (2.0f * eps), 2e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, PredictionsAreArgmax) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{0.0f, 5.0f, 1.0f, 2.0f, 0.0f, 1.0f});
+  const LossResult r = softmax_cross_entropy(logits, {1, 0});
+  EXPECT_EQ(r.predictions, (std::vector<int>{1, 0}));
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, GradRowsSumToZero) {
+  util::Rng rng(22);
+  const Tensor logits = Tensor::normal(Shape{4, 6}, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (int n = 0; n < 4; ++n) {
+    float row = 0.0f;
+    for (int c = 0; c < 6; ++c) row += r.grad.at(n, c);
+    EXPECT_NEAR(row, 0.0f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace meanet::nn

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "metrics/classification_metrics.h"
+#include "metrics/confusion_matrix.h"
+#include "metrics/entropy_stats.h"
+
+namespace meanet::metrics {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionAndFdr) {
+  ConfusionMatrix cm(2);
+  // Class 1 predicted 4 times, 3 correct -> precision 0.75, FDR 0.25.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(0, 1);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.75);
+  EXPECT_DOUBLE_EQ(cm.false_discovery_rate(1), 0.25);
+}
+
+TEST(ConfusionMatrix, NeverPredictedClassHasPrecisionOne) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+}
+
+TEST(ConfusionMatrix, Recall) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(0, 0);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, RankingAscendingPrecision) {
+  ConfusionMatrix cm(3);
+  // Class 0: precision 1.0; class 1: 0.5; class 2: never predicted (1.0).
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(0, 1);
+  const std::vector<int> ranked = cm.classes_by_ascending_precision();
+  EXPECT_EQ(ranked[0], 1);
+}
+
+TEST(ConfusionMatrix, LabelValidation) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+}
+
+TEST(Accuracy, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(AccuracyOnClasses, RestrictsToSubset) {
+  const std::vector<int> preds{0, 1, 2, 2};
+  const std::vector<int> labels{0, 1, 1, 2};
+  // Only classes {1}: instances at positions 1 (correct) and 2 (wrong).
+  EXPECT_DOUBLE_EQ(accuracy_on_classes(preds, labels, {1}, 3), 0.5);
+  // Empty subset -> 0 by convention.
+  EXPECT_DOUBLE_EQ(accuracy_on_classes(preds, labels, {}, 3), 0.0);
+}
+
+TEST(ErrorTypes, ClassifiesAllFourTypes) {
+  // Classes: 0, 1 easy; 2, 3 hard.
+  const std::vector<bool> is_hard{false, false, true, true};
+  const std::vector<int> labels{0, 2, 0, 2, 1};
+  const std::vector<int> preds{2, 0, 1, 3, 1};
+  // 0->2: easy as hard; 2->0: hard as easy; 0->1: easy as easy;
+  // 2->3: hard as hard; 1->1 correct (not counted).
+  const ErrorTypeBreakdown breakdown = error_types(preds, labels, is_hard);
+  EXPECT_EQ(breakdown.easy_as_hard, 1);
+  EXPECT_EQ(breakdown.hard_as_easy, 1);
+  EXPECT_EQ(breakdown.easy_as_easy, 1);
+  EXPECT_EQ(breakdown.hard_as_hard, 1);
+  EXPECT_EQ(breakdown.total_errors(), 4);
+  EXPECT_DOUBLE_EQ(breakdown.fraction(breakdown.hard_as_hard), 0.25);
+}
+
+TEST(ErrorTypes, NoErrorsGivesZeroFractions) {
+  const ErrorTypeBreakdown breakdown =
+      error_types({0, 1}, {0, 1}, std::vector<bool>{false, true});
+  EXPECT_EQ(breakdown.total_errors(), 0);
+  EXPECT_DOUBLE_EQ(breakdown.fraction(breakdown.easy_as_hard), 0.0);
+}
+
+TEST(EntropyStats, MeansSeparateCorrectFromWrong) {
+  EntropyStats stats;
+  stats.add(0.1f, true);
+  stats.add(0.3f, true);
+  stats.add(1.5f, false);
+  stats.add(2.5f, false);
+  EXPECT_NEAR(stats.mu_correct(), 0.2, 1e-6);
+  EXPECT_NEAR(stats.mu_wrong(), 2.0, 1e-6);
+  EXPECT_EQ(stats.num_correct(), 2);
+  EXPECT_EQ(stats.num_wrong(), 2);
+  const auto [lo, hi] = stats.threshold_range();
+  EXPECT_LT(lo, hi);
+  EXPECT_NEAR(stats.default_threshold(), 1.1, 1e-6);
+}
+
+TEST(EntropyStats, EmptyIsZero) {
+  EntropyStats stats;
+  EXPECT_DOUBLE_EQ(stats.mu_correct(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mu_wrong(), 0.0);
+}
+
+}  // namespace
+}  // namespace meanet::metrics

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/model_stats.h"
+#include "nn/sequential.h"
+#include "nn/training_memory.h"
+#include "util/rng.h"
+
+namespace meanet::nn {
+namespace {
+
+TEST(ModelStats, SingleLayerAttribution) {
+  util::Rng rng(1);
+  Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  const ModelStats trained = collect_stats(conv, Shape{1, 3, 8, 8});
+  EXPECT_EQ(trained.trained_params, 4 * 3 * 9);
+  EXPECT_EQ(trained.fixed_params, 0);
+  conv.set_frozen(true);
+  const ModelStats fixed = collect_stats(conv, Shape{1, 3, 8, 8});
+  EXPECT_EQ(fixed.fixed_params, 4 * 3 * 9);
+  EXPECT_EQ(fixed.trained_params, 0);
+  EXPECT_EQ(fixed.total_macs(), trained.total_macs());
+}
+
+TEST(ModelStats, PipelineThreadsShapes) {
+  util::Rng rng(2);
+  Conv2d conv(2, 4, 3, 2, 1, false, rng);   // 8x8 -> 4x4
+  Conv2d conv2(4, 4, 3, 1, 1, false, rng);  // at 4x4
+  const ModelStats stats =
+      collect_stats({&conv, &conv2}, Shape{1, 2, 8, 8});
+  // conv2 MACs must be computed at the downsampled resolution.
+  EXPECT_EQ(stats.total_macs(),
+            static_cast<std::int64_t>(4) * 2 * 9 * 4 * 4 + static_cast<std::int64_t>(4) * 4 * 9 * 4 * 4);
+}
+
+TEST(ModelStats, AccumulateOperator) {
+  ModelStats a, b;
+  a.fixed_params = 1;
+  a.trained_macs = 5;
+  b.trained_params = 2;
+  b.fixed_macs = 7;
+  a += b;
+  EXPECT_EQ(a.total_params(), 3);
+  EXPECT_EQ(a.total_macs(), 12);
+}
+
+TEST(ModelStats, FormatMillions) {
+  EXPECT_EQ(format_millions(370000), "0.37");
+  EXPECT_EQ(format_millions(27460000), "27.46");
+}
+
+TEST(TrainingMemory, BlockwiseNeedsLessThanJoint) {
+  util::Rng rng(3);
+  Sequential frozen_part("main");
+  frozen_part.emplace<Conv2d>(3, 8, 3, 1, 1, false, rng, "m1");
+  frozen_part.emplace<Conv2d>(8, 8, 3, 1, 1, false, rng, "m2");
+  Sequential trained_part("ext");
+  trained_part.emplace<Conv2d>(8, 8, 3, 1, 1, false, rng, "e1");
+
+  const Shape image{1, 3, 8, 8};
+  const Shape feature{1, 8, 8, 8};
+  const std::vector<MemorySegment> blockwise{
+      {&frozen_part, image, /*trained=*/false},
+      {&trained_part, feature, /*trained=*/true},
+  };
+  const std::vector<MemorySegment> joint{
+      {&frozen_part, image, /*trained=*/true},
+      {&trained_part, feature, /*trained=*/true},
+  };
+  const MemoryBreakdown ours = estimate_training_memory(blockwise, 128);
+  const MemoryBreakdown baseline = estimate_training_memory(joint, 128);
+  EXPECT_LT(ours.total(), baseline.total());
+  // Parameters resident in both cases.
+  EXPECT_EQ(ours.parameter_bytes, baseline.parameter_bytes);
+  // Frozen part contributes no gradient/momentum/activation bytes.
+  EXPECT_LT(ours.gradient_bytes, baseline.gradient_bytes);
+  EXPECT_LT(ours.activation_bytes, baseline.activation_bytes);
+}
+
+TEST(TrainingMemory, ScalesWithBatchSize) {
+  util::Rng rng(4);
+  Sequential net("n");
+  net.emplace<Conv2d>(2, 4, 3, 1, 1, false, rng, "c");
+  const std::vector<MemorySegment> segments{{&net, Shape{1, 2, 8, 8}, true}};
+  const MemoryBreakdown b32 = estimate_training_memory(segments, 32);
+  const MemoryBreakdown b64 = estimate_training_memory(segments, 64);
+  EXPECT_EQ(b64.activation_bytes, 2 * b32.activation_bytes);
+  EXPECT_EQ(b64.parameter_bytes, b32.parameter_bytes);
+}
+
+TEST(TrainingMemory, Validation) {
+  util::Rng rng(5);
+  Sequential net("n");
+  net.emplace<Conv2d>(2, 4, 3, 1, 1, false, rng, "c");
+  EXPECT_THROW(estimate_training_memory({{&net, Shape{1, 2, 8, 8}, true}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_training_memory({{nullptr, Shape{1, 2, 8, 8}, true}}, 1),
+               std::invalid_argument);
+}
+
+TEST(TrainingMemory, MibConversion) {
+  MemoryBreakdown b;
+  b.parameter_bytes = 1024 * 1024;
+  EXPECT_DOUBLE_EQ(b.total_mib(), 1.0);
+}
+
+}  // namespace
+}  // namespace meanet::nn

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "nn/lr_schedule.h"
+#include "nn/optimizer.h"
+
+namespace meanet::nn {
+namespace {
+
+Parameter make_param(float value, float grad) {
+  Parameter p("p", Tensor(Shape{1}, value));
+  p.grad[0] = grad;
+  return p;
+}
+
+TEST(SGD, VanillaStep) {
+  Parameter p = make_param(1.0f, 0.5f);
+  SGD opt({&p}, SgdOptions{0.1f, 0.0f, 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(SGD, WeightDecayAddsToGradient) {
+  Parameter p = make_param(2.0f, 0.0f);
+  SGD opt({&p}, SgdOptions{0.1f, 0.0f, 0.5f});
+  opt.step();
+  // effective grad = 0 + 0.5 * 2 = 1; update = -0.1.
+  EXPECT_FLOAT_EQ(p.value[0], 1.9f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Parameter p = make_param(0.0f, 1.0f);
+  SGD opt({&p}, SgdOptions{1.0f, 0.5f, 0.0f});
+  opt.step();  // v = 1, x = -1
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1.5, x = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(SGD, SkipsFrozenParameters) {
+  Parameter p = make_param(1.0f, 1.0f);
+  p.trainable = false;
+  SGD opt({&p}, SgdOptions{0.1f, 0.9f, 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+}
+
+TEST(SGD, ZeroGradClearsAll) {
+  Parameter p = make_param(1.0f, 3.0f);
+  SGD opt({&p}, SgdOptions{});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(SGD, RejectsNullParameter) {
+  EXPECT_THROW(SGD({nullptr}, SgdOptions{}), std::invalid_argument);
+}
+
+TEST(MultiStepLR, DecaysAtMilestones) {
+  Parameter p = make_param(0.0f, 0.0f);
+  SGD opt({&p}, SgdOptions{1.0f, 0.0f, 0.0f});
+  MultiStepLR schedule(opt, {2, 4}, 0.1f);
+  schedule.step();  // epoch 1
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  schedule.step();  // epoch 2 -> decay
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+  schedule.step();  // epoch 3
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+  schedule.step();  // epoch 4 -> decay
+  EXPECT_NEAR(opt.learning_rate(), 0.01f, 1e-7f);
+}
+
+TEST(MultiStepLR, UnsortedMilestonesHandled) {
+  Parameter p = make_param(0.0f, 0.0f);
+  SGD opt({&p}, SgdOptions{1.0f, 0.0f, 0.0f});
+  MultiStepLR schedule(opt, {3, 1}, 0.5f);
+  schedule.step();
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+  schedule.step();
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+  schedule.step();
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.25f);
+}
+
+}  // namespace
+}  // namespace meanet::nn

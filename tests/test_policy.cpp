@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/inference_policy.h"
+
+namespace meanet::core {
+namespace {
+
+data::ClassDict make_dict() { return data::ClassDict(4, {2, 3}); }
+
+TEST(InferencePolicy, EasyPredictionExitsAtMain) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{1.0, true});
+  EXPECT_EQ(policy.route(0.5f, 0), Route::kMainExit);
+  EXPECT_EQ(policy.route(0.5f, 1), Route::kMainExit);
+}
+
+TEST(InferencePolicy, HardPredictionGoesToExtension) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{1.0, true});
+  EXPECT_EQ(policy.route(0.5f, 2), Route::kExtensionExit);
+  EXPECT_EQ(policy.route(0.5f, 3), Route::kExtensionExit);
+}
+
+TEST(InferencePolicy, HighEntropyGoesToCloudRegardlessOfClass) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{1.0, true});
+  EXPECT_EQ(policy.route(1.5f, 0), Route::kCloud);
+  EXPECT_EQ(policy.route(1.5f, 2), Route::kCloud);
+}
+
+TEST(InferencePolicy, CloudUnavailableFallsBackToEdgeRoutes) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{1.0, false});
+  EXPECT_EQ(policy.route(5.0f, 0), Route::kMainExit);
+  EXPECT_EQ(policy.route(5.0f, 3), Route::kExtensionExit);
+}
+
+TEST(InferencePolicy, ThresholdIsExclusive) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{1.0, true});
+  // Entropy exactly at the threshold stays at the edge ("> threshold").
+  EXPECT_EQ(policy.route(1.0f, 0), Route::kMainExit);
+}
+
+TEST(InferencePolicy, ZeroThresholdSendsEverythingWithPositiveEntropy) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{0.0, true});
+  EXPECT_EQ(policy.route(0.01f, 1), Route::kCloud);
+}
+
+TEST(InferencePolicy, InfiniteThresholdDisablesCloud) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{});  // default: +inf, no cloud
+  EXPECT_EQ(policy.route(100.0f, 0), Route::kMainExit);
+}
+
+TEST(InferencePolicy, IsHardMatchesDict) {
+  const data::ClassDict dict = make_dict();
+  InferencePolicy policy(dict, PolicyConfig{});
+  EXPECT_FALSE(policy.is_hard(0));
+  EXPECT_TRUE(policy.is_hard(2));
+}
+
+TEST(RouteName, AllRoutesNamed) {
+  EXPECT_STREQ(route_name(Route::kMainExit), "main");
+  EXPECT_STREQ(route_name(Route::kExtensionExit), "extension");
+  EXPECT_STREQ(route_name(Route::kCloud), "cloud");
+}
+
+}  // namespace
+}  // namespace meanet::core

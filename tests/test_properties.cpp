@@ -1,0 +1,216 @@
+// Property-based parameterized suites: invariants that must hold across
+// sweeps of shapes, channel counts, strides, batch sizes, fusion modes
+// and thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builders.h"
+#include "core/edge_inference.h"
+#include "nn/conv2d.h"
+#include "nn/batchnorm2d.h"
+#include "nn/loss.h"
+#include "nn/residual_block.h"
+#include "tensor/ops.h"
+#include "sim/energy_model.h"
+#include "tiny_models.h"
+
+namespace meanet {
+namespace {
+
+// ---------- Convolution linearity & geometry sweep ----------
+
+class ConvShapeSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvShapeSweep, OutputShapeMatchesFormulaAndForwardAgrees) {
+  const auto [in_c, out_c, size] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(in_c * 100 + out_c * 10 + size));
+  nn::Conv2d conv(in_c, out_c, 3, 1, 1, false, rng);
+  const Tensor x = Tensor::normal(Shape{2, in_c, size, size}, rng);
+  const Tensor y = conv.forward(x, nn::Mode::kEval);
+  EXPECT_EQ(y.shape(), conv.output_shape(x.shape()));
+  EXPECT_EQ(y.shape(), Shape({2, out_c, size, size}));
+}
+
+TEST_P(ConvShapeSweep, ForwardIsLinearInInput) {
+  const auto [in_c, out_c, size] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(in_c * 7 + out_c * 3 + size));
+  nn::Conv2d conv(in_c, out_c, 3, 1, 1, /*bias=*/false, rng);
+  const Tensor a = Tensor::normal(Shape{1, in_c, size, size}, rng);
+  const Tensor b = Tensor::normal(Shape{1, in_c, size, size}, rng);
+  // conv(a + 2b) == conv(a) + 2 conv(b) for a bias-free convolution.
+  Tensor combined = a;
+  combined.axpy_(2.0f, b);
+  const Tensor lhs = conv.forward(combined, nn::Mode::kEval);
+  Tensor rhs = conv.forward(a, nn::Mode::kEval);
+  rhs.axpy_(2.0f, conv.forward(b, nn::Mode::kEval));
+  EXPECT_TRUE(allclose(lhs, rhs, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvShapeSweep,
+                         ::testing::Combine(::testing::Values(1, 3), ::testing::Values(1, 4),
+                                            ::testing::Values(4, 7)));
+
+// ---------- Softmax invariances ----------
+
+class SoftmaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxSweep, ShiftInvariantAndNormalized) {
+  const int cols = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(cols));
+  const Tensor logits = Tensor::normal(Shape{3, cols}, rng, 0.0f, 2.0f);
+  Tensor shifted = logits;
+  for (std::int64_t i = 0; i < shifted.numel(); ++i) shifted[i] += 100.0f;
+  EXPECT_TRUE(allclose(ops::softmax(logits), ops::softmax(shifted), 1e-5f));
+  const Tensor p = ops::softmax(logits);
+  for (int r = 0; r < 3; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) total += p.at(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(SoftmaxSweep, EntropyBounds) {
+  const int cols = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(cols) + 50);
+  const Tensor p = ops::softmax(Tensor::normal(Shape{5, cols}, rng, 0.0f, 3.0f));
+  for (float h : ops::row_entropy(p)) {
+    EXPECT_GE(h, 0.0f);
+    EXPECT_LE(h, std::log(static_cast<float>(cols)) + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Columns, SoftmaxSweep, ::testing::Values(2, 5, 17, 100));
+
+// ---------- Loss invariants across batch sizes ----------
+
+class LossBatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossBatchSweep, LossIsMeanOverBatch) {
+  const int batch = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(batch));
+  const Tensor logits = Tensor::normal(Shape{batch, 6}, rng);
+  std::vector<int> labels(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) labels[static_cast<std::size_t>(i)] = i % 6;
+  const nn::LossResult all = nn::softmax_cross_entropy(logits, labels);
+  // Mean of per-instance losses must equal the batch loss.
+  double per_instance_sum = 0.0;
+  for (int i = 0; i < batch; ++i) {
+    const nn::LossResult one = nn::softmax_cross_entropy(
+        logits.slice_batch(i), {labels[static_cast<std::size_t>(i)]});
+    per_instance_sum += one.loss;
+  }
+  EXPECT_NEAR(all.loss, per_instance_sum / batch, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, LossBatchSweep, ::testing::Values(1, 2, 7, 32));
+
+// ---------- BatchNorm batch-size invariance in eval mode ----------
+
+class BatchNormEvalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchNormEvalSweep, EvalIsPerInstance) {
+  const int batch = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(batch) + 7);
+  nn::BatchNorm2d bn(3);
+  // Give running stats some structure.
+  bn.forward(Tensor::normal(Shape{8, 3, 4, 4}, rng, 2.0f, 3.0f), nn::Mode::kTrain);
+  const Tensor x = Tensor::normal(Shape{batch, 3, 4, 4}, rng);
+  const Tensor batched = bn.forward(x, nn::Mode::kEval);
+  // Eval-mode output of instance i must not depend on the rest of the
+  // batch.
+  for (int i = 0; i < batch; ++i) {
+    const Tensor single = bn.forward(x.slice_batch(i), nn::Mode::kEval);
+    EXPECT_TRUE(allclose(single, batched.slice_batch(i), 1e-6f)) << "instance " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchNormEvalSweep, ::testing::Values(1, 3, 8));
+
+// ---------- Routing invariants over fusion modes and thresholds ----------
+
+class RoutingSweep
+    : public ::testing::TestWithParam<std::tuple<core::FusionMode, double>> {};
+
+TEST_P(RoutingSweep, RoutesArePolicyConsistentAndExhaustive) {
+  const auto [fusion, threshold] = GetParam();
+  util::Rng rng(11);
+  core::MEANet net = meanet::testing::tiny_meanet_b(rng, 2, fusion);
+  const data::ClassDict dict(4, {0, 3});
+  core::PolicyConfig config;
+  config.cloud_available = true;
+  config.entropy_threshold = threshold;
+  core::EdgeInferenceEngine engine(net, dict, config);
+  const Tensor images = Tensor::normal(Shape{24, 2, 8, 8}, rng);
+  const auto decisions = engine.infer(images);
+  ASSERT_EQ(decisions.size(), 24u);
+  const core::RouteCounts counts = core::count_routes(decisions);
+  EXPECT_EQ(counts.total(), 24);
+  for (const auto& d : decisions) {
+    // Every decision is one of the three routes with a valid prediction.
+    EXPECT_GE(d.prediction, 0);
+    EXPECT_LT(d.prediction, 4);
+    if (d.route == core::Route::kCloud) {
+      EXPECT_GT(static_cast<double>(d.entropy), threshold);
+    } else if (d.route == core::Route::kExtensionExit) {
+      EXPECT_TRUE(dict.is_hard(d.main_prediction));
+    } else {
+      EXPECT_FALSE(dict.is_hard(d.main_prediction));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FusionAndThreshold, RoutingSweep,
+    ::testing::Combine(::testing::Values(core::FusionMode::kSum, core::FusionMode::kConcat),
+                       ::testing::Values(0.0, 0.5, 1.5, 100.0)));
+
+// ---------- Energy model monotonicity ----------
+
+class EnergyBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyBetaSweep, EdgeCostMonotoneInBeta) {
+  const double beta = GetParam();
+  sim::CostParams params;
+  params.edge_compute = 1.0;
+  params.cloud_compute = 3.0;
+  params.comm_raw = 2.0;
+  params.comm_features = 1.5;
+  const sim::EnergyModel model(params);
+  const double base = model.edge_cloud_raw(100, beta).edge_total();
+  if (beta + 0.1 <= 1.0) {
+    const double more = model.edge_cloud_raw(100, beta + 0.1).edge_total();
+    EXPECT_GT(more, base);
+  }
+  // Identity: raw-mode total == edge_only + beta * (cloud_only totals).
+  const sim::CostBreakdown raw = model.edge_cloud_raw(100, beta);
+  EXPECT_NEAR(raw.communication, beta * model.cloud_only(100).communication, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, EnergyBetaSweep, ::testing::Values(0.0, 0.25, 0.5, 0.9));
+
+// ---------- Dataset determinism / generation sweep ----------
+
+class SyntheticSizeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyntheticSizeSweep, GeneratesConsistentGeometry) {
+  const auto [classes, size] = GetParam();
+  data::SyntheticSpec spec;
+  spec.num_classes = classes;
+  spec.height = size;
+  spec.width = size;
+  spec.channels = 3;
+  spec.train_per_class = 4;
+  spec.test_per_class = 2;
+  const data::SyntheticDataset ds = data::make_synthetic(spec, 5);
+  EXPECT_EQ(ds.train.images.shape(), Shape({classes * 4, 3, size, size}));
+  EXPECT_EQ(ds.test.images.shape(), Shape({classes * 2, 3, size, size}));
+  EXPECT_EQ(static_cast<int>(ds.difficulty.size()), classes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, SyntheticSizeSweep,
+                         ::testing::Combine(::testing::Values(2, 6, 10),
+                                            ::testing::Values(8, 16)));
+
+}  // namespace
+}  // namespace meanet

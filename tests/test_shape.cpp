@@ -1,0 +1,70 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace meanet {
+namespace {
+
+TEST(Shape, DefaultIsRankZero) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, InitializerListConstruction) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(3), 5);
+}
+
+TEST(Shape, NegativeAxisCountsFromEnd) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.dim(-3), std::out_of_range);
+}
+
+TEST(Shape, RejectsMoreThanFourDims) {
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsNegativeDims) { EXPECT_THROW(Shape({2, -1}), std::invalid_argument); }
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  Shape s{3, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, NchwAccessors) {
+  Shape s{2, 3, 8, 9};
+  EXPECT_EQ(s.batch(), 2);
+  EXPECT_EQ(s.channels(), 3);
+  EXPECT_EQ(s.height(), 8);
+  EXPECT_EQ(s.width(), 9);
+}
+
+TEST(Shape, NchwAccessorsThrowOnWrongRank) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.batch(), std::logic_error);
+  EXPECT_THROW(s.height(), std::logic_error);
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]"); }
+
+}  // namespace
+}  // namespace meanet

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/device_model.h"
+#include "sim/energy_model.h"
+#include "sim/wifi_model.h"
+
+namespace meanet::sim {
+namespace {
+
+TEST(WifiModel, PaperPowerConstant) {
+  // Paper §IV-B: P_upload = 283.17 mW/Mbps * 18.88 Mbps + 132.86 mW
+  //            = 5.48 W.
+  WifiModel wifi;
+  EXPECT_NEAR(wifi.upload_power_w(), 5.48, 0.01);
+}
+
+TEST(WifiModel, PaperCifarUploadTime) {
+  // 32x32x3 bytes at 18.88 Mb/s ~= 1.3 ms (paper Table VII).
+  WifiModel wifi;
+  EXPECT_NEAR(wifi.upload_time_s(32 * 32 * 3) * 1e3, 1.3, 0.05);
+}
+
+TEST(WifiModel, PaperImagenetUploadTime) {
+  // 224x224x3 bytes ~= 63.7 ms (paper Table VII).
+  WifiModel wifi;
+  EXPECT_NEAR(wifi.upload_time_s(224 * 224 * 3) * 1e3, 63.7, 0.3);
+}
+
+TEST(WifiModel, PaperImagenetUploadEnergy) {
+  // E_cu = 5.48 W * 63.7 ms ~= 349 mJ (paper Table VII).
+  WifiModel wifi;
+  EXPECT_NEAR(wifi.upload_energy_j(224 * 224 * 3) * 1e3, 349.0, 2.0);
+}
+
+TEST(WifiModel, EnergyScalesLinearlyWithBytes) {
+  WifiModel wifi;
+  EXPECT_NEAR(wifi.upload_energy_j(2000), 2.0 * wifi.upload_energy_j(1000), 1e-9);
+}
+
+TEST(WifiModel, RejectsNegativePayload) {
+  WifiModel wifi;
+  EXPECT_THROW(wifi.upload_time_s(-1), std::invalid_argument);
+}
+
+TEST(DeviceModel, ComputeTimeFromMacs) {
+  DeviceModel device;
+  device.macs_per_second = 1e9;
+  EXPECT_DOUBLE_EQ(device.compute_time_s(5e8), 0.5);
+  EXPECT_DOUBLE_EQ(device.compute_energy_j(5e8), 0.5 * device.compute_power_w);
+}
+
+TEST(DeviceModel, PaperCifarPreset) {
+  // Paper Table VII: 56 W, 0.056 ms per image -> E_cp ~= 3.14 mJ.
+  const DeviceModel device = DeviceModel::paper_cifar_gpu();
+  const double e_mj = device.compute_energy_j(69e6) * 1e3;
+  EXPECT_NEAR(e_mj, 3.14, 0.05);
+}
+
+TEST(DeviceModel, PaperImagenetPreset) {
+  // Paper Table VII: 75 W, 0.203 ms -> E_cp ~= 15.2 mJ.
+  const DeviceModel device = DeviceModel::paper_imagenet_gpu();
+  const double e_mj = device.compute_energy_j(1.8e9) * 1e3;
+  EXPECT_NEAR(e_mj, 15.2, 0.2);
+}
+
+TEST(DeviceModel, RejectsNegativeMacs) {
+  DeviceModel device;
+  EXPECT_THROW(device.compute_time_s(-5), std::invalid_argument);
+}
+
+CostParams test_params() {
+  CostParams p;
+  p.edge_compute = 1.0;
+  p.cloud_compute = 4.0;
+  p.comm_raw = 2.0;
+  p.comm_features = 3.0;
+  return p;
+}
+
+TEST(EnergyModel, EdgeOnlyRow) {
+  EnergyModel model(test_params());
+  const CostBreakdown c = model.edge_only(10);
+  EXPECT_DOUBLE_EQ(c.edge_compute, 10.0);
+  EXPECT_DOUBLE_EQ(c.cloud_compute, 0.0);
+  EXPECT_DOUBLE_EQ(c.communication, 0.0);
+}
+
+TEST(EnergyModel, CloudOnlyRow) {
+  EnergyModel model(test_params());
+  const CostBreakdown c = model.cloud_only(10);
+  EXPECT_DOUBLE_EQ(c.edge_compute, 0.0);
+  EXPECT_DOUBLE_EQ(c.cloud_compute, 40.0);
+  EXPECT_DOUBLE_EQ(c.communication, 20.0);
+  EXPECT_DOUBLE_EQ(c.edge_total(), 20.0);  // only comm burdens the edge
+}
+
+TEST(EnergyModel, EdgeCloudRawRow) {
+  EnergyModel model(test_params());
+  const CostBreakdown c = model.edge_cloud_raw(10, 0.25);
+  EXPECT_DOUBLE_EQ(c.edge_compute, 10.0);          // N * x
+  EXPECT_DOUBLE_EQ(c.cloud_compute, 10.0);         // beta*N*x_cl
+  EXPECT_DOUBLE_EQ(c.communication, 5.0);          // beta*N*x_cu
+}
+
+TEST(EnergyModel, EdgeCloudFeaturesRow) {
+  EnergyModel model(test_params());
+  const CostBreakdown c = model.edge_cloud_features(10, 0.5, 1.0 / 3.0);
+  EXPECT_NEAR(c.edge_compute, 10.0 / 3.0, 1e-9);               // N*q*x
+  EXPECT_NEAR(c.cloud_compute, 0.5 * 10 * (2.0 / 3.0) * 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.communication, 0.5 * 10 * 3.0);           // beta*N*x'_cu
+}
+
+TEST(EnergyModel, BetaZeroMatchesEdgeOnlyAtEdge) {
+  EnergyModel model(test_params());
+  EXPECT_DOUBLE_EQ(model.edge_cloud_raw(10, 0.0).edge_total(),
+                   model.edge_only(10).edge_total());
+}
+
+TEST(EnergyModel, BetaOneCommMatchesCloudOnlyComm) {
+  EnergyModel model(test_params());
+  EXPECT_DOUBLE_EQ(model.edge_cloud_raw(10, 1.0).communication,
+                   model.cloud_only(10).communication);
+}
+
+TEST(EnergyModel, RejectsBadBetaAndQ) {
+  EnergyModel model(test_params());
+  EXPECT_THROW(model.edge_cloud_raw(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(model.edge_cloud_raw(1, 1.1), std::invalid_argument);
+  EXPECT_THROW(model.edge_cloud_features(1, 0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(model.edge_cloud_features(1, 0.5, 1.5), std::invalid_argument);
+}
+
+TEST(EnergyModel, TotalIsSumOfParts) {
+  EnergyModel model(test_params());
+  const CostBreakdown c = model.edge_cloud_raw(7, 0.3);
+  EXPECT_DOUBLE_EQ(c.total(), c.edge_compute + c.cloud_compute + c.communication);
+}
+
+}  // namespace
+}  // namespace meanet::sim

@@ -1,0 +1,131 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace meanet {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(Shape{4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ValueConstructorChecksCount) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+  Tensor ok(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(ok[1], 2.0f);
+}
+
+TEST(Tensor, NchwIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 7.0f);
+  EXPECT_EQ(t.at(1, 2, 3, 4), 7.0f);
+}
+
+TEST(Tensor, MatrixIndexing) {
+  Tensor t(Shape{3, 4});
+  t.at(2, 1) = 9.0f;
+  EXPECT_EQ(t[9], 9.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW(t.at(std::int64_t{4}), std::out_of_range);
+  EXPECT_THROW(t.at(std::int64_t{-1}), std::out_of_range);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, SliceBatchSingle) {
+  Tensor t(Shape{3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor s = t.slice_batch(1);
+  EXPECT_EQ(s.shape(), Shape({1, 2}));
+  EXPECT_EQ(s[0], 3.0f);
+  EXPECT_EQ(s[1], 4.0f);
+}
+
+TEST(Tensor, SliceBatchRange) {
+  Tensor t(Shape{4, 2}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor s = t.slice_batch(1, 2);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s[0], 3.0f);
+  EXPECT_EQ(s[3], 6.0f);
+  EXPECT_THROW(t.slice_batch(3, 2), std::out_of_range);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a(Shape{3}, std::vector<float>{1, 2, 3});
+  Tensor b(Shape{3}, std::vector<float>{4, 5, 6});
+  a.add_(b);
+  EXPECT_EQ(a[0], 5.0f);
+  a.sub_(b);
+  EXPECT_EQ(a[2], 3.0f);
+  a.scale_(2.0f);
+  EXPECT_EQ(a[1], 4.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a[0], 4.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, std::vector<float>{1, -2, 3, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  util::Rng rng1(42), rng2(42);
+  const Tensor a = Tensor::normal(Shape{10}, rng1);
+  const Tensor b = Tensor::normal(Shape{10}, rng2);
+  EXPECT_TRUE(allclose(a, b, 0.0f));
+}
+
+TEST(Tensor, UniformRange) {
+  util::Rng rng(7);
+  const Tensor t = Tensor::uniform(Shape{100}, rng, -0.5f, 0.5f);
+  EXPECT_GE(t.min(), -0.5f);
+  EXPECT_LT(t.max(), 0.5f);
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b(Shape{2}, std::vector<float>{1.0f, 2.000001f});
+  EXPECT_TRUE(allclose(a, b, 1e-4f));
+  EXPECT_FALSE(allclose(a, b, 1e-8f));
+  EXPECT_FALSE(allclose(a, Tensor(Shape{3}), 1.0f));
+}
+
+TEST(Tensor, OperatorPlusMinus) {
+  Tensor a(Shape{2}, std::vector<float>{1, 2});
+  Tensor b(Shape{2}, std::vector<float>{3, 5});
+  EXPECT_FLOAT_EQ((a + b)[1], 7.0f);
+  EXPECT_FLOAT_EQ((b - a)[0], 2.0f);
+  EXPECT_FLOAT_EQ((a * 3.0f)[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace meanet

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "core/builders.h"
+#include "core/complexity.h"
+#include "core/trainer.h"
+#include "tensor/ops.h"
+#include "tiny_models.h"
+
+namespace meanet::core {
+namespace {
+
+using meanet::testing::tiny_data_spec;
+using meanet::testing::tiny_meanet_b;
+using meanet::testing::tiny_resnet_config;
+
+TrainOptions fast_options(int epochs = 4) {
+  TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = 16;
+  options.sgd.learning_rate = 0.05f;
+  return options;
+}
+
+TEST(TrainClassifier, LossDecreasesAndAccuracyRises) {
+  util::Rng rng(1);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 11);
+  nn::Sequential net = build_resnet_classifier(tiny_resnet_config(), rng);
+  util::Rng train_rng(2);
+  const TrainCurve curve = train_classifier(net, ds.train, fast_options(6), train_rng);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_LT(curve.back().loss, curve.front().loss);
+  EXPECT_GT(curve.back().accuracy, curve.front().accuracy);
+  // Better than chance (4 classes -> 0.25) by a clear margin.
+  EXPECT_GT(curve.back().accuracy, 0.5);
+}
+
+TEST(TrainClassifier, RejectsEmptyDataset) {
+  util::Rng rng(1);
+  nn::Sequential net = build_resnet_classifier(tiny_resnet_config(), rng);
+  data::Dataset empty;
+  empty.num_classes = 4;
+  empty.images = Tensor(Shape{0, 2, 8, 8});
+  util::Rng train_rng(2);
+  EXPECT_THROW(train_classifier(net, empty, fast_options(), train_rng), std::invalid_argument);
+}
+
+TEST(DistributedTrainer, TrainMainImprovesMainAccuracy) {
+  util::Rng rng(3);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 12);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  util::Rng train_rng(4);
+  const TrainCurve curve = trainer.train_main(ds.train, fast_options(6), train_rng);
+  EXPECT_GT(curve.back().accuracy, 0.5);
+  const MainProfile profile = profile_main(net, ds.test);
+  EXPECT_GT(profile.accuracy, 0.4);
+}
+
+TEST(DistributedTrainer, HardClassSelectionMatchesLowestPrecision) {
+  util::Rng rng(5);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 13);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  util::Rng train_rng(6);
+  trainer.train_main(ds.train, fast_options(5), train_rng);
+  const data::ClassDict dict = trainer.select_hard_classes_from_validation(ds.test, 2);
+  EXPECT_EQ(dict.num_hard(), 2);
+  // The dictionary must contain exactly the 2 lowest-precision classes.
+  const MainProfile profile = profile_main(net, ds.test);
+  const std::vector<int> expected = select_hard_classes(profile.confusion, 2);
+  for (int c : expected) EXPECT_TRUE(dict.is_hard(c));
+}
+
+TEST(DistributedTrainer, EdgeTrainingOnlyTouchesEdgeParams) {
+  util::Rng rng(7);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 14);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  util::Rng train_rng(8);
+  trainer.train_main(ds.train, fast_options(3), train_rng);
+
+  const data::ClassDict dict = trainer.select_hard_classes_from_validation(ds.test, 2);
+  // Snapshot main parameters.
+  std::vector<Tensor> before;
+  for (nn::Parameter* p : net.main_parameters()) before.push_back(p->value);
+  trainer.train_edge_blocks(ds.train, dict, fast_options(2), train_rng);
+  const auto main_params = net.main_parameters();
+  for (std::size_t i = 0; i < main_params.size(); ++i) {
+    EXPECT_TRUE(allclose(before[i], main_params[i]->value, 0.0f)) << main_params[i]->name;
+  }
+  EXPECT_TRUE(net.main_frozen());
+}
+
+TEST(DistributedTrainer, Algorithm1ImprovesHardClassAccuracy) {
+  util::Rng rng(9);
+  // Extra-noisy variant so the main block is genuinely imperfect on the
+  // hard classes (otherwise there is nothing for the extension to fix).
+  data::SyntheticSpec spec = tiny_data_spec();
+  spec.noise_stddev = 0.45f;
+  spec.min_difficulty = 0.45f;
+  spec.max_difficulty = 0.95f;
+  spec.train_per_class = 50;
+  spec.test_per_class = 25;
+  const data::SyntheticDataset ds = data::make_synthetic(spec, 15);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  util::Rng train_rng(10);
+  trainer.train_main(ds.train, fast_options(6), train_rng);
+  const data::ClassDict dict = trainer.select_hard_classes_from_validation(ds.test, 2);
+
+  // Hard-class accuracy of the main block alone (on hard test data).
+  const data::Dataset hard_test = data::filter_by_labels(ds.test, dict.hard_classes());
+  const MainProfile before = profile_main(net, hard_test);
+
+  const TrainCurve curve = trainer.train_edge_blocks(ds.train, dict, fast_options(12), train_rng);
+  // Training accuracy at exit 2 should become strong on the reduced
+  // 2-class problem.
+  EXPECT_GT(curve.back().accuracy, 0.7);
+  // And exit-2 test accuracy on hard classes should beat the main block.
+  const data::Dataset hard_remapped =
+      data::remap_labels(hard_test, dict.mapping(), dict.num_hard());
+  std::int64_t correct = 0;
+  for (int start = 0; start < hard_remapped.size(); start += 16) {
+    const int count = std::min(16, hard_remapped.size() - start);
+    const Tensor images = hard_remapped.images.slice_batch(start, count);
+    const MainForward fwd = net.forward_main(images, nn::Mode::kEval);
+    const Tensor y2 = net.forward_extension(images, fwd.features, nn::Mode::kEval);
+    const auto preds = ops::row_argmax(y2);
+    for (int i = 0; i < count; ++i) {
+      if (preds[static_cast<std::size_t>(i)] ==
+          hard_remapped.labels[static_cast<std::size_t>(start + i)]) {
+        ++correct;
+      }
+    }
+  }
+  const double ext_accuracy =
+      static_cast<double>(correct) / static_cast<double>(hard_remapped.size());
+  // Exit 2 solves a 2-class problem; main solves 4-class. It should be
+  // clearly better on hard instances.
+  EXPECT_GT(ext_accuracy, before.accuracy);
+}
+
+TEST(DistributedTrainer, JointTrainingRunsAndLearns) {
+  util::Rng rng(11);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 16);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  const data::ClassDict dict(4, {0, 1});
+  util::Rng train_rng(12);
+  const TrainCurve curve = trainer.train_joint(ds.train, dict, fast_options(5), train_rng);
+  EXPECT_LT(curve.back().loss, curve.front().loss);
+  // Joint training must leave main parameters trainable.
+  for (const nn::Parameter* p : net.main_parameters()) EXPECT_TRUE(p->trainable);
+}
+
+TEST(DistributedTrainer, SeparateTrainingRunsBothPhases) {
+  util::Rng rng(16);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 18);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  const data::ClassDict dict(4, {1, 2});
+  util::Rng train_rng(17);
+  const TrainCurve curve = trainer.train_separate(ds.train, dict, fast_options(3), train_rng);
+  // Two phases of 3 epochs each.
+  EXPECT_EQ(curve.size(), 6u);
+  // Phase 2 left the conv blocks frozen and exit 1 trainable.
+  EXPECT_TRUE(net.main_trunk().frozen());
+  EXPECT_TRUE(net.adaptive().frozen());
+  EXPECT_TRUE(net.extension().frozen());
+  for (const nn::Parameter* p : net.main_exit().parameters()) EXPECT_TRUE(p->trainable);
+  // Exit 1 should have learned something better than chance.
+  EXPECT_GT(curve.back().accuracy, 0.3);
+}
+
+TEST(SelectHardClasses, Validation) {
+  metrics::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_THROW(select_hard_classes(cm, 0), std::invalid_argument);
+  EXPECT_THROW(select_hard_classes(cm, 4), std::invalid_argument);
+}
+
+TEST(SelectRandomClasses, SizeAndRange) {
+  util::Rng rng(13);
+  const std::vector<int> classes = select_random_classes(10, 4, rng);
+  EXPECT_EQ(classes.size(), 4u);
+  for (int c : classes) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 10);
+  }
+}
+
+TEST(ProfileMain, EntropyStatsSeparateCorrectFromWrong) {
+  util::Rng rng(14);
+  const data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 17);
+  MEANet net = tiny_meanet_b(rng, 2);
+  DistributedTrainer trainer(net);
+  util::Rng train_rng(15);
+  trainer.train_main(ds.train, fast_options(6), train_rng);
+  const MainProfile profile = profile_main(net, ds.test);
+  // The paper's premise (§III-C): wrong predictions have higher mean
+  // entropy than correct ones.
+  ASSERT_GT(profile.entropy.num_correct(), 0);
+  ASSERT_GT(profile.entropy.num_wrong(), 0);
+  EXPECT_GT(profile.entropy.mu_wrong(), profile.entropy.mu_correct());
+}
+
+}  // namespace
+}  // namespace meanet::core

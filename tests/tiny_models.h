@@ -1,0 +1,47 @@
+// Tiny shared fixtures for the core/sim tests: very small synthetic
+// datasets and MEANets that train in well under a second.
+#pragma once
+
+#include "core/builders.h"
+#include "core/meanet.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace meanet::testing {
+
+inline data::SyntheticSpec tiny_data_spec() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 2;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_per_class = 20;
+  spec.test_per_class = 10;
+  // Hard enough that the main block does *not* saturate: the error-type
+  // and cloud-improvement tests need a non-trivial error mass.
+  spec.min_difficulty = 0.25f;
+  spec.max_difficulty = 0.9f;
+  spec.noise_stddev = 0.35f;
+  return spec;
+}
+
+inline core::ResNetConfig tiny_resnet_config(int num_classes = 4, int image_channels = 2) {
+  core::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.channels = {4, 6, 8};
+  config.image_channels = image_channels;
+  config.num_classes = num_classes;
+  return config;
+}
+
+inline core::MEANet tiny_meanet_b(util::Rng& rng, int num_hard = 2,
+                                  core::FusionMode fusion = core::FusionMode::kSum) {
+  return core::build_resnet_meanet_b(tiny_resnet_config(), num_hard, fusion, rng);
+}
+
+inline core::MEANet tiny_meanet_a(util::Rng& rng, int num_hard = 2,
+                                  core::FusionMode fusion = core::FusionMode::kSum) {
+  return core::build_resnet_meanet_a(tiny_resnet_config(), num_hard, fusion, rng);
+}
+
+}  // namespace meanet::testing
