@@ -20,6 +20,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "metrics/classification_metrics.h"
+#include "runtime/session.h"
 #include "tensor/ops.h"
 
 using namespace meanet;
@@ -108,26 +109,20 @@ int main() {
   adapt_opts.milestones = {5, 7};
   trainer.train_edge_blocks(mixed, dict, adapt_opts, train_rng);
 
-  // 4. After adaptation: confidence-compared MEANet prediction.
+  // 4. After adaptation: confidence-compared MEANet prediction. The
+  //    always-extend routing policy runs every instance through both
+  //    exits and keeps the more confident one — the evaluation mode of
+  //    the paper's Tables II/V, served through the runtime API.
+  runtime::EngineConfig serve;
+  serve.net = &net;
+  serve.dict = &dict;
+  serve.policy = std::make_shared<core::AlwaysExtendPolicy>();
+  serve.batch_size = 32;
+  runtime::InferenceSession session(serve);
   auto meanet_accuracy = [&](const data::Dataset& d) {
     std::int64_t correct = 0;
-    for (int start = 0; start < d.size(); start += 32) {
-      const int count = std::min(32, d.size() - start);
-      const Tensor images = d.images.slice_batch(start, count);
-      const core::MainForward fwd = net.forward_main(images, nn::Mode::kEval);
-      const Tensor y2 = net.forward_extension(images, fwd.features, nn::Mode::kEval);
-      const Tensor p1 = ops::softmax(fwd.logits);
-      const Tensor p2 = ops::softmax(y2);
-      const auto pred1 = ops::row_argmax(p1);
-      const auto conf1 = ops::row_max(p1);
-      const auto pred2 = ops::row_argmax(p2);
-      const auto conf2 = ops::row_max(p2);
-      for (int i = 0; i < count; ++i) {
-        const std::size_t idx = static_cast<std::size_t>(i);
-        const int pred =
-            conf2[idx] > conf1[idx] ? dict.to_global(pred2[idx]) : pred1[idx];
-        if (pred == d.labels[static_cast<std::size_t>(start + i)]) ++correct;
-      }
+    for (const runtime::InferenceResult& r : session.run(d)) {
+      if (r.prediction == d.labels[static_cast<std::size_t>(r.id)]) ++correct;
     }
     return static_cast<double>(correct) / d.size();
   };

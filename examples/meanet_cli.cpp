@@ -4,10 +4,13 @@
 //   meanet_cli train --out DIR [--classes N] [--hard N] [--epochs N]
 //       runs Alg. 1 on a synthetic workload and saves the trained blocks
 //       + class dictionary into DIR (the "cloud side" of the story);
-//   meanet_cli eval --model DIR [--threshold T]
-//       loads the blocks (the "edge downloads the model" step), runs
-//       routed inference on the matching test set, and reports accuracy,
-//       exit distribution and detection accuracy;
+//   meanet_cli eval --model DIR [--threshold T] [--policy entropy|margin]
+//                   [--margin M] [--threads N]
+//       loads the blocks (the "edge downloads the model" step), serves
+//       routed inference on the matching test set through the
+//       meanet::runtime session API (N worker threads on weight-synced
+//       replicas), and reports accuracy, exit distribution and
+//       detection accuracy;
 //   meanet_cli info --model DIR
 //       prints parameter/MAC statistics of the stored model.
 //
@@ -21,12 +24,12 @@
 #include <string>
 
 #include "core/builders.h"
-#include "core/edge_inference.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "metrics/classification_metrics.h"
 #include "nn/model_stats.h"
 #include "nn/serialize.h"
+#include "runtime/session.h"
 
 using namespace meanet;
 
@@ -39,13 +42,17 @@ struct Args {
   int hard = 5;
   int epochs = 10;
   double threshold = std::numeric_limits<double>::infinity();
+  std::string policy = "entropy";
+  double margin = 0.0;
+  int threads = 1;
   std::uint64_t seed = 7;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: meanet_cli train --out DIR [--classes N] [--hard N] [--epochs N]\n"
-               "       meanet_cli eval  --model DIR [--threshold T]\n"
+               "       meanet_cli eval  --model DIR [--threshold T] [--policy entropy|margin]\n"
+               "                        [--margin M] [--threads N]\n"
                "       meanet_cli info  --model DIR\n");
   return 2;
 }
@@ -66,6 +73,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.epochs = std::stoi(value);
     } else if (key == "--threshold") {
       args.threshold = std::stod(value);
+    } else if (key == "--policy") {
+      args.policy = value;
+    } else if (key == "--margin") {
+      args.margin = std::stod(value);
+    } else if (key == "--threads") {
+      args.threads = std::stoi(value);
     } else if (key == "--seed") {
       args.seed = std::stoull(value);
     } else {
@@ -189,21 +202,60 @@ int cmd_eval(const Args& args) {
   const data::ClassDict dict(meta.classes, meta.hard_classes);
 
   const data::SyntheticDataset ds = data::make_synthetic(make_spec(meta.classes), meta.seed);
-  core::PolicyConfig policy;
-  policy.entropy_threshold = args.threshold;
-  policy.cloud_available = std::isfinite(args.threshold);
-  core::EdgeInferenceEngine engine(net, dict, policy);
-  const auto decisions = engine.infer_dataset(ds.test);
+
+  // Serve through the unified runtime API: routing policy, offload
+  // backend (none here — no cloud from the CLI) and worker count are
+  // all EngineConfig choices.
+  runtime::EngineConfig serve;
+  serve.net = &net;
+  serve.dict = &dict;
+  if (args.policy == "margin") {
+    if (std::isfinite(args.threshold)) {
+      std::fprintf(stderr, "warning: --threshold is ignored by the margin policy (use --margin)\n");
+    }
+    if (args.margin <= 0.0) {
+      std::fprintf(stderr,
+                   "warning: margin policy without a positive --margin never marks for cloud\n");
+    }
+    core::MarginPolicyConfig margin;
+    margin.margin_threshold = args.margin;
+    margin.cloud_available = args.margin > 0.0;
+    serve.policy = std::make_shared<core::ConfidenceMarginPolicy>(dict, margin);
+  } else if (args.policy == "entropy") {
+    if (args.margin > 0.0) {
+      std::fprintf(stderr,
+                   "warning: --margin is ignored by the entropy policy (use --threshold)\n");
+    }
+    serve.policy_config.entropy_threshold = args.threshold;
+    serve.policy_config.cloud_available = std::isfinite(args.threshold);
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
+    return 2;
+  }
+  // Worker threads beyond the first serve on weight-synced replicas.
+  const int threads = std::max(1, args.threads);
+  std::vector<core::MEANet> replica_store;
+  replica_store.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    util::Rng replica_rng(meta.seed + 2);
+    replica_store.push_back(make_model(meta.classes, meta.hard, replica_rng));
+    serve.replicas.push_back(&replica_store.back());
+  }
+  serve.worker_threads = threads;
+  runtime::InferenceSession session(serve);
+  std::printf("serving with %d worker thread(s), policy %s, backend %s\n",
+              session.worker_count(), session.routing().describe().c_str(),
+              session.backend().describe().c_str());
+  const auto results = session.run(ds.test);
 
   std::vector<int> preds;
   std::int64_t detect_correct = 0;
-  for (int i = 0; i < ds.test.size(); ++i) {
-    const auto& d = decisions[static_cast<std::size_t>(i)];
-    preds.push_back(d.prediction);
-    const bool truly_hard = dict.is_hard(ds.test.labels[static_cast<std::size_t>(i)]);
-    if (dict.is_hard(d.main_prediction) == truly_hard) ++detect_correct;
+  for (const runtime::InferenceResult& r : results) {
+    preds.push_back(r.prediction);
+    const bool truly_hard = dict.is_hard(ds.test.labels[static_cast<std::size_t>(r.id)]);
+    if (dict.is_hard(r.main_prediction) == truly_hard) ++detect_correct;
   }
-  const core::RouteCounts routes = core::count_routes(decisions);
+  const core::RouteCounts routes = runtime::count_routes(results);
   std::printf("test accuracy          : %.2f%%\n",
               100.0 * metrics::accuracy(preds, ds.test.labels));
   std::printf("easy/hard detection    : %.2f%%\n",

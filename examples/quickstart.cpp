@@ -5,18 +5,19 @@
 //  3. run the paper's Alg. 1: train the main block, discover hard
 //     classes from validation statistics, freeze the main block, and
 //     train the extension + adaptive blocks on hard-class data only;
-//  4. run the paper's Alg. 2 at the edge: early exit for easy classes,
-//     extension re-classification for hard ones;
+//  4. serve the paper's Alg. 2 at the edge through the unified
+//     meanet::runtime API: early exit for easy classes, extension
+//     re-classification for hard ones;
 //  5. print accuracy before/after and the exit distribution.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "core/builders.h"
-#include "core/edge_inference.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "metrics/classification_metrics.h"
+#include "runtime/session.h"
 
 using namespace meanet;
 
@@ -60,15 +61,18 @@ int main() {
   opts.sgd.learning_rate = 0.05f;
   trainer.train_edge_blocks(parts.first, dict, opts, train_rng);  // at the edge
 
-  // ---- 4./5. Alg. 2 edge inference and reporting. ----
+  // ---- 4./5. Alg. 2 edge serving through the runtime API. ----
   const core::MainProfile main_only = core::profile_main(net, ds.test);
 
-  core::EdgeInferenceEngine engine(net, dict, core::PolicyConfig{});
-  const auto decisions = engine.infer_dataset(ds.test);
+  runtime::EngineConfig serve;
+  serve.net = &net;
+  serve.dict = &dict;  // edge-only: offload_mode defaults to kNone
+  runtime::InferenceSession session(serve);
+  const auto results = session.run(ds.test);
   std::vector<int> predictions;
-  predictions.reserve(decisions.size());
-  for (const auto& d : decisions) predictions.push_back(d.prediction);
-  const core::RouteCounts routes = core::count_routes(decisions);
+  predictions.reserve(results.size());
+  for (const auto& r : results) predictions.push_back(r.prediction);
+  const core::RouteCounts routes = runtime::count_routes(results);
 
   std::printf("\nmain block alone : %.1f%% test accuracy\n", 100.0 * main_only.accuracy);
   std::printf("MEANet (routed)  : %.1f%% test accuracy\n",

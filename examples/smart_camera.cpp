@@ -3,8 +3,9 @@
 // ("complex") frames to the cloud over WiFi — the deployment the
 // paper's introduction motivates.
 //
-// The example streams the test set in small frame batches, routes each
-// frame with Alg. 2, and prints a running dashboard of accuracy, exit
+// The example streams the test set frame by frame through a
+// runtime::InferenceSession — submit() enqueues frames, drain() collects
+// the batched results — and prints a running dashboard of accuracy, exit
 // distribution, and the edge energy bill (compute + WiFi upload).
 //
 // Build & run:  ./build/examples/smart_camera
@@ -13,7 +14,8 @@
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
-#include "sim/system.h"
+#include "runtime/session.h"
+#include "sim/cloud_node.h"
 
 using namespace meanet;
 
@@ -72,46 +74,57 @@ int main() {
   costs.main_macs = trunk.macs + exit1.macs;
   costs.extension_macs = adaptive.macs + extension.macs;
 
-  core::PolicyConfig policy;
-  policy.cloud_available = true;
-  policy.entropy_threshold = 0.6;
-  sim::EdgeNode edge(net, dict, policy, costs);
-  sim::DistributedSystem camera(std::move(edge), &cloud);
+  // The camera is one InferenceSession: entropy routing + raw-image
+  // offload selected at runtime through the EngineConfig.
+  runtime::EngineConfig serve;
+  serve.net = &net;
+  serve.dict = &dict;
+  serve.policy_config.cloud_available = true;
+  serve.policy_config.entropy_threshold = 0.6;
+  serve.offload_mode = runtime::OffloadMode::kRawImage;
+  serve.cloud = &cloud;
+  serve.batch_size = 32;
+  serve.costs = costs;
+  runtime::InferenceSession camera(serve);
 
-  // Stream the test set as frame batches and print a dashboard.
-  std::printf("streaming %d frames through the smart camera (threshold %.1f)...\n\n",
-              ds.test.size(), policy.entropy_threshold);
+  // Stream the test set frame by frame and print a dashboard.
+  std::printf("streaming %d frames through the smart camera (threshold %.1f, backend %s)...\n\n",
+              ds.test.size(), serve.policy_config.entropy_threshold,
+              camera.backend().describe().c_str());
   std::printf("%-8s %9s %8s %8s %8s %12s\n", "frames", "accuracy", "main%", "ext%", "cloud%",
               "edge energy");
   const int chunk = 100;
   std::int64_t seen = 0, correct = 0;
-  sim::SystemReport totals;
+  core::RouteCounts routes;
+  double compute_j = 0.0, comm_j = 0.0;
   for (int start = 0; start < ds.test.size(); start += chunk) {
     const int count = std::min(chunk, ds.test.size() - start);
-    std::vector<int> idx(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
-    const data::Dataset batch = data::select(ds.test, idx);
-    const sim::SystemReport r = camera.run(batch, 32);
+    // Map the chunk's session-global ids back to dataset indices via the
+    // first submitted frame's id (ids are per-session, not per-dataset).
+    std::int64_t chunk_base = -1;
+    for (int i = 0; i < count; ++i) {
+      const std::int64_t id = camera.submit(ds.test.instance(start + i));
+      if (chunk_base < 0) chunk_base = id;
+    }
+    for (const runtime::InferenceResult& r : camera.drain()) {
+      const int label =
+          ds.test.labels[static_cast<std::size_t>(start + (r.id - chunk_base))];
+      if (r.prediction == label) ++correct;
+      routes.add(r.route);
+      compute_j += r.compute_energy_j;
+      comm_j += r.comm_energy_j;
+    }
     seen += count;
-    correct += static_cast<std::int64_t>(r.accuracy * count + 0.5);
-    totals.routes.main_exit += r.routes.main_exit;
-    totals.routes.extension_exit += r.routes.extension_exit;
-    totals.routes.cloud += r.routes.cloud;
-    totals.edge_compute_energy_j += r.edge_compute_energy_j;
-    totals.communication_energy_j += r.communication_energy_j;
     std::printf("%-8lld %8.1f%% %7.1f%% %7.1f%% %7.1f%% %10.2f J\n",
                 static_cast<long long>(seen),
                 100.0 * static_cast<double>(correct) / static_cast<double>(seen),
-                100.0 * totals.routes.main_exit / static_cast<double>(seen),
-                100.0 * totals.routes.extension_exit / static_cast<double>(seen),
-                100.0 * totals.routes.cloud / static_cast<double>(seen),
-                totals.edge_compute_energy_j + totals.communication_energy_j);
+                100.0 * routes.main_exit / static_cast<double>(seen),
+                100.0 * routes.extension_exit / static_cast<double>(seen),
+                100.0 * routes.cloud / static_cast<double>(seen), compute_j + comm_j);
   }
   std::printf("\nfinal: %.1f%% of frames answered on-device, %.1f%% offloaded\n",
-              100.0 * (totals.routes.main_exit + totals.routes.extension_exit) /
-                  static_cast<double>(seen),
-              100.0 * totals.routes.cloud / static_cast<double>(seen));
-  std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n",
-              totals.edge_compute_energy_j, totals.communication_energy_j);
+              100.0 * (routes.main_exit + routes.extension_exit) / static_cast<double>(seen),
+              100.0 * routes.cloud / static_cast<double>(seen));
+  std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n", compute_j, comm_j);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "runtime/offload_backend.h"
 #include "sim/system.h"
 
 using namespace meanet;
@@ -77,12 +78,13 @@ int main() {
   costs.main_macs = net.main_trunk().stats(ds.test.instance_shape()).macs;
   costs.extension_macs = net.adaptive().stats(ds.test.instance_shape()).macs;
 
+  const auto backend = std::make_shared<runtime::RawImageBackend>(&cloud);
   auto evaluate = [&](const data::Dataset& dataset, double threshold) {
     core::PolicyConfig policy;
     policy.cloud_available = true;
     policy.entropy_threshold = threshold;
     sim::EdgeNode edge(net, dict, policy, costs);
-    sim::DistributedSystem system(std::move(edge), &cloud);
+    sim::DistributedSystem system(std::move(edge), backend);
     return system.run(dataset);
   };
 

@@ -6,29 +6,28 @@
 
 namespace meanet::core {
 
-namespace {
-
-/// Copies the listed batch rows of `source` into a new tensor.
-Tensor gather_rows(const Tensor& source, const std::vector<int>& rows) {
-  std::vector<int> dims = source.shape().dims();
-  dims[0] = static_cast<int>(rows.size());
-  Tensor out{Shape(dims)};
-  const std::int64_t stride = source.numel() / source.shape().dim(0);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const float* src = source.data() + rows[i] * stride;
-    std::copy(src, src + stride, out.data() + static_cast<std::int64_t>(i) * stride);
-  }
-  return out;
+EdgeInferenceEngine::EdgeInferenceEngine(MEANet& net, const data::ClassDict& dict,
+                                         std::shared_ptr<const RoutingPolicy> policy)
+    : net_(&net), dict_(&dict) {
+  set_routing(std::move(policy));
 }
 
-}  // namespace
+void EdgeInferenceEngine::set_routing(std::shared_ptr<const RoutingPolicy> policy) {
+  if (!policy) throw std::invalid_argument("EdgeInferenceEngine: null routing policy");
+  routing_ = std::move(policy);
+}
 
 std::vector<InstanceDecision> EdgeInferenceEngine::infer(const Tensor& images) {
+  return infer_batch(images).decisions;
+}
+
+BatchInference EdgeInferenceEngine::infer_batch(const Tensor& images) {
   const int batch = images.shape().batch();
-  const MainForward fwd = net_->forward_main(images, nn::Mode::kEval);
+  MainForward fwd = net_->forward_main(images, nn::Mode::kEval);
   const Tensor p1 = ops::softmax(fwd.logits);
   const std::vector<int> pred1 = ops::row_argmax(p1);
   const std::vector<float> conf1 = ops::row_max(p1);
+  const std::vector<float> margin1 = ops::row_margin(p1);
   const std::vector<float> entropy = ops::row_entropy(p1);
 
   std::vector<InstanceDecision> decisions(static_cast<std::size_t>(batch));
@@ -38,30 +37,35 @@ std::vector<InstanceDecision> EdgeInferenceEngine::infer(const Tensor& images) {
     d.main_prediction = pred1[static_cast<std::size_t>(n)];
     d.entropy = entropy[static_cast<std::size_t>(n)];
     d.main_confidence = conf1[static_cast<std::size_t>(n)];
-    d.route = policy_.route(d.entropy, d.main_prediction);
+    d.margin = margin1[static_cast<std::size_t>(n)];
+    RouteSignals signals;
+    signals.entropy = d.entropy;
+    signals.main_confidence = d.main_confidence;
+    signals.margin = d.margin;
+    signals.main_prediction = d.main_prediction;
+    d.route = routing_->route(signals);
     d.prediction = d.main_prediction;  // default / cloud fallback
     if (d.route == Route::kExtensionExit) extension_rows.push_back(n);
   }
 
   if (!extension_rows.empty()) {
     // Batch all hard-detected instances through the extension path once.
-    const Tensor sub_images = gather_rows(images, extension_rows);
-    const Tensor sub_features = gather_rows(fwd.features, extension_rows);
+    const Tensor sub_images = ops::gather_rows(images, extension_rows);
+    const Tensor sub_features = ops::gather_rows(fwd.features, extension_rows);
     const Tensor y2 = net_->forward_extension(sub_images, sub_features, nn::Mode::kEval);
     const Tensor p2 = ops::softmax(y2);
     const std::vector<int> pred2 = ops::row_argmax(p2);
     const std::vector<float> conf2 = ops::row_max(p2);
-    const data::ClassDict& dict = policy_.dict();
     for (std::size_t i = 0; i < extension_rows.size(); ++i) {
       InstanceDecision& d = decisions[static_cast<std::size_t>(extension_rows[i])];
       d.extension_confidence = conf2[i];
       // Alg. 2: keep the more confident of the two exits.
       if (d.extension_confidence > d.main_confidence) {
-        d.prediction = dict.to_global(pred2[i]);
+        d.prediction = dict_->to_global(pred2[i]);
       }
     }
   }
-  return decisions;
+  return BatchInference{std::move(decisions), std::move(fwd.features)};
 }
 
 std::vector<InstanceDecision> EdgeInferenceEngine::infer_dataset(const data::Dataset& dataset,
@@ -77,21 +81,23 @@ std::vector<InstanceDecision> EdgeInferenceEngine::infer_dataset(const data::Dat
   return all;
 }
 
+void RouteCounts::add(Route route) {
+  switch (route) {
+    case Route::kMainExit:
+      ++main_exit;
+      return;
+    case Route::kExtensionExit:
+      ++extension_exit;
+      return;
+    case Route::kCloud:
+      ++cloud;
+      return;
+  }
+}
+
 RouteCounts count_routes(const std::vector<InstanceDecision>& decisions) {
   RouteCounts counts;
-  for (const InstanceDecision& d : decisions) {
-    switch (d.route) {
-      case Route::kMainExit:
-        ++counts.main_exit;
-        break;
-      case Route::kExtensionExit:
-        ++counts.extension_exit;
-        break;
-      case Route::kCloud:
-        ++counts.cloud;
-        break;
-    }
-  }
+  for (const InstanceDecision& d : decisions) counts.add(d.route);
   return counts;
 }
 

@@ -2,10 +2,11 @@
 // with the confidence comparison between the two exits.
 //
 // Instances routed to the cloud are *marked*, not classified — the
-// sim::DistributedSystem pairs this engine with a CloudNode to complete
-// the algorithm.
+// runtime::InferenceSession (or the sim::DistributedSystem shim) pairs
+// this engine with an OffloadBackend to complete the algorithm.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/inference_policy.h"
@@ -23,27 +24,60 @@ struct InstanceDecision {
   float entropy = 0.0f;
   /// Max softmax score at exit 1.
   float main_confidence = 0.0f;
+  /// Top-1 minus top-2 softmax score at exit 1.
+  float margin = 0.0f;
   /// Max softmax score at exit 2 (0 when the extension did not run).
   float extension_confidence = 0.0f;
 };
 
+/// Decisions for one batch plus the main-trunk features that produced
+/// them ([N, c, h, w]) — feature-offload backends upload exactly these.
+struct BatchInference {
+  std::vector<InstanceDecision> decisions;
+  Tensor features;
+};
+
 class EdgeInferenceEngine {
  public:
+  /// Classic construction from the paper's entropy-threshold config.
   EdgeInferenceEngine(MEANet& net, const data::ClassDict& dict, PolicyConfig config)
-      : net_(&net), policy_(dict, config) {}
+      : net_(&net), dict_(&dict) {
+    set_config(config);
+  }
+
+  /// Construction with any RoutingPolicy.
+  EdgeInferenceEngine(MEANet& net, const data::ClassDict& dict,
+                      std::shared_ptr<const RoutingPolicy> policy);
 
   /// Runs Alg. 2 (edge part) on a batch of images.
   std::vector<InstanceDecision> infer(const Tensor& images);
 
+  /// Like infer(), additionally returning the main-trunk features.
+  BatchInference infer_batch(const Tensor& images);
+
   /// Convenience: whole dataset in batches of `batch_size`.
   std::vector<InstanceDecision> infer_dataset(const data::Dataset& dataset, int batch_size = 64);
 
-  const InferencePolicy& policy() const { return policy_; }
-  void set_config(PolicyConfig config) { policy_ = InferencePolicy(policy_.dict(), config); }
+  const RoutingPolicy& routing() const { return *routing_; }
+  std::shared_ptr<const RoutingPolicy> routing_ptr() const { return routing_; }
+
+  /// The single mutation path for the routing stage; every config change
+  /// flows through here so the engine and its policy cannot drift.
+  void set_routing(std::shared_ptr<const RoutingPolicy> policy);
+
+  /// Rebuilds the entropy-threshold policy from `config` (delegates to
+  /// set_routing — there is no second copy of the configuration).
+  void set_config(PolicyConfig config) {
+    set_routing(std::make_shared<EntropyThresholdPolicy>(*dict_, config));
+  }
+
+  const data::ClassDict& dict() const { return *dict_; }
+  MEANet& net() { return *net_; }
 
  private:
   MEANet* net_;
-  InferencePolicy policy_;
+  const data::ClassDict* dict_;
+  std::shared_ptr<const RoutingPolicy> routing_;
 };
 
 /// Route occupancy summary over a set of decisions.
@@ -51,6 +85,10 @@ struct RouteCounts {
   std::int64_t main_exit = 0;
   std::int64_t extension_exit = 0;
   std::int64_t cloud = 0;
+
+  /// Tallies one route; the switch is exhaustive over Route.
+  void add(Route route);
+
   std::int64_t total() const { return main_exit + extension_exit + cloud; }
   double cloud_fraction() const {
     return total() == 0 ? 0.0 : static_cast<double>(cloud) / static_cast<double>(total());

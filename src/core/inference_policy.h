@@ -1,11 +1,20 @@
-// Routing policy of Alg. 2: where does an instance's inference end?
+// Routing policies of Alg. 2: where does an instance's inference end?
 //
-//   entropy(y1) > threshold and cloud available  -> cloud ("complex")
-//   argmax(y1) in hard classes                   -> extension block
-//   otherwise                                    -> main-block early exit
+// The paper's rule (entropy-threshold offload) is one member of a family
+// of pluggable policies behind the RoutingPolicy interface:
+//
+//   cloud rule fires and cloud available  -> cloud ("complex")
+//   argmax(y1) in hard classes            -> extension block
+//   otherwise                             -> main-block early exit
+//
+// The classic InferencePolicy (entropy rule only) is kept as the
+// reference implementation; EntropyThresholdPolicy adapts it to the
+// interface so the two cannot drift.
 #pragma once
 
 #include <limits>
+#include <memory>
+#include <string>
 
 #include "data/class_dict.h"
 
@@ -16,6 +25,14 @@ enum class Route {
   kExtensionExit,
   kCloud,
 };
+
+/// Number of Route enumerators. The static_assert fires when the enum
+/// grows; the switches over Route (route_name, RouteCounts::add, the
+/// offload-backend factory) are default-free, so -Wswitch then flags
+/// each one that needs a new case.
+inline constexpr int kNumRoutes = 3;
+static_assert(static_cast<int>(Route::kCloud) + 1 == kNumRoutes,
+              "Route enum changed: update kNumRoutes and every switch over Route");
 
 const char* route_name(Route route);
 
@@ -44,6 +61,84 @@ class InferencePolicy {
  private:
   const data::ClassDict* dict_;
   PolicyConfig config_;
+};
+
+/// Everything the main-exit pass knows about one instance, handed to a
+/// RoutingPolicy to decide where its inference ends.
+struct RouteSignals {
+  /// Shannon entropy of the exit-1 softmax.
+  float entropy = 0.0f;
+  /// Max softmax score at exit 1.
+  float main_confidence = 0.0f;
+  /// Top-1 minus top-2 softmax score at exit 1.
+  float margin = 0.0f;
+  /// Exit-1 argmax in global label space.
+  int main_prediction = -1;
+};
+
+/// Pluggable routing stage of Alg. 2. Implementations must be
+/// deterministic and thread-safe (route() is called concurrently from
+/// runtime::InferenceSession workers).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual Route route(const RouteSignals& signals) const = 0;
+
+  /// Human-readable policy description for logs and reports.
+  virtual std::string describe() const = 0;
+};
+
+/// The paper's rule, adapting InferencePolicy to the interface.
+class EntropyThresholdPolicy : public RoutingPolicy {
+ public:
+  EntropyThresholdPolicy(const data::ClassDict& dict, PolicyConfig config)
+      : policy_(dict, config) {}
+
+  Route route(const RouteSignals& signals) const override {
+    return policy_.route(signals.entropy, signals.main_prediction);
+  }
+  std::string describe() const override;
+
+  const PolicyConfig& config() const { return policy_.config(); }
+  const data::ClassDict& dict() const { return policy_.dict(); }
+
+ private:
+  InferencePolicy policy_;
+};
+
+/// Confidence-margin variant: an instance is "complex" when the gap
+/// between the two best exit-1 scores is small (the classifier cannot
+/// separate its top candidates), regardless of overall entropy.
+struct MarginPolicyConfig {
+  /// Instances with top1-top2 margin *below* this go to the cloud.
+  /// 0 disables offloading (margins are non-negative).
+  double margin_threshold = 0.0;
+  bool cloud_available = false;
+};
+
+class ConfidenceMarginPolicy : public RoutingPolicy {
+ public:
+  ConfidenceMarginPolicy(const data::ClassDict& dict, MarginPolicyConfig config)
+      : dict_(&dict), config_(config) {}
+
+  Route route(const RouteSignals& signals) const override;
+  std::string describe() const override;
+
+  const MarginPolicyConfig& config() const { return config_; }
+
+ private:
+  const data::ClassDict* dict_;
+  MarginPolicyConfig config_;
+};
+
+/// Sends every instance through the extension path (never offloads).
+/// This is the always-extended evaluation mode of the paper's Tables
+/// II/V, and useful as a routing baseline.
+class AlwaysExtendPolicy : public RoutingPolicy {
+ public:
+  Route route(const RouteSignals& signals) const override;
+  std::string describe() const override { return "always-extend"; }
 };
 
 }  // namespace meanet::core

@@ -1,0 +1,70 @@
+#include "runtime/offload_backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/cloud_node.h"
+#include "sim/feature_cloud.h"
+
+namespace meanet::runtime {
+
+RawImageBackend::RawImageBackend(sim::CloudNode* cloud) : cloud_(cloud) {
+  if (cloud_ == nullptr) throw std::invalid_argument("RawImageBackend: null CloudNode");
+}
+
+std::vector<int> RawImageBackend::classify(const OffloadPayload& payload) {
+  return cloud_->classify(payload.images);
+}
+
+std::int64_t RawImageBackend::payload_bytes(const Shape& image_shape,
+                                            const Shape& /*feature_shape*/) const {
+  // 1 byte/pixel: the image travels as its 8-bit sensor representation.
+  return image_shape.numel() / image_shape.dim(0);
+}
+
+FeatureBackend::FeatureBackend(sim::FeatureCloudNode* cloud) : cloud_(cloud) {
+  if (cloud_ == nullptr) throw std::invalid_argument("FeatureBackend: null FeatureCloudNode");
+}
+
+std::vector<int> FeatureBackend::classify(const OffloadPayload& payload) {
+  return cloud_->classify_features(payload.features);
+}
+
+std::int64_t FeatureBackend::payload_bytes(const Shape& /*image_shape*/,
+                                           const Shape& feature_shape) const {
+  return sim::FeatureCloudNode::feature_bytes(feature_shape);
+}
+
+std::vector<int> NullBackend::classify(const OffloadPayload& /*payload*/) { return {}; }
+
+std::int64_t NullBackend::payload_bytes(const Shape& /*image_shape*/,
+                                        const Shape& /*feature_shape*/) const {
+  return 0;
+}
+
+const char* offload_mode_name(OffloadMode mode) {
+  switch (mode) {
+    case OffloadMode::kNone:
+      return "none";
+    case OffloadMode::kRawImage:
+      return "raw-image";
+    case OffloadMode::kFeature:
+      return "feature";
+  }
+  std::abort();  // unreachable: the switch is exhaustive (-Wswitch)
+}
+
+std::shared_ptr<OffloadBackend> make_backend(OffloadMode mode, sim::CloudNode* cloud,
+                                             sim::FeatureCloudNode* feature_cloud) {
+  switch (mode) {
+    case OffloadMode::kNone:
+      return std::make_shared<NullBackend>();
+    case OffloadMode::kRawImage:
+      return std::make_shared<RawImageBackend>(cloud);
+    case OffloadMode::kFeature:
+      return std::make_shared<FeatureBackend>(feature_cloud);
+  }
+  std::abort();  // unreachable: the switch is exhaustive (-Wswitch)
+}
+
+}  // namespace meanet::runtime

@@ -1,0 +1,46 @@
+#include "runtime/replica.h"
+
+#include <stdexcept>
+
+#include "nn/parameter.h"
+
+namespace meanet::runtime {
+
+namespace {
+
+void sync_block(nn::Sequential& src, nn::Sequential& dst) {
+  const std::vector<nn::Parameter*> src_params = src.parameters();
+  const std::vector<nn::Parameter*> dst_params = dst.parameters();
+  if (src_params.size() != dst_params.size()) {
+    throw std::invalid_argument("sync_weights: parameter count mismatch in " + src.name());
+  }
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    if (src_params[i]->value.shape() != dst_params[i]->value.shape()) {
+      throw std::invalid_argument("sync_weights: shape mismatch at " + src_params[i]->name);
+    }
+    dst_params[i]->value = src_params[i]->value;
+  }
+  const std::vector<nn::NamedTensor> src_state = src.state();
+  const std::vector<nn::NamedTensor> dst_state = dst.state();
+  if (src_state.size() != dst_state.size()) {
+    throw std::invalid_argument("sync_weights: state count mismatch in " + src.name());
+  }
+  for (std::size_t i = 0; i < src_state.size(); ++i) {
+    if (src_state[i].tensor->shape() != dst_state[i].tensor->shape()) {
+      throw std::invalid_argument("sync_weights: state shape mismatch at " + src_state[i].name);
+    }
+    *dst_state[i].tensor = *src_state[i].tensor;
+  }
+}
+
+}  // namespace
+
+void sync_weights(core::MEANet& src, core::MEANet& dst) {
+  sync_block(src.main_trunk(), dst.main_trunk());
+  sync_block(src.main_exit(), dst.main_exit());
+  sync_block(src.adaptive(), dst.adaptive());
+  sync_block(src.extension(), dst.extension());
+  if (src.main_frozen()) dst.freeze_main();
+}
+
+}  // namespace meanet::runtime

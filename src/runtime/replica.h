@@ -1,0 +1,20 @@
+// Model replication for concurrent serving.
+//
+// The nn layers cache activations for backward on every forward call, so
+// a single MEANet cannot be shared between InferenceSession workers.
+// Workers therefore each run an architecturally identical replica;
+// sync_weights copies the trained parameters and BatchNorm running
+// statistics from the primary so every replica answers bit-identically.
+#pragma once
+
+#include "core/meanet.h"
+
+namespace meanet::runtime {
+
+/// Copies every parameter value and non-trainable state tensor of `src`
+/// into `dst`. The two nets must be architecturally identical (same
+/// builder + configuration); throws std::invalid_argument on any
+/// parameter-count or shape mismatch.
+void sync_weights(core::MEANet& src, core::MEANet& dst);
+
+}  // namespace meanet::runtime

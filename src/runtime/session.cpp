@@ -1,0 +1,332 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/replica.h"
+#include "tensor/ops.h"
+
+namespace meanet::runtime {
+
+namespace {
+
+/// Normalizes a request tensor to [B, ...] (a rank-3 [C,H,W] single
+/// instance becomes [1,C,H,W]).
+Tensor normalize_batch(Tensor images) {
+  if (images.shape().rank() == 3) {
+    std::vector<int> dims{1};
+    for (int d : images.shape().dims()) dims.push_back(d);
+    return images.reshaped(Shape(dims));
+  }
+  if (images.shape().rank() != 4) {
+    throw std::invalid_argument("InferenceSession: images must be [C,H,W] or [B,C,H,W]");
+  }
+  return images;
+}
+
+Shape instance_shape(const Shape& batch_shape) {
+  std::vector<int> dims = batch_shape.dims();
+  dims[0] = 1;
+  return Shape(dims);
+}
+
+}  // namespace
+
+core::RouteCounts count_routes(const std::vector<InferenceResult>& results) {
+  core::RouteCounts counts;
+  for (const InferenceResult& r : results) counts.add(r.route);
+  return counts;
+}
+
+InferenceSession::InferenceSession(EngineConfig config)
+    : batch_size_(config.batch_size),
+      costs_(config.costs),
+      queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))) {
+  if (config.net == nullptr || config.dict == nullptr) {
+    throw std::invalid_argument("InferenceSession: EngineConfig needs net and dict");
+  }
+  if (config.batch_size <= 0) {
+    throw std::invalid_argument("InferenceSession: batch_size must be positive");
+  }
+  routing_ = config.policy
+                 ? config.policy
+                 : std::make_shared<core::EntropyThresholdPolicy>(*config.dict,
+                                                                  config.policy_config);
+  backend_ = config.backend
+                 ? config.backend
+                 : make_backend(config.offload_mode, config.cloud, config.feature_cloud);
+
+  // One engine per worker: worker 0 serves on the primary net, worker
+  // i > 0 on replicas[i-1] (layer forward passes cache activations, so
+  // nets cannot be shared between threads).
+  const int max_workers = 1 + static_cast<int>(config.replicas.size());
+  const int worker_count = std::max(1, std::min(config.worker_threads, max_workers));
+  engines_.reserve(static_cast<std::size_t>(worker_count));
+  engines_.push_back(
+      std::make_unique<core::EdgeInferenceEngine>(*config.net, *config.dict, routing_));
+  for (int i = 1; i < worker_count; ++i) {
+    core::MEANet* replica = config.replicas[static_cast<std::size_t>(i - 1)];
+    if (replica == nullptr) throw std::invalid_argument("InferenceSession: null replica");
+    sync_weights(*config.net, *replica);
+    engines_.push_back(
+        std::make_unique<core::EdgeInferenceEngine>(*replica, *config.dict, routing_));
+  }
+  workers_.reserve(static_cast<std::size_t>(worker_count));
+  try {
+    for (int i = 0; i < worker_count; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // Thread spawn failed partway: shut down the workers that did
+    // start before rethrowing, or their joinable std::thread members
+    // would terminate the process during unwinding.
+    queue_.close();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    throw;
+  }
+}
+
+InferenceSession::~InferenceSession() {
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::int64_t InferenceSession::submit(Tensor images) {
+  Tensor batch = normalize_batch(std::move(images));
+  const int count = batch.shape().batch();
+  if (count <= 0) throw std::invalid_argument("InferenceSession::submit: empty batch");
+  const std::int64_t id = next_id_.fetch_add(count);
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    pending_instances_ += count;
+  }
+  if (!queue_.push(InferenceRequest{id, std::move(batch)})) {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    pending_instances_ -= count;
+    throw std::logic_error("InferenceSession::submit: session is shut down");
+  }
+  return id;
+}
+
+std::vector<InferenceResult> InferenceSession::drain() {
+  std::unique_lock<std::mutex> lock(results_mutex_);
+  drained_.wait(lock, [&] { return pending_instances_ == 0; });
+  if (!worker_error_.empty()) {
+    const std::string error = worker_error_;
+    worker_error_.clear();
+    // Completed results are kept: a follow-up drain() returns them so
+    // the caller can tell which instances survived the failure.
+    throw std::runtime_error("InferenceSession worker failed: " + error);
+  }
+  std::vector<InferenceResult> results = std::move(results_);
+  results_.clear();
+  lock.unlock();
+  std::sort(results.begin(), results.end(),
+            [](const InferenceResult& a, const InferenceResult& b) { return a.id < b.id; });
+  return results;
+}
+
+std::vector<InferenceResult> InferenceSession::run(const data::Dataset& dataset) {
+  if (dataset.size() == 0) throw std::invalid_argument("InferenceSession::run: empty dataset");
+  {
+    // run() starts a fresh round: anything still buffered — survivors
+    // of a previously failed drain(), or undrained submit() results —
+    // is discarded along with any stale error, so a retry cannot trip
+    // the overlap check below or rethrow a previous round's failure.
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    if (pending_instances_ == 0) {
+      results_.clear();
+      worker_error_.clear();
+    }
+  }
+  std::int64_t base = -1;
+  for (int start = 0; start < dataset.size(); start += batch_size_) {
+    const int count = std::min(batch_size_, dataset.size() - start);
+    const std::int64_t id = submit(dataset.images.slice_batch(start, count));
+    if (base < 0) base = id;
+  }
+  std::vector<InferenceResult> results = drain();
+  // Rebase the session-global ids so result i maps to dataset instance
+  // i even when the session served other work before this run.
+  if (results.size() != static_cast<std::size_t>(dataset.size()) ||
+      results.front().id != base) {
+    // Foreign results can only appear when submit()/run() overlapped,
+    // which run() does not support — fail loudly instead of letting
+    // callers index dataset labels with misaligned ids.
+    throw std::logic_error("InferenceSession::run: results do not match the dataset; "
+                           "run() must not overlap other submit()/run() calls");
+  }
+  for (InferenceResult& r : results) r.id -= base;
+  return results;
+}
+
+void InferenceSession::worker_loop(int worker_index) {
+  core::EdgeInferenceEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
+  // Runs one process() call, settling its instances exactly once: on
+  // failure the instances are marked done (with the error recorded) so
+  // drain() can never deadlock on a negative or stuck pending count.
+  auto settle_failure = [&](const std::vector<InferenceRequest>& requests, const char* error) {
+    std::int64_t failed = 0;
+    for (const InferenceRequest& request : requests) failed += request.images.shape().batch();
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    if (worker_error_.empty()) worker_error_ = error;
+    pending_instances_ -= failed;
+    drained_.notify_all();
+  };
+  auto safe_process = [&](const std::vector<InferenceRequest>& requests) {
+    try {
+      process(engine, requests);
+    } catch (const std::exception& e) {
+      settle_failure(requests, e.what());
+    } catch (...) {
+      // A non-std exception (e.g. from a user-supplied backend or
+      // policy) must not escape the worker thread: that would
+      // std::terminate the whole process.
+      settle_failure(requests, "non-standard exception");
+    }
+  };
+  // A request popped but not fitting the current batch (wrong geometry
+  // or it would overflow the cap) seeds the next round instead of being
+  // served undersized on its own.
+  std::optional<InferenceRequest> carry;
+  while (true) {
+    std::optional<InferenceRequest> first =
+        carry.has_value() ? std::exchange(carry, std::nullopt) : queue_.pop();
+    if (!first.has_value()) return;  // closed and drained
+    // Coalesce pending requests into one edge batch, up to batch_size
+    // instances of the same geometry. A single request larger than
+    // batch_size cannot be split and runs as-is.
+    std::vector<InferenceRequest> batch;
+    int rows = first->images.shape().batch();
+    const Shape item_shape = instance_shape(first->images.shape());
+    batch.push_back(std::move(*first));
+    while (rows < batch_size_) {
+      std::optional<InferenceRequest> next = queue_.try_pop();
+      if (!next.has_value()) break;
+      const int count = next->images.shape().batch();
+      if (instance_shape(next->images.shape()) != item_shape ||
+          rows + count > batch_size_) {
+        carry = std::move(next);
+        break;
+      }
+      rows += count;
+      batch.push_back(std::move(*next));
+    }
+    safe_process(batch);
+  }
+}
+
+void InferenceSession::process(core::EdgeInferenceEngine& engine,
+                               const std::vector<InferenceRequest>& requests) {
+  if (requests.empty()) return;
+  std::int64_t rows = 0;
+  for (const InferenceRequest& request : requests) rows += request.images.shape().batch();
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(rows));
+  // Stack the coalesced requests into one batch tensor; a lone request
+  // (the common run() path submits full batches) is forwarded as-is.
+  Tensor stacked;
+  if (requests.size() > 1) {
+    std::vector<int> dims = requests.front().images.shape().dims();
+    dims[0] = static_cast<int>(rows);
+    stacked = Tensor{Shape(dims)};
+    const std::int64_t stride = stacked.numel() / rows;
+    std::int64_t offset = 0;
+    for (const InferenceRequest& request : requests) {
+      const std::int64_t count = request.images.shape().batch();
+      std::copy(request.images.data(), request.images.data() + count * stride,
+                stacked.data() + offset * stride);
+      for (std::int64_t i = 0; i < count; ++i) {
+        ids[static_cast<std::size_t>(offset + i)] = request.id + i;
+      }
+      offset += count;
+    }
+  } else {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      ids[static_cast<std::size_t>(i)] = requests.front().id + i;
+    }
+  }
+  const Tensor& batch = requests.size() > 1 ? stacked : requests.front().images;
+
+  core::BatchInference inference = engine.infer_batch(batch);
+  std::vector<core::InstanceDecision>& decisions = inference.decisions;
+
+  // Ship cloud-routed instances through the backend in one payload.
+  std::vector<int> cloud_rows;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (decisions[i].route == core::Route::kCloud) cloud_rows.push_back(static_cast<int>(i));
+  }
+  std::vector<int> cloud_predictions;
+  if (!cloud_rows.empty()) {
+    OffloadPayload payload;
+    if (backend_->needs_images()) payload.images = ops::gather_rows(batch, cloud_rows);
+    if (backend_->needs_features()) {
+      payload.features = ops::gather_rows(inference.features, cloud_rows);
+    }
+    {
+      std::lock_guard<std::mutex> lock(backend_mutex_);
+      try {
+        cloud_predictions = backend_->classify(payload);
+      } catch (...) {
+        // A throwing backend is an unreachable cloud (whatever it
+        // throws): keep the edge's best guess rather than failing
+        // edge-answered instances too.
+        cloud_predictions.clear();
+      }
+    }
+    if (!cloud_predictions.empty() && cloud_predictions.size() != cloud_rows.size()) {
+      // A wrong-sized reply is a misbehaving backend; treat it like an
+      // unreachable cloud (edge fallback, offloaded stays false) rather
+      // than failing the edge-answered instances in this batch too.
+      cloud_predictions.clear();
+    }
+  }
+
+  // Price the work. An unset upload payload size is derived from the
+  // backend's geometry-based estimate.
+  sim::EdgeNodeCosts costs = costs_;
+  if (costs.upload_bytes_per_instance == 0 && !cloud_rows.empty()) {
+    costs.upload_bytes_per_instance =
+        backend_->payload_bytes(instance_shape(batch.shape()),
+                                instance_shape(inference.features.shape()));
+  }
+
+  std::vector<InferenceResult> batch_results(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const core::InstanceDecision& d = decisions[i];
+    InferenceResult& r = batch_results[i];
+    r.id = ids[i];
+    r.route = d.route;
+    r.entropy = d.entropy;
+    r.main_confidence = d.main_confidence;
+    r.margin = d.margin;
+    r.extension_confidence = d.extension_confidence;
+    r.main_prediction = d.main_prediction;
+    r.edge_prediction = d.prediction;
+    r.prediction = d.prediction;
+    r.compute_energy_j = costs.compute_energy_j(d.route);
+    r.compute_time_s = costs.compute_time_s(d.route);
+    r.comm_energy_j = costs.comm_energy_j(d.route);
+    r.comm_time_s = costs.comm_time_s(d.route);
+  }
+  if (!cloud_predictions.empty()) {
+    for (std::size_t i = 0; i < cloud_rows.size(); ++i) {
+      InferenceResult& r = batch_results[static_cast<std::size_t>(cloud_rows[i])];
+      r.prediction = cloud_predictions[i];
+      r.offloaded = true;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_.insert(results_.end(), std::make_move_iterator(batch_results.begin()),
+                  std::make_move_iterator(batch_results.end()));
+  pending_instances_ -= static_cast<std::int64_t>(decisions.size());
+  if (pending_instances_ == 0) drained_.notify_all();
+}
+
+}  // namespace meanet::runtime

@@ -1,0 +1,178 @@
+// The unified serving API for Alg. 2 (edge pass -> route -> extension
+// or offload).
+//
+// An InferenceSession is built once from an EngineConfig — which model,
+// which routing policy, which offload backend, how many workers — and
+// then serves InferenceRequest batches through submit()/drain() or the
+// synchronous run() convenience. Everything the seed scattered across
+// core::EdgeInferenceEngine, sim::DistributedSystem, sim::CloudNode and
+// sim::FeatureCloudNode call sites goes through this one seam:
+//
+//   EngineConfig cfg;
+//   cfg.net = &net; cfg.dict = &dict;
+//   cfg.policy_config = {.entropy_threshold = 0.6, .cloud_available = true};
+//   cfg.offload_mode = OffloadMode::kRawImage; cfg.cloud = &cloud;
+//   InferenceSession session(cfg);
+//   auto results = session.run(test_set);
+//
+// Concurrency: worker i > 0 serves on replicas[i-1] (weight-synced from
+// the primary at construction, because eval-mode forwards mutate layer
+// caches); the offload backend models a single shared cloud link and is
+// serialized. Per-instance results are independent of batch composition,
+// so a threaded session reproduces the single-threaded results exactly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/edge_inference.h"
+#include "runtime/offload_backend.h"
+#include "runtime/request_queue.h"
+#include "sim/edge_node.h"
+
+namespace meanet::runtime {
+
+/// Full serving configuration; everything is selected here at runtime.
+struct EngineConfig {
+  // ----- Model (required) -----
+  core::MEANet* net = nullptr;
+  const data::ClassDict* dict = nullptr;
+
+  // ----- Routing -----
+  /// Custom policy; when null, an EntropyThresholdPolicy is built from
+  /// `policy_config` (the paper's rule).
+  std::shared_ptr<const core::RoutingPolicy> policy;
+  core::PolicyConfig policy_config;
+
+  // ----- Offload -----
+  /// Custom backend; when null, one is built from `offload_mode` and the
+  /// matching node pointer (kNone -> NullBackend).
+  std::shared_ptr<OffloadBackend> backend;
+  OffloadMode offload_mode = OffloadMode::kNone;
+  sim::CloudNode* cloud = nullptr;
+  sim::FeatureCloudNode* feature_cloud = nullptr;
+
+  // ----- Batching -----
+  /// Max instances coalesced into one edge forward pass.
+  int batch_size = 64;
+  /// Worker threads; threads beyond 1 + replicas.size() are clamped
+  /// (each extra worker needs its own architecturally identical net).
+  int worker_threads = 1;
+  /// Bound on queued requests (backpressure for submit()).
+  int queue_capacity = 256;
+  /// Extra nets for workers > 1; weight-synced from `net` at session
+  /// construction.
+  std::vector<core::MEANet*> replicas;
+
+  // ----- Cost model -----
+  /// Prices each instance's compute and upload; default costs are all
+  /// zero. If upload_bytes_per_instance is 0 it is derived from the
+  /// backend's payload_bytes() on first use.
+  sim::EdgeNodeCosts costs;
+};
+
+/// One unit of work: `images` holds 1..N instances ([C,H,W] or
+/// [B,C,H,W]); instance i gets result id `id + i`.
+struct InferenceRequest {
+  std::int64_t id = 0;
+  Tensor images;
+};
+
+/// Per-instance outcome of Alg. 2.
+struct InferenceResult {
+  std::int64_t id = 0;
+  /// Final prediction in global label space (cloud answer when the
+  /// instance was offloaded and the backend responded).
+  int prediction = -1;
+  core::Route route = core::Route::kMainExit;
+  /// True when the instance was cloud-routed and the backend answered.
+  bool offloaded = false;
+  // Exit-1 signals.
+  float entropy = 0.0f;
+  float main_confidence = 0.0f;
+  float margin = 0.0f;
+  /// Max softmax score at exit 2 (0 when the extension did not run).
+  float extension_confidence = 0.0f;
+  /// Exit-1 argmax (the IsHard detector's input).
+  int main_prediction = -1;
+  /// Edge prediction before any cloud answer (the offload fallback).
+  int edge_prediction = -1;
+  // Per-instance cost (EngineConfig::costs pricing).
+  double compute_energy_j = 0.0;
+  double comm_energy_j = 0.0;
+  double compute_time_s = 0.0;
+  double comm_time_s = 0.0;
+};
+
+/// Route occupancy over a result set.
+core::RouteCounts count_routes(const std::vector<InferenceResult>& results);
+
+class InferenceSession {
+ public:
+  explicit InferenceSession(EngineConfig config);
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Enqueues 1..N instances; blocks while the queue is full. Returns
+  /// the result id of the first instance.
+  std::int64_t submit(Tensor images);
+
+  /// Waits for every submitted instance, then returns all accumulated
+  /// results sorted by id (and clears them for the next round). If a
+  /// worker failed, throws std::runtime_error with the first error;
+  /// results that completed are kept and returned by the next drain()
+  /// call, so the caller can tell which instances survived. Ids are
+  /// always the session-global ids submit() returned — match survivors
+  /// against those, not against dataset indices (only run() rebases).
+  std::vector<InferenceResult> drain();
+
+  /// Synchronous convenience: submits the whole dataset in batch_size
+  /// chunks and drains. Result ids are rebased to dataset indices, so
+  /// result i corresponds to dataset instance i on every call. Starts a
+  /// fresh round: undrained results and stale errors from earlier
+  /// rounds are discarded. Must not overlap other submit()/run() calls
+  /// (detected and rejected with std::logic_error); for mixed workloads
+  /// use submit()/drain().
+  std::vector<InferenceResult> run(const data::Dataset& dataset);
+
+  const OffloadBackend& backend() const { return *backend_; }
+  const core::RoutingPolicy& routing() const { return *routing_; }
+  /// Workers actually serving (worker_threads clamped to the replicas).
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop(int worker_index);
+  void process(core::EdgeInferenceEngine& engine, const std::vector<InferenceRequest>& requests);
+
+  // Serving state derived from the EngineConfig at construction; the
+  // config itself is not kept (its policy/backend/replica fields would
+  // otherwise be a stale second source of truth).
+  int batch_size_;
+  sim::EdgeNodeCosts costs_;
+  std::shared_ptr<const core::RoutingPolicy> routing_;
+  std::shared_ptr<OffloadBackend> backend_;
+  std::vector<std::unique_ptr<core::EdgeInferenceEngine>> engines_;  // one per worker
+
+  BoundedQueue<InferenceRequest> queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::int64_t> next_id_{0};
+
+  std::mutex backend_mutex_;  // the backend models one shared cloud link
+
+  std::mutex results_mutex_;
+  std::condition_variable drained_;
+  std::vector<InferenceResult> results_;
+  std::int64_t pending_instances_ = 0;  // guarded by results_mutex_
+  std::string worker_error_;            // first failure, rethrown by drain()
+};
+
+}  // namespace meanet::runtime

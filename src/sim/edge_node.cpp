@@ -2,31 +2,28 @@
 
 namespace meanet::sim {
 
-std::int64_t EdgeNode::route_macs(core::Route route) const {
-  // Every instance pays the main path; only extension-exit instances pay
-  // the adaptive + extension path on top (cloud-routed instances stop at
-  // the main block per Alg. 2).
-  std::int64_t macs = costs_.main_macs;
-  if (route == core::Route::kExtensionExit) macs += costs_.extension_macs;
+std::int64_t EdgeNodeCosts::route_macs(core::Route route) const {
+  std::int64_t macs = main_macs;
+  if (route == core::Route::kExtensionExit) macs += extension_macs;
   return macs;
 }
 
-double EdgeNode::compute_energy_j(const core::InstanceDecision& decision) const {
-  return costs_.device.compute_energy_j(route_macs(decision.route));
+double EdgeNodeCosts::compute_energy_j(core::Route route) const {
+  return device.compute_energy_j(route_macs(route));
 }
 
-double EdgeNode::compute_time_s(const core::InstanceDecision& decision) const {
-  return costs_.device.compute_time_s(route_macs(decision.route));
+double EdgeNodeCosts::compute_time_s(core::Route route) const {
+  return device.compute_time_s(route_macs(route));
 }
 
-double EdgeNode::comm_energy_j(const core::InstanceDecision& decision) const {
-  if (decision.route != core::Route::kCloud) return 0.0;
-  return costs_.wifi.upload_energy_j(costs_.upload_bytes_per_instance);
+double EdgeNodeCosts::comm_energy_j(core::Route route) const {
+  if (route != core::Route::kCloud) return 0.0;
+  return wifi.upload_energy_j(upload_bytes_per_instance);
 }
 
-double EdgeNode::comm_time_s(const core::InstanceDecision& decision) const {
-  if (decision.route != core::Route::kCloud) return 0.0;
-  return costs_.wifi.upload_time_s(costs_.upload_bytes_per_instance);
+double EdgeNodeCosts::comm_time_s(core::Route route) const {
+  if (route != core::Route::kCloud) return 0.0;
+  return wifi.upload_time_s(upload_bytes_per_instance);
 }
 
 }  // namespace meanet::sim

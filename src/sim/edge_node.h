@@ -12,6 +12,8 @@
 
 namespace meanet::sim {
 
+/// The edge's pricing model. The per-route cost math lives here so that
+/// both EdgeNode and runtime::InferenceSession charge identically.
 struct EdgeNodeCosts {
   DeviceModel device;
   WifiModel wifi;
@@ -21,6 +23,20 @@ struct EdgeNodeCosts {
   std::int64_t main_macs = 0;
   /// Additional multiply-adds when the extension path runs.
   std::int64_t extension_macs = 0;
+
+  /// MACs an instance pays on the given route: every instance pays the
+  /// main path; only extension-exit instances pay the adaptive +
+  /// extension path on top (cloud-routed instances stop at the main
+  /// block per Alg. 2).
+  std::int64_t route_macs(core::Route route) const;
+
+  /// Per-instance compute energy (J) for a route.
+  double compute_energy_j(core::Route route) const;
+  /// Per-instance compute latency (s) for a route.
+  double compute_time_s(core::Route route) const;
+  /// Upload energy (J) if the instance goes to the cloud, else 0.
+  double comm_energy_j(core::Route route) const;
+  double comm_time_s(core::Route route) const;
 };
 
 class EdgeNode {
@@ -29,19 +45,31 @@ class EdgeNode {
            EdgeNodeCosts costs)
       : engine_(net, dict, policy), costs_(costs) {}
 
+  /// Pluggable-routing construction.
+  EdgeNode(core::MEANet& net, const data::ClassDict& dict,
+           std::shared_ptr<const core::RoutingPolicy> policy, EdgeNodeCosts costs)
+      : engine_(net, dict, std::move(policy)), costs_(costs) {}
+
   core::EdgeInferenceEngine& engine() { return engine_; }
   const EdgeNodeCosts& costs() const { return costs_; }
 
   /// Per-instance compute energy (J) for a decision's route.
-  double compute_energy_j(const core::InstanceDecision& decision) const;
+  double compute_energy_j(const core::InstanceDecision& decision) const {
+    return costs_.compute_energy_j(decision.route);
+  }
   /// Per-instance compute latency (s) for a decision's route.
-  double compute_time_s(const core::InstanceDecision& decision) const;
+  double compute_time_s(const core::InstanceDecision& decision) const {
+    return costs_.compute_time_s(decision.route);
+  }
   /// Upload energy (J) if the instance goes to the cloud, else 0.
-  double comm_energy_j(const core::InstanceDecision& decision) const;
-  double comm_time_s(const core::InstanceDecision& decision) const;
+  double comm_energy_j(const core::InstanceDecision& decision) const {
+    return costs_.comm_energy_j(decision.route);
+  }
+  double comm_time_s(const core::InstanceDecision& decision) const {
+    return costs_.comm_time_s(decision.route);
+  }
 
  private:
-  std::int64_t route_macs(core::Route route) const;
   core::EdgeInferenceEngine engine_;
   EdgeNodeCosts costs_;
 };

@@ -1,76 +1,59 @@
 #include "sim/system.h"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/session.h"
 
 namespace meanet::sim {
 
+DistributedSystem::DistributedSystem(EdgeNode edge,
+                                     std::shared_ptr<runtime::OffloadBackend> backend)
+    : edge_(std::move(edge)), backend_(std::move(backend)) {
+  if (!backend_) throw std::invalid_argument("DistributedSystem: null backend");
+}
+
+DistributedSystem::DistributedSystem(EdgeNode edge, CloudNode* cloud)
+    : DistributedSystem(std::move(edge),
+                        cloud == nullptr
+                            ? std::shared_ptr<runtime::OffloadBackend>(
+                                  std::make_shared<runtime::NullBackend>())
+                            : std::make_shared<runtime::RawImageBackend>(cloud)) {}
+
 SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size) {
   if (dataset.size() == 0) throw std::invalid_argument("DistributedSystem::run: empty dataset");
+
+  runtime::EngineConfig config;
+  config.net = &edge_.engine().net();
+  config.dict = &edge_.engine().dict();
+  config.policy = edge_.engine().routing_ptr();
+  config.backend = backend_;
+  config.batch_size = batch_size;
+  config.costs = edge_.costs();
+  runtime::InferenceSession session(std::move(config));
+  const std::vector<runtime::InferenceResult> results = session.run(dataset);
+
+  const data::ClassDict& dict = edge_.engine().dict();
   SystemReport report;
-  report.predictions.reserve(static_cast<std::size_t>(dataset.size()));
-  report.instance_routes.reserve(static_cast<std::size_t>(dataset.size()));
-
-  const data::ClassDict& dict = edge_.engine().policy().dict();
-
+  report.backend_description = backend_->describe();
+  report.predictions.reserve(results.size());
+  report.instance_routes.reserve(results.size());
   std::int64_t correct = 0;
   std::int64_t hard_correct = 0, hard_total = 0;
-
-  for (int start = 0; start < dataset.size(); start += batch_size) {
-    const int count = std::min(batch_size, dataset.size() - start);
-    const Tensor images = dataset.images.slice_batch(start, count);
-    std::vector<core::InstanceDecision> decisions = edge_.engine().infer(images);
-
-    // Ship cloud-routed instances (raw images, paper §III-C) in one
-    // batch per edge batch.
-    std::vector<int> cloud_rows;
-    for (int i = 0; i < count; ++i) {
-      if (decisions[static_cast<std::size_t>(i)].route == core::Route::kCloud) {
-        cloud_rows.push_back(i);
-      }
+  for (const runtime::InferenceResult& r : results) {
+    const int label = dataset.labels[static_cast<std::size_t>(r.id)];
+    report.predictions.push_back(r.prediction);
+    report.instance_routes.push_back(r.route);
+    if (r.prediction == label) ++correct;
+    if (dict.is_hard(label)) {
+      ++hard_total;
+      if (r.prediction == label) ++hard_correct;
     }
-    if (!cloud_rows.empty() && cloud_ != nullptr) {
-      std::vector<int> dims = images.shape().dims();
-      dims[0] = static_cast<int>(cloud_rows.size());
-      Tensor cloud_batch{Shape(dims)};
-      const std::int64_t stride = images.numel() / images.shape().batch();
-      for (std::size_t i = 0; i < cloud_rows.size(); ++i) {
-        const float* src = images.data() + cloud_rows[i] * stride;
-        std::copy(src, src + stride,
-                  cloud_batch.data() + static_cast<std::int64_t>(i) * stride);
-      }
-      const std::vector<int> cloud_preds = cloud_->classify(cloud_batch);
-      for (std::size_t i = 0; i < cloud_rows.size(); ++i) {
-        decisions[static_cast<std::size_t>(cloud_rows[i])].prediction = cloud_preds[i];
-      }
-    }
-
-    for (int i = 0; i < count; ++i) {
-      const core::InstanceDecision& d = decisions[static_cast<std::size_t>(i)];
-      const int label = dataset.labels[static_cast<std::size_t>(start + i)];
-      report.predictions.push_back(d.prediction);
-      report.instance_routes.push_back(d.route);
-      if (d.prediction == label) ++correct;
-      if (dict.is_hard(label)) {
-        ++hard_total;
-        if (d.prediction == label) ++hard_correct;
-      }
-      switch (d.route) {
-        case core::Route::kMainExit:
-          ++report.routes.main_exit;
-          break;
-        case core::Route::kExtensionExit:
-          ++report.routes.extension_exit;
-          break;
-        case core::Route::kCloud:
-          ++report.routes.cloud;
-          break;
-      }
-      report.edge_compute_energy_j += edge_.compute_energy_j(d);
-      report.communication_energy_j += edge_.comm_energy_j(d);
-      report.edge_compute_time_s += edge_.compute_time_s(d);
-      report.communication_time_s += edge_.comm_time_s(d);
-    }
+    report.routes.add(r.route);
+    report.edge_compute_energy_j += r.compute_energy_j;
+    report.communication_energy_j += r.comm_energy_j;
+    report.edge_compute_time_s += r.compute_time_s;
+    report.communication_time_s += r.comm_time_s;
   }
 
   report.accuracy = static_cast<double>(correct) / static_cast<double>(dataset.size());

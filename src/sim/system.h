@@ -1,11 +1,15 @@
-// The full distributed inference system (paper Alg. 2 + Fig. 1):
-// EdgeNode runs MEANet routing; complex instances travel to the
-// CloudNode; results and costs are aggregated.
+// The full distributed inference system (paper Alg. 2 + Fig. 1),
+// now a thin aggregation shim over runtime::InferenceSession: EdgeNode
+// supplies the model + routing + cost pricing, any OffloadBackend
+// completes cloud-routed instances, and run() folds the per-instance
+// results into the report the benches consume.
 #pragma once
 
-#include <optional>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "runtime/offload_backend.h"
 #include "sim/cloud_node.h"
 #include "sim/edge_node.h"
 
@@ -28,22 +32,29 @@ struct SystemReport {
   // Per-instance outcome (prediction in global label space).
   std::vector<int> predictions;
   std::vector<core::Route> instance_routes;
+  /// Which offload backend served the cloud route.
+  std::string backend_description;
 };
 
 class DistributedSystem {
  public:
-  /// `cloud` may be null: the edge then answers every instance itself
-  /// (its cloud-marked instances fall back to the main-exit prediction).
-  DistributedSystem(EdgeNode edge, CloudNode* cloud) : edge_(std::move(edge)), cloud_(cloud) {}
+  /// Offload through any backend (runtime-selectable mode).
+  DistributedSystem(EdgeNode edge, std::shared_ptr<runtime::OffloadBackend> backend);
+
+  /// Raw-image offload; `cloud` may be null: the edge then answers every
+  /// instance itself (its cloud-marked instances fall back to the
+  /// main-exit prediction).
+  DistributedSystem(EdgeNode edge, CloudNode* cloud);
 
   /// Runs Alg. 2 over the dataset and aggregates accuracy / energy.
   SystemReport run(const data::Dataset& dataset, int batch_size = 64);
 
   EdgeNode& edge() { return edge_; }
+  const runtime::OffloadBackend& backend() const { return *backend_; }
 
  private:
   EdgeNode edge_;
-  CloudNode* cloud_;
+  std::shared_ptr<runtime::OffloadBackend> backend_;
 };
 
 }  // namespace meanet::sim

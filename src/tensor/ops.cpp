@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace meanet::ops {
@@ -254,6 +255,46 @@ std::vector<float> row_max(const Tensor& values) {
     float mx = v[0];
     for (int c = 1; c < cols; ++c) mx = std::max(mx, v[c]);
     out[static_cast<std::size_t>(r)] = mx;
+  }
+  return out;
+}
+
+std::vector<float> row_margin(const Tensor& values) {
+  if (values.shape().rank() != 2) throw std::invalid_argument("row_margin expects [rows, cols]");
+  const int rows = values.shape().dim(0), cols = values.shape().dim(1);
+  std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    const float* v = values.data() + static_cast<std::ptrdiff_t>(r) * cols;
+    float top1 = v[0];
+    float top2 = -std::numeric_limits<float>::infinity();
+    for (int c = 1; c < cols; ++c) {
+      if (v[c] > top1) {
+        top2 = top1;
+        top1 = v[c];
+      } else if (v[c] > top2) {
+        top2 = v[c];
+      }
+    }
+    out[static_cast<std::size_t>(r)] = cols == 1 ? top1 : top1 - top2;
+  }
+  return out;
+}
+
+Tensor gather_rows(const Tensor& source, const std::vector<int>& rows) {
+  if (source.shape().rank() < 1 || source.shape().dim(0) <= 0) {
+    throw std::invalid_argument("gather_rows: source needs a non-empty batch dimension");
+  }
+  const int batch = source.shape().dim(0);
+  std::vector<int> dims = source.shape().dims();
+  dims[0] = static_cast<int>(rows.size());
+  Tensor out{Shape(dims)};
+  const std::int64_t stride = source.numel() / batch;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] < 0 || rows[i] >= batch) {
+      throw std::invalid_argument("gather_rows: row index out of range");
+    }
+    const float* src = source.data() + rows[i] * stride;
+    std::copy(src, src + stride, out.data() + static_cast<std::int64_t>(i) * stride);
   }
   return out;
 }

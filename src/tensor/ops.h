@@ -62,4 +62,14 @@ std::vector<int> row_argmax(const Tensor& values);
 /// Max element of each row of a [rows, cols] tensor.
 std::vector<float> row_max(const Tensor& values);
 
+/// Top-1 minus top-2 element of each row of a [rows, cols] tensor (the
+/// confidence margin when applied to softmax scores). Rows with a single
+/// column have margin equal to their only element.
+std::vector<float> row_margin(const Tensor& values);
+
+/// Copies the listed batch rows of `source` (any rank >= 1) into a new
+/// tensor of shape [rows.size(), ...]. Used to route instance subsets
+/// (extension batches, offload payloads).
+Tensor gather_rows(const Tensor& source, const std::vector<int>& rows);
+
 }  // namespace meanet::ops

@@ -39,8 +39,12 @@ TEST(EdgeInferenceEngine, RoutesMatchPolicy) {
   EdgeInferenceEngine engine(net, dict, config);
   const Tensor images = Tensor::normal(Shape{16, 2, 8, 8}, rng);
   for (const InstanceDecision& d : engine.infer(images)) {
-    const Route expected = engine.policy().route(d.entropy, d.main_prediction);
-    EXPECT_EQ(d.route, expected);
+    RouteSignals signals;
+    signals.entropy = d.entropy;
+    signals.main_confidence = d.main_confidence;
+    signals.margin = d.margin;
+    signals.main_prediction = d.main_prediction;
+    EXPECT_EQ(d.route, engine.routing().route(signals));
   }
 }
 
@@ -118,6 +122,34 @@ TEST(EdgeInferenceEngine, InferDatasetMatchesBatchedInfer) {
     EXPECT_EQ(via_dataset[i].prediction, via_batch[i].prediction) << i;
     EXPECT_EQ(via_dataset[i].route, via_batch[i].route) << i;
   }
+}
+
+TEST(EdgeInferenceEngine, SetConfigRebuildsRoutingThroughOnePath) {
+  util::Rng rng(7);
+  MEANet net = tiny_meanet_b(rng, 2);
+  const data::ClassDict dict(4, {2, 3});
+  EdgeInferenceEngine engine(net, dict, PolicyConfig{});
+  // Default config: no cloud, so nothing can be marked for offload.
+  const Tensor images = Tensor::normal(Shape{10, 2, 8, 8}, rng);
+  for (const InstanceDecision& d : engine.infer(images)) {
+    EXPECT_NE(d.route, Route::kCloud);
+  }
+  // Reconfigure through the one mutation path: the engine's routing
+  // must reflect the new config immediately (no second config copy).
+  PolicyConfig config;
+  config.cloud_available = true;
+  config.entropy_threshold = 0.0;
+  engine.set_config(config);
+  EXPECT_NE(engine.routing().describe().find("cloud=on"), std::string::npos);
+  for (const InstanceDecision& d : engine.infer(images)) {
+    EXPECT_EQ(d.route, Route::kCloud);
+  }
+  // And a custom policy flows through the same path.
+  engine.set_routing(std::make_shared<AlwaysExtendPolicy>());
+  for (const InstanceDecision& d : engine.infer(images)) {
+    EXPECT_EQ(d.route, Route::kExtensionExit);
+  }
+  EXPECT_THROW(engine.set_routing(nullptr), std::invalid_argument);
 }
 
 TEST(CountRoutes, TalliesCorrectly) {

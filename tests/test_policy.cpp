@@ -67,5 +67,51 @@ TEST(RouteName, AllRoutesNamed) {
   EXPECT_STREQ(route_name(Route::kCloud), "cloud");
 }
 
+RouteSignals signals(float entropy, float margin, int prediction) {
+  RouteSignals s;
+  s.entropy = entropy;
+  s.margin = margin;
+  s.main_prediction = prediction;
+  return s;
+}
+
+TEST(EntropyThresholdPolicy, MatchesReferenceInferencePolicy) {
+  const data::ClassDict dict = make_dict();
+  const PolicyConfig config{1.0, true};
+  const InferencePolicy reference(dict, config);
+  const EntropyThresholdPolicy policy(dict, config);
+  for (float entropy : {0.2f, 0.9f, 1.0f, 1.1f, 3.0f}) {
+    for (int prediction : {0, 1, 2, 3}) {
+      EXPECT_EQ(policy.route(signals(entropy, 0.5f, prediction)),
+                reference.route(entropy, prediction));
+    }
+  }
+  EXPECT_NE(policy.describe().find("entropy-threshold"), std::string::npos);
+}
+
+TEST(ConfidenceMarginPolicy, SmallMarginGoesToCloud) {
+  const data::ClassDict dict = make_dict();
+  const ConfidenceMarginPolicy policy(dict, MarginPolicyConfig{0.3, true});
+  EXPECT_EQ(policy.route(signals(0.0f, 0.1f, 0)), Route::kCloud);
+  EXPECT_EQ(policy.route(signals(0.0f, 0.1f, 2)), Route::kCloud);
+  // Margin exactly at the threshold stays at the edge ("< threshold").
+  EXPECT_EQ(policy.route(signals(0.0f, 0.3f, 0)), Route::kMainExit);
+  EXPECT_EQ(policy.route(signals(0.0f, 0.8f, 0)), Route::kMainExit);
+  EXPECT_EQ(policy.route(signals(0.0f, 0.8f, 3)), Route::kExtensionExit);
+}
+
+TEST(ConfidenceMarginPolicy, CloudUnavailableFallsBackToEdgeRoutes) {
+  const data::ClassDict dict = make_dict();
+  const ConfidenceMarginPolicy policy(dict, MarginPolicyConfig{0.3, false});
+  EXPECT_EQ(policy.route(signals(0.0f, 0.01f, 0)), Route::kMainExit);
+  EXPECT_EQ(policy.route(signals(0.0f, 0.01f, 3)), Route::kExtensionExit);
+}
+
+TEST(AlwaysExtendPolicy, EveryInstanceTakesTheExtension) {
+  const AlwaysExtendPolicy policy;
+  EXPECT_EQ(policy.route(signals(0.0f, 0.9f, 0)), Route::kExtensionExit);
+  EXPECT_EQ(policy.route(signals(5.0f, 0.0f, 3)), Route::kExtensionExit);
+}
+
 }  // namespace
 }  // namespace meanet::core
