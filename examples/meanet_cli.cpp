@@ -264,6 +264,11 @@ int cmd_eval(const Args& args) {
               static_cast<long long>(routes.main_exit),
               static_cast<long long>(routes.extension_exit),
               static_cast<long long>(routes.cloud));
+  const runtime::SessionMetrics m = session.metrics();
+  std::printf("serving: queue high-water %lld, batch latency p50/p95 %.3f/%.3f ms (main exit)\n",
+              static_cast<long long>(m.queue_depth_high_water),
+              1e3 * m.route(core::Route::kMainExit).p50_s,
+              1e3 * m.route(core::Route::kMainExit).p95_s);
   return 0;
 }
 

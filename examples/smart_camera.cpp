@@ -4,12 +4,15 @@
 // paper's introduction motivates.
 //
 // The example streams the test set frame by frame through a
-// runtime::InferenceSession — submit() enqueues frames, drain() collects
-// the batched results — and prints a running dashboard of accuracy, exit
-// distribution, and the edge energy bill (compute + WiFi upload).
+// runtime::InferenceSession — each submit() hands back a ResultHandle
+// whose wait() completes when that frame's result settles — and prints a
+// running dashboard of accuracy, exit distribution, and the edge energy
+// bill (compute + WiFi upload), plus the session metrics (queue depth,
+// per-route latency percentiles) at the end.
 //
 // Build & run:  ./build/examples/smart_camera
 #include <cstdio>
+#include <vector>
 
 #include "core/builders.h"
 #include "core/trainer.h"
@@ -99,21 +102,23 @@ int main() {
   double compute_j = 0.0, comm_j = 0.0;
   for (int start = 0; start < ds.test.size(); start += chunk) {
     const int count = std::min(chunk, ds.test.size() - start);
-    // Map the chunk's session-global ids back to dataset indices via the
-    // first submitted frame's id (ids are per-session, not per-dataset).
-    std::int64_t chunk_base = -1;
+    // Keep the whole chunk in flight, then settle each frame through its
+    // own handle — the handle index is the dataset index, so no id
+    // arithmetic is needed.
+    std::vector<runtime::ResultHandle> inflight;
+    inflight.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
-      const std::int64_t id = camera.submit(ds.test.instance(start + i));
-      if (chunk_base < 0) chunk_base = id;
+      inflight.push_back(camera.submit(ds.test.instance(start + i)));
     }
-    for (const runtime::InferenceResult& r : camera.drain()) {
-      const int label =
-          ds.test.labels[static_cast<std::size_t>(start + (r.id - chunk_base))];
+    for (int i = 0; i < count; ++i) {
+      const runtime::InferenceResult r = inflight[static_cast<std::size_t>(i)].wait().front();
+      const int label = ds.test.labels[static_cast<std::size_t>(start + i)];
       if (r.prediction == label) ++correct;
       routes.add(r.route);
       compute_j += r.compute_energy_j;
       comm_j += r.comm_energy_j;
     }
+    camera.drain();  // retire the settled round (handles already read)
     seen += count;
     std::printf("%-8lld %8.1f%% %7.1f%% %7.1f%% %7.1f%% %10.2f J\n",
                 static_cast<long long>(seen),
@@ -126,5 +131,18 @@ int main() {
               100.0 * (routes.main_exit + routes.extension_exit) / static_cast<double>(seen),
               100.0 * routes.cloud / static_cast<double>(seen));
   std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n", compute_j, comm_j);
+
+  const runtime::SessionMetrics m = camera.metrics();
+  std::printf("\nsession metrics: %lld submitted, queue depth high-water %lld\n",
+              static_cast<long long>(m.submitted_instances),
+              static_cast<long long>(m.queue_depth_high_water));
+  std::printf("%-12s %8s %10s %10s %10s\n", "route", "count", "p50 ms", "p95 ms", "p99 ms");
+  for (const core::Route route :
+       {core::Route::kMainExit, core::Route::kExtensionExit, core::Route::kCloud}) {
+    const runtime::RouteLatencyStats& stats = m.route(route);
+    std::printf("%-12s %8lld %10.3f %10.3f %10.3f\n", core::route_name(route),
+                static_cast<long long>(stats.count), 1e3 * stats.p50_s, 1e3 * stats.p95_s,
+                1e3 * stats.p99_s);
+  }
   return 0;
 }

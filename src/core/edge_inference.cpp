@@ -26,18 +26,24 @@ BatchInference EdgeInferenceEngine::infer_batch(const Tensor& images) {
   MainForward fwd = net_->forward_main(images, nn::Mode::kEval);
   const Tensor p1 = ops::softmax(fwd.logits);
   const std::vector<int> pred1 = ops::row_argmax(p1);
+  // Exit-1 confidence is needed regardless of the policy (Alg. 2 keeps
+  // the more confident of the two exits); entropy and margin are only
+  // reduced when the routing policy declared it reads them.
+  const unsigned needed = routing_->needed_signals();
   const std::vector<float> conf1 = ops::row_max(p1);
-  const std::vector<float> margin1 = ops::row_margin(p1);
-  const std::vector<float> entropy = ops::row_entropy(p1);
+  const std::vector<float> margin1 =
+      (needed & kSignalMargin) ? ops::row_margin(p1) : std::vector<float>();
+  const std::vector<float> entropy =
+      (needed & kSignalEntropy) ? ops::row_entropy(p1) : std::vector<float>();
 
   std::vector<InstanceDecision> decisions(static_cast<std::size_t>(batch));
   std::vector<int> extension_rows;
   for (int n = 0; n < batch; ++n) {
     InstanceDecision& d = decisions[static_cast<std::size_t>(n)];
     d.main_prediction = pred1[static_cast<std::size_t>(n)];
-    d.entropy = entropy[static_cast<std::size_t>(n)];
+    d.entropy = entropy.empty() ? 0.0f : entropy[static_cast<std::size_t>(n)];
     d.main_confidence = conf1[static_cast<std::size_t>(n)];
-    d.margin = margin1[static_cast<std::size_t>(n)];
+    d.margin = margin1.empty() ? 0.0f : margin1[static_cast<std::size_t>(n)];
     RouteSignals signals;
     signals.entropy = d.entropy;
     signals.main_confidence = d.main_confidence;

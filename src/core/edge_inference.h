@@ -21,10 +21,14 @@ struct InstanceDecision {
   /// holds the edge's best guess (used when the cloud is unreachable).
   int prediction = -1;
   int main_prediction = -1;
+  /// Exit-1 entropy; 0 when the routing policy's needed_signals() did
+  /// not ask for it (the engine then skips the reduction).
   float entropy = 0.0f;
-  /// Max softmax score at exit 1.
+  /// Max softmax score at exit 1 (always computed: Alg. 2's exit
+  /// comparison needs it).
   float main_confidence = 0.0f;
-  /// Top-1 minus top-2 softmax score at exit 1.
+  /// Top-1 minus top-2 softmax score at exit 1; 0 unless the policy's
+  /// needed_signals() asked for it.
   float margin = 0.0f;
   /// Max softmax score at exit 2 (0 when the extension did not run).
   float extension_confidence = 0.0f;

@@ -64,7 +64,9 @@ class InferencePolicy {
 };
 
 /// Everything the main-exit pass knows about one instance, handed to a
-/// RoutingPolicy to decide where its inference ends.
+/// RoutingPolicy to decide where its inference ends. Only the fields the
+/// policy declared via needed_signals() are guaranteed to be filled; the
+/// rest stay at their defaults.
 struct RouteSignals {
   /// Shannon entropy of the exit-1 softmax.
   float entropy = 0.0f;
@@ -72,9 +74,22 @@ struct RouteSignals {
   float main_confidence = 0.0f;
   /// Top-1 minus top-2 softmax score at exit 1.
   float margin = 0.0f;
-  /// Exit-1 argmax in global label space.
+  /// Exit-1 argmax in global label space (always filled).
   int main_prediction = -1;
 };
+
+/// Bitmask over the derived RouteSignals fields a policy reads, so the
+/// engine can skip reducing softmax rows it will never look at.
+/// main_prediction is not maskable — the IsHard detector always needs
+/// the argmax — and main_confidence is computed anyway for Alg. 2's
+/// exit-1 vs exit-2 comparison, so only entropy and margin actually
+/// save work today.
+enum RouteSignal : unsigned {
+  kSignalEntropy = 1u << 0,
+  kSignalConfidence = 1u << 1,
+  kSignalMargin = 1u << 2,
+};
+inline constexpr unsigned kSignalsAll = kSignalEntropy | kSignalConfidence | kSignalMargin;
 
 /// Pluggable routing stage of Alg. 2. Implementations must be
 /// deterministic and thread-safe (route() is called concurrently from
@@ -84,6 +99,11 @@ class RoutingPolicy {
   virtual ~RoutingPolicy() = default;
 
   virtual Route route(const RouteSignals& signals) const = 0;
+
+  /// Which RouteSignals fields route() reads. Defaults to all of them —
+  /// safe for custom policies; override to let the engine skip the
+  /// per-row reductions you never use.
+  virtual unsigned needed_signals() const { return kSignalsAll; }
 
   /// Human-readable policy description for logs and reports.
   virtual std::string describe() const = 0;
@@ -98,6 +118,7 @@ class EntropyThresholdPolicy : public RoutingPolicy {
   Route route(const RouteSignals& signals) const override {
     return policy_.route(signals.entropy, signals.main_prediction);
   }
+  unsigned needed_signals() const override { return kSignalEntropy; }
   std::string describe() const override;
 
   const PolicyConfig& config() const { return policy_.config(); }
@@ -123,6 +144,7 @@ class ConfidenceMarginPolicy : public RoutingPolicy {
       : dict_(&dict), config_(config) {}
 
   Route route(const RouteSignals& signals) const override;
+  unsigned needed_signals() const override { return kSignalMargin; }
   std::string describe() const override;
 
   const MarginPolicyConfig& config() const { return config_; }
@@ -138,6 +160,7 @@ class ConfidenceMarginPolicy : public RoutingPolicy {
 class AlwaysExtendPolicy : public RoutingPolicy {
  public:
   Route route(const RouteSignals& signals) const override;
+  unsigned needed_signals() const override { return 0; }
   std::string describe() const override { return "always-extend"; }
 };
 

@@ -1,0 +1,88 @@
+#include "runtime/backend_decorators.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace meanet::runtime {
+
+BackendDecorator::BackendDecorator(std::shared_ptr<OffloadBackend> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("BackendDecorator: null inner backend");
+}
+
+std::vector<int> BackendDecorator::classify(const OffloadPayload& payload) {
+  return inner_->classify(payload);
+}
+
+LatencyInjectingBackend::LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner,
+                                                 double latency_s)
+    : BackendDecorator(std::move(inner)), latency_s_(latency_s) {
+  if (latency_s_ < 0.0) {
+    throw std::invalid_argument("LatencyInjectingBackend: negative latency");
+  }
+}
+
+std::vector<int> LatencyInjectingBackend::classify(const OffloadPayload& payload) {
+  if (latency_s_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(latency_s_));
+  }
+  return inner().classify(payload);
+}
+
+std::string LatencyInjectingBackend::describe() const {
+  std::ostringstream os;
+  os << "latency(" << latency_s_ * 1e3 << "ms)+" << inner().describe();
+  return os.str();
+}
+
+LossyBackend::LossyBackend(std::shared_ptr<OffloadBackend> inner, double loss_rate,
+                           std::uint64_t seed)
+    : BackendDecorator(std::move(inner)), loss_rate_(loss_rate), rng_(seed) {
+  if (loss_rate_ < 0.0 || loss_rate_ > 1.0) {
+    throw std::invalid_argument("LossyBackend: loss_rate must be in [0, 1]");
+  }
+}
+
+std::vector<int> LossyBackend::classify(const OffloadPayload& payload) {
+  bool dropped;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    dropped = rng_.bernoulli(loss_rate_);
+  }
+  if (dropped) return {};  // unavailable: caller keeps the edge's guess
+  return inner().classify(payload);
+}
+
+std::string LossyBackend::describe() const {
+  std::ostringstream os;
+  os << "lossy(" << loss_rate_ << ")+" << inner().describe();
+  return os.str();
+}
+
+RetryingBackend::RetryingBackend(std::shared_ptr<OffloadBackend> inner, int max_attempts)
+    : BackendDecorator(std::move(inner)), max_attempts_(max_attempts) {
+  if (max_attempts_ < 1) throw std::invalid_argument("RetryingBackend: max_attempts < 1");
+}
+
+std::vector<int> RetryingBackend::classify(const OffloadPayload& payload) {
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    std::vector<int> answer;
+    try {
+      answer = inner().classify(payload);
+    } catch (...) {
+      continue;  // a throwing link costs one attempt
+    }
+    if (!answer.empty()) return answer;
+  }
+  return {};
+}
+
+std::string RetryingBackend::describe() const {
+  std::ostringstream os;
+  os << "retry(" << max_attempts_ << ")+" << inner().describe();
+  return os.str();
+}
+
+}  // namespace meanet::runtime

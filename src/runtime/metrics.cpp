@@ -1,0 +1,63 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meanet::runtime {
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::min(1.0, std::max(0.0, p));
+  // Nearest-rank: the smallest sample with at least p of the mass at or
+  // below it; rank 1-based.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+void MetricsCollector::record_submitted(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.submitted_instances += instances;
+}
+
+void MetricsCollector::record_completion(core::Route route, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.completed_instances;
+  auto& stats = counters_.per_route[static_cast<std::size_t>(route)];
+  ++stats.count;
+  samples_[static_cast<std::size_t>(route)].push_back(seconds);
+}
+
+void MetricsCollector::record_offload_dispatch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.offload_dispatches;
+}
+
+void MetricsCollector::record_offload_timeout(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.offload_timeouts += instances;
+}
+
+void MetricsCollector::record_offload_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.offload_failures;
+}
+
+void MetricsCollector::record_cache_hits(std::int64_t hits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.cache_hits += hits;
+}
+
+SessionMetrics MetricsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionMetrics out = counters_;
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    out.per_route[r].p50_s = percentile(samples_[r], 0.50);
+    out.per_route[r].p95_s = percentile(samples_[r], 0.95);
+    out.per_route[r].p99_s = percentile(samples_[r], 0.99);
+  }
+  return out;
+}
+
+}  // namespace meanet::runtime

@@ -1,0 +1,93 @@
+// Session observability: counters and per-route service-latency
+// percentiles for an InferenceSession, snapshotted via
+// session.metrics().
+//
+// Latency accounting: every completed instance records the wall-clock
+// service time of the process() call that finalized it, measured from
+// batch pickup to the moment its result was settled — cache hits settle
+// at the lookup, main/extension instances after the edge pass, and
+// cloud-routed instances after the offload round-trip (or its timeout).
+// Percentiles are computed at snapshot time by nearest-rank over all
+// recorded samples of a route.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/inference_policy.h"
+
+namespace meanet::runtime {
+
+/// Latency distribution of one route's completed instances.
+struct RouteLatencyStats {
+  std::int64_t count = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+/// Point-in-time view of a session's counters. Plain data: safe to copy
+/// out and diff across rounds.
+struct SessionMetrics {
+  /// Instances accepted by submit() (including run()'s chunks).
+  std::int64_t submitted_instances = 0;
+  /// Instances with a settled result.
+  std::int64_t completed_instances = 0;
+  /// Most requests ever waiting in the bounded submit queue at once.
+  std::int64_t queue_depth_high_water = 0;
+
+  /// Offload payloads handed to the dispatcher thread.
+  std::int64_t offload_dispatches = 0;
+  /// Instances that fell back to their edge prediction because the
+  /// backend missed the offload timeout.
+  std::int64_t offload_timeouts = 0;
+  /// Dispatches whose backend threw or answered with the wrong shape.
+  std::int64_t offload_failures = 0;
+
+  /// Instances served from the response cache.
+  std::int64_t cache_hits = 0;
+  /// Entries currently held by the response cache.
+  std::int64_t cache_entries = 0;
+
+  /// Completed instances and latency percentiles per route, indexed by
+  /// core::Route (use the accessors below).
+  std::array<RouteLatencyStats, core::kNumRoutes> per_route{};
+
+  const RouteLatencyStats& route(core::Route route) const {
+    return per_route[static_cast<std::size_t>(route)];
+  }
+  std::int64_t route_count(core::Route route) const { return this->route(route).count; }
+};
+
+/// Thread-safe accumulator behind SessionMetrics. Workers record raw
+/// samples; snapshot() sorts and reduces them to percentiles so the hot
+/// path never pays for order maintenance.
+class MetricsCollector {
+ public:
+  void record_submitted(std::int64_t instances);
+  /// One completed instance: tallies the route and stores its service
+  /// latency sample.
+  void record_completion(core::Route route, double seconds);
+  void record_offload_dispatch();
+  void record_offload_timeout(std::int64_t instances);
+  void record_offload_failure();
+  void record_cache_hits(std::int64_t hits);
+
+  /// Current counters with percentiles reduced from the samples.
+  /// queue_depth_high_water and cache_entries are owned by the session
+  /// and left 0 here.
+  SessionMetrics snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  SessionMetrics counters_;  // percentiles stay empty until snapshot()
+  std::array<std::vector<double>, core::kNumRoutes> samples_;
+};
+
+/// Nearest-rank percentile (p in [0,1]) of an unsorted sample set; 0 for
+/// an empty set. Exposed for the metrics tests.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace meanet::runtime

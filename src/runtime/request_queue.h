@@ -4,6 +4,7 @@
 // consumers block when it is empty.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -22,6 +23,7 @@ class BoundedQueue {
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
     not_empty_.notify_one();
     return true;
   }
@@ -62,11 +64,19 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Most items ever queued at once (the SessionMetrics queue-depth
+  /// high-water mark).
+  std::size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_, not_full_;
   std::deque<T> items_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

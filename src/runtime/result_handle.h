@@ -1,0 +1,164 @@
+// Per-request completion for the async serving API.
+//
+// submit() hands back a ResultHandle instead of a bare id: a future-like
+// view onto the request's slot in the session's completion table. Each
+// submitted request owns one detail::RequestState; the worker that
+// serves the request settles the state exactly once (results or error),
+// and every handle sharing the state observes the transition through
+// ready() / try_get() / wait(). Reads are non-destructive — results stay
+// in the state, so drain() can still collect a whole round while callers
+// hold handles onto individual requests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/inference_policy.h"
+
+namespace meanet::runtime {
+
+/// Per-instance outcome of Alg. 2.
+struct InferenceResult {
+  std::int64_t id = 0;
+  /// Final prediction in global label space (cloud answer when the
+  /// instance was offloaded and the backend responded in time).
+  int prediction = -1;
+  core::Route route = core::Route::kMainExit;
+  /// True when the instance was cloud-routed and the backend answered
+  /// within the offload timeout.
+  bool offloaded = false;
+  /// True when the result was served from the session response cache.
+  bool cached = false;
+  // Exit-1 signals (only the ones the routing policy declared via
+  // needed_signals() are computed; the rest stay 0).
+  float entropy = 0.0f;
+  float main_confidence = 0.0f;
+  float margin = 0.0f;
+  /// Max softmax score at exit 2 (0 when the extension did not run).
+  float extension_confidence = 0.0f;
+  /// Exit-1 argmax (the IsHard detector's input).
+  int main_prediction = -1;
+  /// Edge prediction before any cloud answer (the offload fallback).
+  int edge_prediction = -1;
+  // Per-instance cost (EngineConfig::costs pricing).
+  double compute_energy_j = 0.0;
+  double comm_energy_j = 0.0;
+  double compute_time_s = 0.0;
+  double comm_time_s = 0.0;
+};
+
+namespace detail {
+
+/// One submitted request's slot in the completion table. Settled exactly
+/// once by the worker that serves the request: either `results` (one per
+/// instance, ordered by id) or `error` is filled before `done` flips.
+struct RequestState {
+  std::int64_t first_id = 0;
+  int expected = 0;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable done_cv;
+  bool done = false;                     // guarded by mutex
+  std::vector<InferenceResult> results;  // guarded by mutex
+  std::string error;                     // guarded by mutex; nonempty = failed
+  /// Set once a handle read the results (wait()/try_get()); the session
+  /// then prunes the request from its round on a later submit(), so
+  /// handle-only streaming callers don't accumulate every result ever
+  /// served. drain() still returns requests that are merely consumed
+  /// but not yet pruned.
+  mutable bool consumed = false;  // guarded by mutex
+
+  void settle(std::vector<InferenceResult> request_results) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      results = std::move(request_results);
+      done = true;
+    }
+    done_cv.notify_all();
+  }
+
+  void fail(std::string why) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      error = std::move(why);
+      done = true;
+    }
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Future-like view onto one submit() call's instances. Copyable and
+/// cheap; all copies observe the same completion. A default-constructed
+/// handle is invalid and throws on use.
+class ResultHandle {
+ public:
+  ResultHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Result id of the request's first instance (instance i of the
+  /// request gets id() + i), matching what submit() used to return.
+  std::int64_t id() const { return checked().first_id; }
+
+  /// Instances in the request.
+  int count() const { return checked().expected; }
+
+  /// True once the request settled (successfully or with an error).
+  bool ready() const {
+    const detail::RequestState& state = checked();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.done;
+  }
+
+  /// Blocks until the request settles, then returns its per-instance
+  /// results ordered by id. Throws std::runtime_error if the serving
+  /// worker failed on this request. Reads are non-destructive (wait()
+  /// can be called again), but mark the request consumed so the session
+  /// can eventually prune it from the drain() round.
+  std::vector<InferenceResult> wait() const {
+    const detail::RequestState& state = checked();
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&] { return state.done; });
+    if (!state.error.empty()) {
+      throw std::runtime_error("InferenceSession worker failed: " + state.error);
+    }
+    state.consumed = true;
+    return state.results;
+  }
+
+  /// Non-blocking wait(): nullopt while the request is in flight; throws
+  /// like wait() if the request failed.
+  std::optional<std::vector<InferenceResult>> try_get() const {
+    const detail::RequestState& state = checked();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.done) return std::nullopt;
+    if (!state.error.empty()) {
+      throw std::runtime_error("InferenceSession worker failed: " + state.error);
+    }
+    state.consumed = true;
+    return state.results;
+  }
+
+ private:
+  friend class InferenceSession;
+
+  explicit ResultHandle(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  const detail::RequestState& checked() const {
+    if (!state_) throw std::logic_error("ResultHandle: invalid (default-constructed) handle");
+    return *state_;
+  }
+
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace meanet::runtime

@@ -1,6 +1,10 @@
 #include "runtime/session.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -13,12 +17,13 @@ namespace meanet::runtime {
 namespace {
 
 /// Normalizes a request tensor to [B, ...] (a rank-3 [C,H,W] single
-/// instance becomes [1,C,H,W]).
+/// instance becomes [1,C,H,W]). The rank-3 path re-labels the tensor via
+/// the rvalue reshaped() overload — no copy of the frame.
 Tensor normalize_batch(Tensor images) {
   if (images.shape().rank() == 3) {
     std::vector<int> dims{1};
     for (int d : images.shape().dims()) dims.push_back(d);
-    return images.reshaped(Shape(dims));
+    return std::move(images).reshaped(Shape(dims));
   }
   if (images.shape().rank() != 4) {
     throw std::invalid_argument("InferenceSession: images must be [C,H,W] or [B,C,H,W]");
@@ -32,6 +37,26 @@ Shape instance_shape(const Shape& batch_shape) {
   return Shape(dims);
 }
 
+/// FNV-1a over an instance's raw image bytes — the response-cache key.
+/// Distinct frames colliding on all 64 bits is vanishingly unlikely for
+/// the workloads served here; a hit is trusted without a byte compare.
+std::uint64_t hash_instance(const float* data, std::int64_t count) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  const std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
 }  // namespace
 
 core::RouteCounts count_routes(const std::vector<InferenceResult>& results) {
@@ -42,8 +67,13 @@ core::RouteCounts count_routes(const std::vector<InferenceResult>& results) {
 
 InferenceSession::InferenceSession(EngineConfig config)
     : batch_size_(config.batch_size),
+      offload_timeout_s_(config.offload_timeout_s),
       costs_(config.costs),
-      queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))) {
+      queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))),
+      offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))),
+      cache_capacity_(config.response_cache_capacity > 0
+                          ? static_cast<std::size_t>(config.response_cache_capacity)
+                          : 0) {
   if (config.net == nullptr || config.dict == nullptr) {
     throw std::invalid_argument("InferenceSession: EngineConfig needs net and dict");
   }
@@ -75,17 +105,20 @@ InferenceSession::InferenceSession(EngineConfig config)
   }
   workers_.reserve(static_cast<std::size_t>(worker_count));
   try {
+    offload_worker_ = std::thread([this] { offload_loop(); });
     for (int i = 0; i < worker_count; ++i) {
       workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (...) {
-    // Thread spawn failed partway: shut down the workers that did
-    // start before rethrowing, or their joinable std::thread members
-    // would terminate the process during unwinding.
+    // Thread spawn failed partway: shut down the threads that did start
+    // before rethrowing, or their joinable std::thread members would
+    // terminate the process during unwinding.
     queue_.close();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
+    offload_queue_.close();
+    if (offload_worker_.joinable()) offload_worker_.join();
     throw;
   }
 }
@@ -95,38 +128,83 @@ InferenceSession::~InferenceSession() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // Workers are joined: nothing can enqueue offload jobs anymore, so the
+  // dispatcher drains whatever is left and exits.
+  offload_queue_.close();
+  if (offload_worker_.joinable()) offload_worker_.join();
 }
 
-std::int64_t InferenceSession::submit(Tensor images) {
+ResultHandle InferenceSession::submit(Tensor images) {
+  return enqueue(std::move(images), /*track_in_round=*/true);
+}
+
+ResultHandle InferenceSession::enqueue(Tensor images, bool track_in_round) {
   Tensor batch = normalize_batch(std::move(images));
   const int count = batch.shape().batch();
   if (count <= 0) throw std::invalid_argument("InferenceSession::submit: empty batch");
-  const std::int64_t id = next_id_.fetch_add(count);
-  {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    pending_instances_ += count;
-  }
-  if (!queue_.push(InferenceRequest{id, std::move(batch)})) {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    pending_instances_ -= count;
+  auto state = std::make_shared<detail::RequestState>();
+  state->first_id = next_id_.fetch_add(count);
+  state->expected = count;
+  if (!queue_.push(InferenceRequest{state->first_id, std::move(batch), state})) {
     throw std::logic_error("InferenceSession::submit: session is shut down");
   }
-  return id;
+  collector_.record_submitted(count);
+  ResultHandle handle(std::move(state));
+  if (track_in_round) {
+    // Registration happens after the push: the worker may already have
+    // settled the state, which only makes the later drain() trivial.
+    std::lock_guard<std::mutex> lock(round_mutex_);
+    if (round_.size() >= round_prune_threshold_) {
+      // Prune requests already settled AND read through their handle:
+      // a handle-only streaming caller (submit -> wait, never drain)
+      // must not accumulate every result the session ever served. The
+      // doubling threshold amortizes the scan to O(1) per submit.
+      round_.erase(std::remove_if(round_.begin(), round_.end(),
+                                  [](const ResultHandle& h) {
+                                    const detail::RequestState& s = *h.state_;
+                                    std::lock_guard<std::mutex> state_lock(s.mutex);
+                                    return s.done && s.consumed;
+                                  }),
+                   round_.end());
+      round_prune_threshold_ = std::max<std::size_t>(64, 2 * round_.size());
+    }
+    round_.push_back(handle);
+  }
+  return handle;
+}
+
+void InferenceSession::collect(const ResultHandle& handle, std::vector<InferenceResult>& out,
+                               std::string& first_error) {
+  const detail::RequestState& state = *handle.state_;
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done_cv.wait(lock, [&] { return state.done; });
+  if (!state.error.empty()) {
+    if (first_error.empty()) first_error = state.error;
+    return;
+  }
+  out.insert(out.end(), state.results.begin(), state.results.end());
 }
 
 std::vector<InferenceResult> InferenceSession::drain() {
-  std::unique_lock<std::mutex> lock(results_mutex_);
-  drained_.wait(lock, [&] { return pending_instances_ == 0; });
-  if (!worker_error_.empty()) {
-    const std::string error = worker_error_;
-    worker_error_.clear();
-    // Completed results are kept: a follow-up drain() returns them so
-    // the caller can tell which instances survived the failure.
-    throw std::runtime_error("InferenceSession worker failed: " + error);
+  std::vector<ResultHandle> round;
+  std::vector<InferenceResult> results;
+  {
+    std::lock_guard<std::mutex> lock(round_mutex_);
+    round.swap(round_);
+    results = std::move(survivors_);
+    survivors_.clear();
   }
-  std::vector<InferenceResult> results = std::move(results_);
-  results_.clear();
-  lock.unlock();
+  std::string first_error;
+  for (const ResultHandle& handle : round) collect(handle, results, first_error);
+  if (!first_error.empty()) {
+    // Results of the requests that completed are kept: a follow-up
+    // drain() returns them so the caller can tell which instances
+    // survived the failure.
+    std::lock_guard<std::mutex> lock(round_mutex_);
+    survivors_.insert(survivors_.end(), std::make_move_iterator(results.begin()),
+                      std::make_move_iterator(results.end()));
+    throw std::runtime_error("InferenceSession worker failed: " + first_error);
+  }
   std::sort(results.begin(), results.end(),
             [](const InferenceResult& a, const InferenceResult& b) { return a.id < b.id; });
   return results;
@@ -135,49 +213,65 @@ std::vector<InferenceResult> InferenceSession::drain() {
 std::vector<InferenceResult> InferenceSession::run(const data::Dataset& dataset) {
   if (dataset.size() == 0) throw std::invalid_argument("InferenceSession::run: empty dataset");
   {
-    // run() starts a fresh round: anything still buffered — survivors
-    // of a previously failed drain(), or undrained submit() results —
-    // is discarded along with any stale error, so a retry cannot trip
-    // the overlap check below or rethrow a previous round's failure.
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    if (pending_instances_ == 0) {
-      results_.clear();
-      worker_error_.clear();
-    }
+    // Fresh round: when nothing is in flight, survivors of an earlier
+    // failed round are discarded so a retry returns only this run.
+    std::lock_guard<std::mutex> lock(round_mutex_);
+    if (round_.empty()) survivors_.clear();
   }
-  std::int64_t base = -1;
+  // run()'s requests are not tracked in the submit() round: concurrent
+  // streaming traffic keeps its own handles and drain(), and this call
+  // waits exactly the handles it created.
+  std::vector<ResultHandle> handles;
+  std::vector<int> starts;
+  handles.reserve(static_cast<std::size_t>((dataset.size() + batch_size_ - 1) / batch_size_));
   for (int start = 0; start < dataset.size(); start += batch_size_) {
     const int count = std::min(batch_size_, dataset.size() - start);
-    const std::int64_t id = submit(dataset.images.slice_batch(start, count));
-    if (base < 0) base = id;
+    handles.push_back(enqueue(dataset.images.slice_batch(start, count), false));
+    starts.push_back(start);
   }
-  std::vector<InferenceResult> results = drain();
-  // Rebase the session-global ids so result i maps to dataset instance
-  // i even when the session served other work before this run.
-  if (results.size() != static_cast<std::size_t>(dataset.size()) ||
-      results.front().id != base) {
-    // Foreign results can only appear when submit()/run() overlapped,
-    // which run() does not support — fail loudly instead of letting
-    // callers index dataset labels with misaligned ids.
-    throw std::logic_error("InferenceSession::run: results do not match the dataset; "
-                           "run() must not overlap other submit()/run() calls");
+  std::vector<InferenceResult> results;
+  results.reserve(static_cast<std::size_t>(dataset.size()));
+  std::string first_error;
+  for (std::size_t chunk = 0; chunk < handles.size(); ++chunk) {
+    std::vector<InferenceResult> part;
+    collect(handles[chunk], part, first_error);
+    // Rebase the chunk's session-global ids so result i maps to dataset
+    // instance i even when the session served other work before (or
+    // concurrently with) this run.
+    for (InferenceResult& r : part) r.id = starts[chunk] + (r.id - handles[chunk].id());
+    results.insert(results.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
   }
-  for (InferenceResult& r : results) r.id -= base;
+  if (!first_error.empty()) {
+    // Keep what completed for a follow-up drain(), mirroring drain()'s
+    // failure contract. Note these ids are already dataset-rebased.
+    std::lock_guard<std::mutex> lock(round_mutex_);
+    survivors_.insert(survivors_.end(), std::make_move_iterator(results.begin()),
+                      std::make_move_iterator(results.end()));
+    throw std::runtime_error("InferenceSession worker failed: " + first_error);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const InferenceResult& a, const InferenceResult& b) { return a.id < b.id; });
   return results;
+}
+
+SessionMetrics InferenceSession::metrics() const {
+  SessionMetrics m = collector_.snapshot();
+  m.queue_depth_high_water = static_cast<std::int64_t>(queue_.high_water_mark());
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    m.cache_entries = static_cast<std::int64_t>(cache_.size());
+  }
+  return m;
 }
 
 void InferenceSession::worker_loop(int worker_index) {
   core::EdgeInferenceEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
-  // Runs one process() call, settling its instances exactly once: on
-  // failure the instances are marked done (with the error recorded) so
-  // drain() can never deadlock on a negative or stuck pending count.
+  // Runs one process() call, settling its requests exactly once: on
+  // failure every affected request is failed (with the error recorded)
+  // so no handle — and therefore no drain() — can wait forever.
   auto settle_failure = [&](const std::vector<InferenceRequest>& requests, const char* error) {
-    std::int64_t failed = 0;
-    for (const InferenceRequest& request : requests) failed += request.images.shape().batch();
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    if (worker_error_.empty()) worker_error_ = error;
-    pending_instances_ -= failed;
-    drained_.notify_all();
+    for (const InferenceRequest& request : requests) request.completion->fail(error);
   };
   auto safe_process = [&](const std::vector<InferenceRequest>& requests) {
     try {
@@ -222,9 +316,65 @@ void InferenceSession::worker_loop(int worker_index) {
   }
 }
 
+void InferenceSession::offload_loop() {
+  while (std::optional<OffloadJob> job = offload_queue_.pop()) {
+    std::vector<int> predictions;
+    bool failed = false;
+    try {
+      predictions = backend_->classify(job->payload);
+    } catch (...) {
+      // A throwing backend is an unreachable cloud (whatever it threw):
+      // the affected instances keep their edge predictions.
+      failed = true;
+      predictions.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(job->ticket->mutex);
+      job->ticket->failed = failed;
+      job->ticket->predictions = std::move(predictions);
+      job->ticket->done = true;
+    }
+    job->ticket->answered.notify_all();
+  }
+}
+
+std::vector<int> InferenceSession::offload(OffloadPayload payload, std::size_t expected) {
+  collector_.record_offload_dispatch();
+  auto ticket = std::make_shared<OffloadTicket>();
+  if (!offload_queue_.push(OffloadJob{std::move(payload), expected, ticket})) {
+    return {};  // session shutting down: edge fallback
+  }
+  std::unique_lock<std::mutex> lock(ticket->mutex);
+  if (std::isinf(offload_timeout_s_) && offload_timeout_s_ > 0.0) {
+    ticket->answered.wait(lock, [&] { return ticket->done; });
+  } else {
+    const auto timeout = std::chrono::duration<double>(std::max(0.0, offload_timeout_s_));
+    if (!ticket->answered.wait_for(lock, timeout, [&] { return ticket->done; })) {
+      // The dispatcher still finishes the job eventually; its late
+      // answer dies with the ticket. The instances fall back to their
+      // edge predictions exactly like the NullBackend path.
+      collector_.record_offload_timeout(static_cast<std::int64_t>(expected));
+      return {};
+    }
+  }
+  if (ticket->failed) {
+    collector_.record_offload_failure();
+    return {};
+  }
+  if (ticket->predictions.size() != expected) {
+    // A wrong-sized reply is a misbehaving backend; treat it like an
+    // unreachable cloud rather than failing the edge-answered instances
+    // in the batch too. (An empty reply is the normal "unavailable".)
+    if (!ticket->predictions.empty()) collector_.record_offload_failure();
+    return {};
+  }
+  return std::move(ticket->predictions);
+}
+
 void InferenceSession::process(core::EdgeInferenceEngine& engine,
                                const std::vector<InferenceRequest>& requests) {
   if (requests.empty()) return;
+  const SteadyClock::time_point started = SteadyClock::now();
   std::int64_t rows = 0;
   for (const InferenceRequest& request : requests) rows += request.images.shape().batch();
   std::vector<std::int64_t> ids(static_cast<std::size_t>(rows));
@@ -252,81 +402,154 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
     }
   }
   const Tensor& batch = requests.size() > 1 ? stacked : requests.front().images;
+  const std::int64_t stride = batch.numel() / rows;
 
-  core::BatchInference inference = engine.infer_batch(batch);
-  std::vector<core::InstanceDecision>& decisions = inference.decisions;
+  std::vector<InferenceResult> batch_results(static_cast<std::size_t>(rows));
+  std::vector<double> latencies(static_cast<std::size_t>(rows), 0.0);
 
-  // Ship cloud-routed instances through the backend in one payload.
-  std::vector<int> cloud_rows;
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
-    if (decisions[i].route == core::Route::kCloud) cloud_rows.push_back(static_cast<int>(i));
-  }
-  std::vector<int> cloud_predictions;
-  if (!cloud_rows.empty()) {
-    OffloadPayload payload;
-    if (backend_->needs_images()) payload.images = ops::gather_rows(batch, cloud_rows);
-    if (backend_->needs_features()) {
-      payload.features = ops::gather_rows(inference.features, cloud_rows);
+  // ---- Response cache: serve repeated frames without re-inferring ----
+  std::vector<int> fresh_rows;  // rows the engine still has to serve
+  std::vector<std::uint64_t> hashes;
+  if (cache_capacity_ > 0) {
+    hashes.resize(static_cast<std::size_t>(rows));
+    for (std::int64_t i = 0; i < rows; ++i) {
+      hashes[static_cast<std::size_t>(i)] = hash_instance(batch.data() + i * stride, stride);
     }
+    std::int64_t hits = 0;
     {
-      std::lock_guard<std::mutex> lock(backend_mutex_);
-      try {
-        cloud_predictions = backend_->classify(payload);
-      } catch (...) {
-        // A throwing backend is an unreachable cloud (whatever it
-        // throws): keep the edge's best guess rather than failing
-        // edge-answered instances too.
-        cloud_predictions.clear();
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const auto it = cache_.find(hashes[static_cast<std::size_t>(i)]);
+        if (it == cache_.end()) {
+          fresh_rows.push_back(static_cast<int>(i));
+          continue;
+        }
+        InferenceResult& r = batch_results[static_cast<std::size_t>(i)];
+        r = it->second;
+        r.id = ids[static_cast<std::size_t>(i)];
+        r.cached = true;
+        // A hit re-runs nothing: charge no compute and no upload, or
+        // energy dashboards would double-bill work that never happened.
+        r.compute_energy_j = 0.0;
+        r.comm_energy_j = 0.0;
+        r.compute_time_s = 0.0;
+        r.comm_time_s = 0.0;
+        ++hits;
       }
     }
-    if (!cloud_predictions.empty() && cloud_predictions.size() != cloud_rows.size()) {
-      // A wrong-sized reply is a misbehaving backend; treat it like an
-      // unreachable cloud (edge fallback, offloaded stays false) rather
-      // than failing the edge-answered instances in this batch too.
-      cloud_predictions.clear();
+    if (hits > 0) collector_.record_cache_hits(hits);
+    const double cache_latency = seconds_since(started);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      if (batch_results[static_cast<std::size_t>(i)].cached) {
+        latencies[static_cast<std::size_t>(i)] = cache_latency;
+      }
+    }
+  } else {
+    fresh_rows.resize(static_cast<std::size_t>(rows));
+    std::iota(fresh_rows.begin(), fresh_rows.end(), 0);
+  }
+
+  if (!fresh_rows.empty()) {
+    const bool all_fresh = static_cast<std::int64_t>(fresh_rows.size()) == rows;
+    const Tensor gathered = all_fresh ? Tensor{} : ops::gather_rows(batch, fresh_rows);
+    const Tensor& engine_input = all_fresh ? batch : gathered;
+
+    core::BatchInference inference = engine.infer_batch(engine_input);
+    std::vector<core::InstanceDecision>& decisions = inference.decisions;
+    const double edge_latency = seconds_since(started);
+
+    // Ship cloud-routed instances to the offload dispatcher in one
+    // payload; row indices are into the fresh sub-batch.
+    std::vector<int> cloud_rows;
+    for (std::size_t j = 0; j < decisions.size(); ++j) {
+      if (decisions[j].route == core::Route::kCloud) cloud_rows.push_back(static_cast<int>(j));
+    }
+    std::vector<int> cloud_predictions;
+    double cloud_latency = edge_latency;
+    if (!cloud_rows.empty()) {
+      OffloadPayload payload;
+      if (backend_->needs_images()) payload.images = ops::gather_rows(engine_input, cloud_rows);
+      if (backend_->needs_features()) {
+        payload.features = ops::gather_rows(inference.features, cloud_rows);
+      }
+      cloud_predictions = offload(std::move(payload), cloud_rows.size());
+      cloud_latency = seconds_since(started);
+    }
+
+    // Price the work. An unset upload payload size is derived from the
+    // backend's geometry-based estimate.
+    sim::EdgeNodeCosts costs = costs_;
+    if (costs.upload_bytes_per_instance == 0 && !cloud_rows.empty()) {
+      costs.upload_bytes_per_instance =
+          backend_->payload_bytes(instance_shape(batch.shape()),
+                                  instance_shape(inference.features.shape()));
+    }
+
+    for (std::size_t j = 0; j < decisions.size(); ++j) {
+      const std::size_t row = static_cast<std::size_t>(fresh_rows[j]);
+      const core::InstanceDecision& d = decisions[j];
+      InferenceResult& r = batch_results[row];
+      r.id = ids[row];
+      r.route = d.route;
+      r.entropy = d.entropy;
+      r.main_confidence = d.main_confidence;
+      r.margin = d.margin;
+      r.extension_confidence = d.extension_confidence;
+      r.main_prediction = d.main_prediction;
+      r.edge_prediction = d.prediction;
+      r.prediction = d.prediction;
+      r.compute_energy_j = costs.compute_energy_j(d.route);
+      r.compute_time_s = costs.compute_time_s(d.route);
+      r.comm_energy_j = costs.comm_energy_j(d.route);
+      r.comm_time_s = costs.comm_time_s(d.route);
+      latencies[row] = edge_latency;
+    }
+    for (std::size_t k = 0; k < cloud_rows.size(); ++k) {
+      const std::size_t row = static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(cloud_rows[k])]);
+      if (!cloud_predictions.empty()) {
+        batch_results[row].prediction = cloud_predictions[k];
+        batch_results[row].offloaded = true;
+      }
+      latencies[row] = cloud_latency;
+    }
+
+    if (cache_capacity_ > 0) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      for (const int fresh_row : fresh_rows) {
+        const InferenceResult& fresh_result = batch_results[static_cast<std::size_t>(fresh_row)];
+        if (fresh_result.route == core::Route::kCloud && !fresh_result.offloaded) {
+          // A degraded outcome (offload timeout / loss / unreachable
+          // cloud) must not be frozen in: the next occurrence of this
+          // frame deserves another shot at the cloud.
+          continue;
+        }
+        const std::uint64_t key = hashes[static_cast<std::size_t>(fresh_row)];
+        if (!cache_.emplace(key, fresh_result).second) {
+          continue;  // another worker cached this frame first
+        }
+        cache_order_.push_back(key);
+        if (cache_order_.size() > cache_capacity_) {
+          cache_.erase(cache_order_.front());
+          cache_order_.pop_front();
+        }
+      }
     }
   }
 
-  // Price the work. An unset upload payload size is derived from the
-  // backend's geometry-based estimate.
-  sim::EdgeNodeCosts costs = costs_;
-  if (costs.upload_bytes_per_instance == 0 && !cloud_rows.empty()) {
-    costs.upload_bytes_per_instance =
-        backend_->payload_bytes(instance_shape(batch.shape()),
-                                instance_shape(inference.features.shape()));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    collector_.record_completion(batch_results[static_cast<std::size_t>(i)].route,
+                                 latencies[static_cast<std::size_t>(i)]);
   }
 
-  std::vector<InferenceResult> batch_results(decisions.size());
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
-    const core::InstanceDecision& d = decisions[i];
-    InferenceResult& r = batch_results[i];
-    r.id = ids[i];
-    r.route = d.route;
-    r.entropy = d.entropy;
-    r.main_confidence = d.main_confidence;
-    r.margin = d.margin;
-    r.extension_confidence = d.extension_confidence;
-    r.main_prediction = d.main_prediction;
-    r.edge_prediction = d.prediction;
-    r.prediction = d.prediction;
-    r.compute_energy_j = costs.compute_energy_j(d.route);
-    r.compute_time_s = costs.compute_time_s(d.route);
-    r.comm_energy_j = costs.comm_energy_j(d.route);
-    r.comm_time_s = costs.comm_time_s(d.route);
+  // Settle each coalesced request's slot in the completion table.
+  std::size_t offset = 0;
+  for (const InferenceRequest& request : requests) {
+    const std::size_t count = static_cast<std::size_t>(request.images.shape().batch());
+    request.completion->settle(std::vector<InferenceResult>(
+        batch_results.begin() + static_cast<std::ptrdiff_t>(offset),
+        batch_results.begin() + static_cast<std::ptrdiff_t>(offset + count)));
+    offset += count;
   }
-  if (!cloud_predictions.empty()) {
-    for (std::size_t i = 0; i < cloud_rows.size(); ++i) {
-      InferenceResult& r = batch_results[static_cast<std::size_t>(cloud_rows[i])];
-      r.prediction = cloud_predictions[i];
-      r.offloaded = true;
-    }
-  }
-
-  std::lock_guard<std::mutex> lock(results_mutex_);
-  results_.insert(results_.end(), std::make_move_iterator(batch_results.begin()),
-                  std::make_move_iterator(batch_results.end()));
-  pending_instances_ -= static_cast<std::int64_t>(decisions.size());
-  if (pending_instances_ == 0) drained_.notify_all();
 }
 
 }  // namespace meanet::runtime

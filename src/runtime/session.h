@@ -1,39 +1,54 @@
 // The unified serving API for Alg. 2 (edge pass -> route -> extension
-// or offload).
+// or offload), asynchronous since PR 2.
 //
 // An InferenceSession is built once from an EngineConfig — which model,
 // which routing policy, which offload backend, how many workers — and
-// then serves InferenceRequest batches through submit()/drain() or the
-// synchronous run() convenience. Everything the seed scattered across
-// core::EdgeInferenceEngine, sim::DistributedSystem, sim::CloudNode and
-// sim::FeatureCloudNode call sites goes through this one seam:
+// then serves requests through submit()/drain() or the synchronous
+// run() convenience. submit() returns a ResultHandle (future-like:
+// ready() / try_get() / wait()) backed by the session's completion
+// table; drain() and run() are thin wrappers that wait a round of
+// handles and collect their results.
 //
 //   EngineConfig cfg;
 //   cfg.net = &net; cfg.dict = &dict;
 //   cfg.policy_config = {.entropy_threshold = 0.6, .cloud_available = true};
 //   cfg.offload_mode = OffloadMode::kRawImage; cfg.cloud = &cloud;
 //   InferenceSession session(cfg);
-//   auto results = session.run(test_set);
+//   ResultHandle frame = session.submit(camera_frame);
+//   ... do other work ...
+//   for (const InferenceResult& r : frame.wait()) consume(r);
 //
 // Concurrency: worker i > 0 serves on replicas[i-1] (weight-synced from
 // the primary at construction, because eval-mode forwards mutate layer
-// caches); the offload backend models a single shared cloud link and is
-// serialized. Per-instance results are independent of batch composition,
-// so a threaded session reproduces the single-threaded results exactly.
+// caches). Offloading is off the worker hot path: workers hand cloud
+// payloads to a dedicated dispatcher thread (the single shared cloud
+// link) and wait at most offload_timeout_s for the answer, after which
+// the affected instances keep their edge predictions exactly like the
+// NullBackend path. Per-instance results are independent of batch
+// composition, so a threaded session reproduces the single-threaded
+// results exactly when offloads complete (the default infinite timeout)
+// or miss the deadline decisively (link RTT far above the timeout, or
+// no backend). A finite timeout near the link's actual round-trip is
+// inherently racy: whether a borderline offload beats it can depend on
+// dispatcher backlog and therefore on worker count.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/edge_inference.h"
+#include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
 #include "runtime/request_queue.h"
+#include "runtime/result_handle.h"
 #include "sim/edge_node.h"
 
 namespace meanet::runtime {
@@ -57,6 +72,11 @@ struct EngineConfig {
   OffloadMode offload_mode = OffloadMode::kNone;
   sim::CloudNode* cloud = nullptr;
   sim::FeatureCloudNode* feature_cloud = nullptr;
+  /// How long a worker waits for the offload dispatcher's answer before
+  /// the cloud-routed instances fall back to their edge predictions
+  /// (the NullBackend behavior). Infinity = wait for the backend;
+  /// <= 0 = never wait (fallback immediately, answers are discarded).
+  double offload_timeout_s = std::numeric_limits<double>::infinity();
 
   // ----- Batching -----
   /// Max instances coalesced into one edge forward pass.
@@ -70,6 +90,17 @@ struct EngineConfig {
   /// construction.
   std::vector<core::MEANet*> replicas;
 
+  // ----- Response cache -----
+  /// Entries of the session-level response cache (hash of image bytes
+  /// -> InferenceResult), deduplicating repeated frames. 0 disables it.
+  /// Hits are served without re-running the edge pass or the offload,
+  /// charge zero compute/upload cost, and surface in
+  /// SessionMetrics::cache_hits. Only fully-served results are cached:
+  /// a cloud-routed instance that fell back to its edge prediction
+  /// (timeout / loss / unreachable cloud) is not frozen in, so the next
+  /// occurrence of the frame gets another shot at the cloud.
+  int response_cache_capacity = 0;
+
   // ----- Cost model -----
   /// Prices each instance's compute and upload; default costs are all
   /// zero. If upload_bytes_per_instance is 0 it is derived from the
@@ -78,36 +109,12 @@ struct EngineConfig {
 };
 
 /// One unit of work: `images` holds 1..N instances ([C,H,W] or
-/// [B,C,H,W]); instance i gets result id `id + i`.
+/// [B,C,H,W]); instance i gets result id `id + i`. `completion` is the
+/// request's slot in the session completion table.
 struct InferenceRequest {
   std::int64_t id = 0;
   Tensor images;
-};
-
-/// Per-instance outcome of Alg. 2.
-struct InferenceResult {
-  std::int64_t id = 0;
-  /// Final prediction in global label space (cloud answer when the
-  /// instance was offloaded and the backend responded).
-  int prediction = -1;
-  core::Route route = core::Route::kMainExit;
-  /// True when the instance was cloud-routed and the backend answered.
-  bool offloaded = false;
-  // Exit-1 signals.
-  float entropy = 0.0f;
-  float main_confidence = 0.0f;
-  float margin = 0.0f;
-  /// Max softmax score at exit 2 (0 when the extension did not run).
-  float extension_confidence = 0.0f;
-  /// Exit-1 argmax (the IsHard detector's input).
-  int main_prediction = -1;
-  /// Edge prediction before any cloud answer (the offload fallback).
-  int edge_prediction = -1;
-  // Per-instance cost (EngineConfig::costs pricing).
-  double compute_energy_j = 0.0;
-  double comm_energy_j = 0.0;
-  double compute_time_s = 0.0;
-  double comm_time_s = 0.0;
+  std::shared_ptr<detail::RequestState> completion;
 };
 
 /// Route occupancy over a result set.
@@ -121,27 +128,39 @@ class InferenceSession {
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
 
-  /// Enqueues 1..N instances; blocks while the queue is full. Returns
-  /// the result id of the first instance.
-  std::int64_t submit(Tensor images);
+  /// Enqueues 1..N instances; blocks while the queue is full. The
+  /// returned handle completes when the request's results are settled;
+  /// handle.id() is the result id of the first instance.
+  ResultHandle submit(Tensor images);
 
-  /// Waits for every submitted instance, then returns all accumulated
-  /// results sorted by id (and clears them for the next round). If a
-  /// worker failed, throws std::runtime_error with the first error;
-  /// results that completed are kept and returned by the next drain()
-  /// call, so the caller can tell which instances survived. Ids are
-  /// always the session-global ids submit() returned — match survivors
-  /// against those, not against dataset indices (only run() rebases).
+  /// Waits for every handle submit() issued since the last drain()/run()
+  /// round, then returns all their results sorted by id. Reading a
+  /// handle first is fine (handle reads are non-destructive); drain()
+  /// is what retires the round — though requests already settled AND
+  /// read through their handle may have been pruned from the round by a
+  /// later submit() (see ResultHandle::wait), so handle-consuming
+  /// streamers should not double-count drain() output. If a worker
+  /// failed, throws
+  /// std::runtime_error with the first error; results of requests that
+  /// completed are kept and returned by the next drain() call, so the
+  /// caller can tell which instances survived. Ids are always the
+  /// session-global ids of the handles — match survivors against
+  /// handle.id(), not against dataset indices (only run() rebases).
   std::vector<InferenceResult> drain();
 
   /// Synchronous convenience: submits the whole dataset in batch_size
-  /// chunks and drains. Result ids are rebased to dataset indices, so
-  /// result i corresponds to dataset instance i on every call. Starts a
-  /// fresh round: undrained results and stale errors from earlier
-  /// rounds are discarded. Must not overlap other submit()/run() calls
-  /// (detected and rejected with std::logic_error); for mixed workloads
-  /// use submit()/drain().
+  /// chunks and waits for exactly those requests (concurrent submit()
+  /// traffic from other threads is left untouched for its own handles /
+  /// drain()). Result ids are rebased to dataset indices, so result i
+  /// corresponds to dataset instance i on every call. If no round is in
+  /// flight, stale survivors of an earlier failed round are discarded
+  /// first.
   std::vector<InferenceResult> run(const data::Dataset& dataset);
+
+  /// Point-in-time serving counters: queue depth high-water mark,
+  /// per-route counts and latency percentiles, offload timeouts, cache
+  /// hits. Cheap enough to poll between rounds.
+  SessionMetrics metrics() const;
 
   const OffloadBackend& backend() const { return *backend_; }
   const core::RoutingPolicy& routing() const { return *routing_; }
@@ -149,13 +168,41 @@ class InferenceSession {
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
  private:
+  /// Completion slip for one in-flight offload dispatch. The worker
+  /// waits on it with a timeout; the dispatcher settles it. Whoever
+  /// loses the race simply drops its side — the shared_ptr keeps the
+  /// slip alive for the late party.
+  struct OffloadTicket {
+    std::mutex mutex;
+    std::condition_variable answered;
+    bool done = false;       // guarded by mutex
+    bool failed = false;     // backend threw or answered the wrong shape
+    std::vector<int> predictions;
+  };
+  struct OffloadJob {
+    OffloadPayload payload;
+    std::size_t expected = 0;  // instances in the payload
+    std::shared_ptr<OffloadTicket> ticket;
+  };
+
+  ResultHandle enqueue(Tensor images, bool track_in_round);
   void worker_loop(int worker_index);
+  void offload_loop();
   void process(core::EdgeInferenceEngine& engine, const std::vector<InferenceRequest>& requests);
+  /// Ships a payload to the dispatcher and waits up to the offload
+  /// timeout. Empty result = unavailable / timed out: the caller keeps
+  /// edge predictions for all `expected` instances.
+  std::vector<int> offload(OffloadPayload payload, std::size_t expected);
+  /// Appends a handle's results to `out`; records the first error
+  /// instead of throwing.
+  static void collect(const ResultHandle& handle, std::vector<InferenceResult>& out,
+                      std::string& first_error);
 
   // Serving state derived from the EngineConfig at construction; the
   // config itself is not kept (its policy/backend/replica fields would
   // otherwise be a stale second source of truth).
   int batch_size_;
+  double offload_timeout_s_;
   sim::EdgeNodeCosts costs_;
   std::shared_ptr<const core::RoutingPolicy> routing_;
   std::shared_ptr<OffloadBackend> backend_;
@@ -164,15 +211,31 @@ class InferenceSession {
   BoundedQueue<InferenceRequest> queue_;
   std::vector<std::thread> workers_;
 
+  // The offload dispatcher: the single shared cloud link, fed off the
+  // worker hot path.
+  BoundedQueue<OffloadJob> offload_queue_;
+  std::thread offload_worker_;
+
   std::atomic<std::int64_t> next_id_{0};
 
-  std::mutex backend_mutex_;  // the backend models one shared cloud link
+  MetricsCollector collector_;
 
-  std::mutex results_mutex_;
-  std::condition_variable drained_;
-  std::vector<InferenceResult> results_;
-  std::int64_t pending_instances_ = 0;  // guarded by results_mutex_
-  std::string worker_error_;            // first failure, rethrown by drain()
+  // Response cache: hash of an instance's image bytes -> its settled
+  // result (id/cached fields rewritten per hit). FIFO-evicted at
+  // cache_capacity_.
+  std::size_t cache_capacity_;
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::uint64_t, InferenceResult> cache_;
+  std::deque<std::uint64_t> cache_order_;
+
+  // The current round's completion table: handles issued by submit()
+  // and not yet retired by drain(), plus survivors of a failed round.
+  // Settled-and-consumed handles are pruned on submit (amortized by the
+  // doubling threshold) so handle-only streamers stay bounded.
+  std::mutex round_mutex_;
+  std::vector<ResultHandle> round_;
+  std::size_t round_prune_threshold_ = 64;  // guarded by round_mutex_
+  std::vector<InferenceResult> survivors_;
 };
 
 }  // namespace meanet::runtime

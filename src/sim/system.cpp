@@ -20,7 +20,10 @@ DistributedSystem::DistributedSystem(EdgeNode edge, CloudNode* cloud)
                                   std::make_shared<runtime::NullBackend>())
                             : std::make_shared<runtime::RawImageBackend>(cloud)) {}
 
-SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size) {
+void DistributedSystem::add_replica(core::MEANet& replica) { replicas_.push_back(&replica); }
+
+SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size,
+                                    int worker_threads) {
   if (dataset.size() == 0) throw std::invalid_argument("DistributedSystem::run: empty dataset");
 
   runtime::EngineConfig config;
@@ -29,6 +32,8 @@ SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size
   config.policy = edge_.engine().routing_ptr();
   config.backend = backend_;
   config.batch_size = batch_size;
+  config.worker_threads = worker_threads;
+  config.replicas = replicas_;
   config.costs = edge_.costs();
   runtime::InferenceSession session(std::move(config));
   const std::vector<runtime::InferenceResult> results = session.run(dataset);
@@ -36,6 +41,7 @@ SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size
   const data::ClassDict& dict = edge_.engine().dict();
   SystemReport report;
   report.backend_description = backend_->describe();
+  report.serving = session.metrics();
   report.predictions.reserve(results.size());
   report.instance_routes.reserve(results.size());
   std::int64_t correct = 0;

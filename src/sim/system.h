@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
 #include "sim/cloud_node.h"
 #include "sim/edge_node.h"
@@ -34,6 +35,10 @@ struct SystemReport {
   std::vector<core::Route> instance_routes;
   /// Which offload backend served the cloud route.
   std::string backend_description;
+  /// Serving counters of the session that produced this report (queue
+  /// depth high-water mark, per-route latency percentiles, offload
+  /// timeouts, cache hits).
+  runtime::SessionMetrics serving;
 };
 
 class DistributedSystem {
@@ -46,15 +51,25 @@ class DistributedSystem {
   /// main-exit prediction).
   DistributedSystem(EdgeNode edge, CloudNode* cloud);
 
+  /// Registers an architecturally identical net as a serving replica;
+  /// each replica lets run() use one more worker thread (weights are
+  /// synced from the edge's net at session construction). The net must
+  /// outlive this system.
+  void add_replica(core::MEANet& replica);
+
   /// Runs Alg. 2 over the dataset and aggregates accuracy / energy.
-  SystemReport run(const data::Dataset& dataset, int batch_size = 64);
+  /// `worker_threads` beyond 1 + the registered replica count are
+  /// clamped, mirroring runtime::EngineConfig.
+  SystemReport run(const data::Dataset& dataset, int batch_size = 64, int worker_threads = 1);
 
   EdgeNode& edge() { return edge_; }
   const runtime::OffloadBackend& backend() const { return *backend_; }
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
 
  private:
   EdgeNode edge_;
   std::shared_ptr<runtime::OffloadBackend> backend_;
+  std::vector<core::MEANet*> replicas_;
 };
 
 }  // namespace meanet::sim

@@ -72,12 +72,20 @@ float& Tensor::at(int r, int c) {
 
 float Tensor::at(int r, int c) const { return const_cast<Tensor*>(this)->at(r, c); }
 
-Tensor Tensor::reshaped(Shape new_shape) const {
+Tensor Tensor::reshaped(Shape new_shape) const& {
   if (new_shape.numel() != numel()) {
     throw std::invalid_argument("reshaped: numel mismatch " + shape_.to_string() + " -> " +
                                 new_shape.to_string());
   }
   return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshaped: numel mismatch " + shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), std::move(data_));
 }
 
 Tensor Tensor::slice_batch(int index) const { return slice_batch(index, 1); }

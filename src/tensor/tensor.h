@@ -58,8 +58,12 @@ class Tensor {
   float& at(int r, int c);
   float at(int r, int c) const;
 
-  /// Returns a tensor with the same data and a new shape; numel must match.
-  Tensor reshaped(Shape new_shape) const;
+  /// Returns a tensor with the same data and a new shape; numel must
+  /// match. On an lvalue the data is copied; on an rvalue (e.g. a
+  /// just-received request frame) the buffer moves into the result, so
+  /// re-labelling a temporary's shape is free.
+  Tensor reshaped(Shape new_shape) const&;
+  Tensor reshaped(Shape new_shape) &&;
 
   /// Copies row `row` (all trailing dims) out of a rank>=2 tensor, giving
   /// a tensor of shape [1, rest...]. Used to route single instances.

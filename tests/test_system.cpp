@@ -133,6 +133,34 @@ TEST(DistributedSystem, ReportInternallyConsistent) {
   EXPECT_NEAR(report.edge_compute_energy_j, expected_compute, 1e-9);
 }
 
+TEST(DistributedSystem, ThreadedRunMatchesSingleThreadedAndReportsServing) {
+  Fixture f = Fixture::make();
+  CloudNode cloud(std::move(f.cloud_model));
+  core::PolicyConfig policy;
+  policy.cloud_available = true;
+  policy.entropy_threshold = 0.3;
+  EdgeNode edge(f.net, f.dict, policy, f.costs());
+  DistributedSystem system(std::move(edge), &cloud);
+  const SystemReport single = system.run(f.ds.test, 16);
+
+  util::Rng replica_rng(11);
+  core::MEANet replica = tiny_meanet_b(replica_rng, 2);
+  system.add_replica(replica);
+  EXPECT_EQ(system.replica_count(), 1);
+  // Two workers (primary + the weight-synced replica), small batches:
+  // the routed predictions must be identical to the single-worker run.
+  const SystemReport threaded = system.run(f.ds.test, 8, 2);
+  ASSERT_EQ(threaded.predictions.size(), single.predictions.size());
+  for (std::size_t i = 0; i < single.predictions.size(); ++i) {
+    EXPECT_EQ(threaded.predictions[i], single.predictions[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(threaded.accuracy, single.accuracy);
+  // The report now carries the session's serving counters.
+  EXPECT_EQ(threaded.serving.completed_instances, f.ds.test.size());
+  EXPECT_GE(threaded.serving.queue_depth_high_water, 1);
+  EXPECT_EQ(threaded.serving.route_count(core::Route::kCloud), threaded.routes.cloud);
+}
+
 TEST(EdgeNode, PerRouteCosts) {
   Fixture f = Fixture::make();
   EdgeNodeCosts costs = f.costs();

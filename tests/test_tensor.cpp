@@ -49,7 +49,23 @@ TEST(Tensor, ReshapeKeepsData) {
   const Tensor r = t.reshaped(Shape{3, 2});
   EXPECT_EQ(r.shape(), Shape({3, 2}));
   EXPECT_EQ(r.at(2, 1), 6.0f);
+  // The lvalue overload copies: the source keeps its buffer.
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
   EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeOnRvalueMovesTheBuffer) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const float* buffer = t.data();
+  const Tensor r = std::move(t).reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.data(), buffer);  // same allocation, just re-labelled
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  // A bad target shape still throws (and must not consume the source).
+  Tensor u(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_THROW(std::move(u).reshaped(Shape{5}), std::invalid_argument);
+  EXPECT_EQ(u.numel(), 4);
 }
 
 TEST(Tensor, SliceBatchSingle) {
