@@ -8,9 +8,15 @@
 // whose wait() completes when that frame's result settles — and prints a
 // running dashboard of accuracy, exit distribution, and the edge energy
 // bill (compute + WiFi upload), plus the session metrics (queue depth,
-// per-route latency percentiles) at the end.
+// per-route latency percentiles) at the end. The offload really rides
+// the WiFi model: every cloud payload's upload time is derived from its
+// byte size over a congested, jittered cell (cfg.transport), a 60ms
+// per-frame deadline keeps the camera real-time (an expired frame keeps
+// its edge answer), and a completion callback — fired off the serving
+// workers — tallies the frames the deadline saved.
 //
 // Build & run:  ./build/examples/smart_camera
+#include <atomic>
 #include <cstdio>
 #include <vector>
 
@@ -18,6 +24,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "runtime/session.h"
+#include "runtime/transport.h"
 #include "sim/cloud_node.h"
 
 using namespace meanet;
@@ -78,7 +85,11 @@ int main() {
   costs.extension_macs = adaptive.macs + extension.macs;
 
   // The camera is one InferenceSession: entropy routing + raw-image
-  // offload selected at runtime through the EngineConfig.
+  // offload selected at runtime through the EngineConfig. Uploads ride
+  // a congested, jittered WiFi cell (upload time scales with payload
+  // bytes), and a 60ms per-frame cloud deadline keeps the stream
+  // real-time: a frame whose answer cannot make it back in time keeps
+  // its edge prediction instead of stalling the dashboard.
   runtime::EngineConfig serve;
   serve.net = &net;
   serve.dict = &dict;
@@ -88,54 +99,78 @@ int main() {
   serve.cloud = &cloud;
   serve.batch_size = 32;
   serve.costs = costs;
-  runtime::InferenceSession camera(serve);
+  runtime::TransportConfig wifi_link;
+  wifi_link.wifi = wifi_link.wifi.congested(30.0);  // ~0.63 Mb/s cell
+  wifi_link.jitter_s = 0.005;
+  serve.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = 0.060;
+  serve.transport = wifi_link;
 
-  // Stream the test set frame by frame and print a dashboard.
-  std::printf("streaming %d frames through the smart camera (threshold %.1f, backend %s)...\n\n",
-              ds.test.size(), serve.policy_config.entropy_threshold,
-              camera.backend().describe().c_str());
-  std::printf("%-8s %9s %8s %8s %8s %12s\n", "frames", "accuracy", "main%", "ext%", "cloud%",
-              "edge energy");
-  const int chunk = 100;
-  std::int64_t seen = 0, correct = 0;
-  core::RouteCounts routes;
-  double compute_j = 0.0, comm_j = 0.0;
-  for (int start = 0; start < ds.test.size(); start += chunk) {
-    const int count = std::min(chunk, ds.test.size() - start);
-    // Keep the whole chunk in flight, then settle each frame through its
-    // own handle — the handle index is the dataset index, so no id
-    // arithmetic is needed.
-    std::vector<runtime::ResultHandle> inflight;
-    inflight.reserve(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i) {
-      inflight.push_back(camera.submit(ds.test.instance(start + i)));
+  // A completion callback (fired off the serving workers) tallies the
+  // frames the deadline rescued with their edge answer. Declared before
+  // the session: its destructor flushes the callback queue, so the
+  // tally must outlive it.
+  std::atomic<std::int64_t> deadline_saved{0};
+  runtime::SubmitOptions frame_opts;
+  frame_opts.on_complete = [&deadline_saved](const runtime::ResultHandle& handle) {
+    for (const runtime::InferenceResult& r : handle.wait()) {
+      if (r.deadline_expired) ++deadline_saved;
     }
-    for (int i = 0; i < count; ++i) {
-      const runtime::InferenceResult r = inflight[static_cast<std::size_t>(i)].wait().front();
-      const int label = ds.test.labels[static_cast<std::size_t>(start + i)];
-      if (r.prediction == label) ++correct;
-      routes.add(r.route);
-      compute_j += r.compute_energy_j;
-      comm_j += r.comm_energy_j;
-    }
-    camera.drain();  // retire the settled round (handles already read)
-    seen += count;
-    std::printf("%-8lld %8.1f%% %7.1f%% %7.1f%% %7.1f%% %10.2f J\n",
-                static_cast<long long>(seen),
-                100.0 * static_cast<double>(correct) / static_cast<double>(seen),
-                100.0 * routes.main_exit / static_cast<double>(seen),
-                100.0 * routes.extension_exit / static_cast<double>(seen),
-                100.0 * routes.cloud / static_cast<double>(seen), compute_j + comm_j);
-  }
-  std::printf("\nfinal: %.1f%% of frames answered on-device, %.1f%% offloaded\n",
-              100.0 * (routes.main_exit + routes.extension_exit) / static_cast<double>(seen),
-              100.0 * routes.cloud / static_cast<double>(seen));
-  std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n", compute_j, comm_j);
+  };
+  runtime::SessionMetrics m;
+  {
+    runtime::InferenceSession camera(serve);
 
-  const runtime::SessionMetrics m = camera.metrics();
+    // Stream the test set frame by frame and print a dashboard.
+    std::printf("streaming %d frames through the smart camera (threshold %.1f, backend %s)...\n\n",
+                ds.test.size(), serve.policy_config.entropy_threshold,
+                camera.backend().describe().c_str());
+    std::printf("%-8s %9s %8s %8s %8s %12s\n", "frames", "accuracy", "main%", "ext%", "cloud%",
+                "edge energy");
+    const int chunk = 100;
+    std::int64_t seen = 0, correct = 0;
+    core::RouteCounts routes;
+    double compute_j = 0.0, comm_j = 0.0;
+    for (int start = 0; start < ds.test.size(); start += chunk) {
+      const int count = std::min(chunk, ds.test.size() - start);
+      // Keep the whole chunk in flight, then settle each frame through its
+      // own handle — the handle index is the dataset index, so no id
+      // arithmetic is needed.
+      std::vector<runtime::ResultHandle> inflight;
+      inflight.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        inflight.push_back(camera.submit(ds.test.instance(start + i), frame_opts));
+      }
+      for (int i = 0; i < count; ++i) {
+        const runtime::InferenceResult r = inflight[static_cast<std::size_t>(i)].wait().front();
+        const int label = ds.test.labels[static_cast<std::size_t>(start + i)];
+        if (r.prediction == label) ++correct;
+        routes.add(r.route);
+        compute_j += r.compute_energy_j;
+        comm_j += r.comm_energy_j;
+      }
+      camera.drain();  // retire the settled round (handles already read)
+      seen += count;
+      std::printf("%-8lld %8.1f%% %7.1f%% %7.1f%% %7.1f%% %10.2f J\n",
+                  static_cast<long long>(seen),
+                  100.0 * static_cast<double>(correct) / static_cast<double>(seen),
+                  100.0 * routes.main_exit / static_cast<double>(seen),
+                  100.0 * routes.extension_exit / static_cast<double>(seen),
+                  100.0 * routes.cloud / static_cast<double>(seen), compute_j + comm_j);
+    }
+    std::printf("\nfinal: %.1f%% of frames answered on-device, %.1f%% offloaded\n",
+                100.0 * (routes.main_exit + routes.extension_exit) / static_cast<double>(seen),
+                100.0 * routes.cloud / static_cast<double>(seen));
+    std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n", compute_j, comm_j);
+
+    m = camera.metrics();
+  }  // session destruction flushes every pending completion callback
+
   std::printf("\nsession metrics: %lld submitted, queue depth high-water %lld\n",
               static_cast<long long>(m.submitted_instances),
               static_cast<long long>(m.queue_depth_high_water));
+  std::printf("deadline: %lld frames kept their edge answer (60ms bound; callback saw %lld)\n",
+              static_cast<long long>(m.deadline_expirations),
+              static_cast<long long>(deadline_saved.load()));
   std::printf("%-12s %8s %10s %10s %10s\n", "route", "count", "p50 ms", "p95 ms", "p99 ms");
   for (const core::Route route :
        {core::Route::kMainExit, core::Route::kExtensionExit, core::Route::kCloud}) {

@@ -17,23 +17,34 @@ std::vector<int> BackendDecorator::classify(const OffloadPayload& payload) {
 }
 
 LatencyInjectingBackend::LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner,
-                                                 double latency_s)
-    : BackendDecorator(std::move(inner)), latency_s_(latency_s) {
-  if (latency_s_ < 0.0) {
-    throw std::invalid_argument("LatencyInjectingBackend: negative latency");
+                                                 double latency_s, double jitter_s,
+                                                 std::uint64_t seed)
+    : BackendDecorator(std::move(inner)),
+      latency_s_(latency_s),
+      jitter_s_(jitter_s),
+      rng_(seed) {
+  if (latency_s_ < 0.0 || jitter_s_ < 0.0) {
+    throw std::invalid_argument("LatencyInjectingBackend: negative latency or jitter");
   }
 }
 
 std::vector<int> LatencyInjectingBackend::classify(const OffloadPayload& payload) {
-  if (latency_s_ > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(latency_s_));
+  double delay = latency_s_;
+  if (jitter_s_ > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    delay += rng_.uniform(0.0f, static_cast<float>(jitter_s_));
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
   return inner().classify(payload);
 }
 
 std::string LatencyInjectingBackend::describe() const {
   std::ostringstream os;
-  os << "latency(" << latency_s_ * 1e3 << "ms)+" << inner().describe();
+  os << "latency(" << latency_s_ * 1e3 << "ms";
+  if (jitter_s_ > 0.0) os << "+-" << jitter_s_ * 1e3 << "ms";
+  os << ")+" << inner().describe();
   return os.str();
 }
 

@@ -47,21 +47,28 @@ class BackendDecorator : public OffloadBackend {
   std::shared_ptr<OffloadBackend> inner_;
 };
 
-/// Sleeps for a fixed delay before every classify(), modelling the WiFi
-/// + cloud round-trip the seed's backends answered instantly. Pair with
+/// Sleeps for a delay before every classify() — a fixed floor plus an
+/// optional seeded uniform jitter — modelling the WiFi + cloud
+/// round-trip the seed's backends answered instantly. Pair with
 /// EngineConfig::offload_timeout_s to study the timeout -> edge-fallback
-/// path.
+/// path. (For a link whose delay scales with the payload's byte size,
+/// use EngineConfig::transport instead.)
 class LatencyInjectingBackend : public BackendDecorator {
  public:
-  LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner, double latency_s);
+  LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner, double latency_s,
+                          double jitter_s = 0.0, std::uint64_t seed = 0x117e5ULL);
 
   std::vector<int> classify(const OffloadPayload& payload) override;
   std::string describe() const override;
 
   double latency_s() const { return latency_s_; }
+  double jitter_s() const { return jitter_s_; }
 
  private:
   double latency_s_;
+  double jitter_s_;
+  std::mutex rng_mutex_;
+  util::Rng rng_;
 };
 
 /// Drops a classify() entirely (returns the "backend unavailable" empty

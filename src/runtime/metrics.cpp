@@ -29,6 +29,21 @@ void MetricsCollector::record_completion(core::Route route, double seconds) {
   samples_[static_cast<std::size_t>(route)].push_back(seconds);
 }
 
+void MetricsCollector::record_cancelled(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.cancelled_instances += instances;
+}
+
+void MetricsCollector::record_failed(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.failed_instances += instances;
+}
+
+void MetricsCollector::record_deadline_expired(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.deadline_expirations += instances;
+}
+
 void MetricsCollector::record_offload_dispatch() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.offload_dispatches;

@@ -2,13 +2,13 @@
 // percentiles for an InferenceSession, snapshotted via
 // session.metrics().
 //
-// Latency accounting: every completed instance records the wall-clock
-// service time of the process() call that finalized it, measured from
-// batch pickup to the moment its result was settled — cache hits settle
-// at the lookup, main/extension instances after the edge pass, and
-// cloud-routed instances after the offload round-trip (or its timeout).
-// Percentiles are computed at snapshot time by nearest-rank over all
-// recorded samples of a route.
+// Latency accounting: every completed instance records its end-to-end
+// latency — wall-clock from the submit() that accepted it to the moment
+// its request settled, so queue wait, the edge pass, and the offload
+// round-trip (or its timeout / deadline expiry) are all included. This
+// is the latency a per-route deadline bounds. Percentiles are computed
+// at snapshot time by nearest-rank over all recorded samples of a
+// route.
 #pragma once
 
 #include <array>
@@ -31,10 +31,23 @@ struct RouteLatencyStats {
 /// Point-in-time view of a session's counters. Plain data: safe to copy
 /// out and diff across rounds.
 struct SessionMetrics {
-  /// Instances accepted by submit() (including run()'s chunks).
+  /// Instances accepted by submit() (including run()'s chunks). Every
+  /// accepted instance ends up in exactly one of completed_instances,
+  /// cancelled_instances, or failed_instances.
   std::int64_t submitted_instances = 0;
   /// Instances with a settled result.
   std::int64_t completed_instances = 0;
+  /// Instances of requests cancelled before their results settled
+  /// (ResultHandle::cancel() won the race).
+  std::int64_t cancelled_instances = 0;
+  /// Instances of requests that failed with a worker error.
+  std::int64_t failed_instances = 0;
+  /// Completed instances whose routed deadline expired
+  /// (EngineConfig::route_deadline_s / the per-submit override). A
+  /// cloud-routed expiry keeps its edge prediction — distinct from
+  /// offload_timeouts, which fire offload_timeout_s after dispatch;
+  /// each instance is attributed to at most one of the two.
+  std::int64_t deadline_expirations = 0;
   /// Most requests ever waiting in the bounded submit queue at once.
   std::int64_t queue_depth_high_water = 0;
 
@@ -50,6 +63,8 @@ struct SessionMetrics {
   std::int64_t cache_hits = 0;
   /// Entries currently held by the response cache.
   std::int64_t cache_entries = 0;
+  /// Entries LRU-evicted from the response cache so far.
+  std::int64_t cache_evictions = 0;
 
   /// Completed instances and latency percentiles per route, indexed by
   /// core::Route (use the accessors below).
@@ -67,17 +82,20 @@ struct SessionMetrics {
 class MetricsCollector {
  public:
   void record_submitted(std::int64_t instances);
-  /// One completed instance: tallies the route and stores its service
-  /// latency sample.
+  /// One completed instance: tallies the route and stores its
+  /// end-to-end (submit -> settle) latency sample.
   void record_completion(core::Route route, double seconds);
+  void record_cancelled(std::int64_t instances);
+  void record_failed(std::int64_t instances);
+  void record_deadline_expired(std::int64_t instances);
   void record_offload_dispatch();
   void record_offload_timeout(std::int64_t instances);
   void record_offload_failure();
   void record_cache_hits(std::int64_t hits);
 
   /// Current counters with percentiles reduced from the samples.
-  /// queue_depth_high_water and cache_entries are owned by the session
-  /// and left 0 here.
+  /// queue_depth_high_water, cache_entries, and cache_evictions are
+  /// owned by the session and left 0 here.
   SessionMetrics snapshot() const;
 
  private:

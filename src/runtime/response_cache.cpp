@@ -1,0 +1,104 @@
+#include "runtime/response_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace meanet::runtime {
+
+namespace {
+
+bool bytes_equal(const std::vector<float>& key, const float* frame, std::int64_t count) {
+  if (key.size() != static_cast<std::size_t>(count)) return false;
+  return std::memcmp(key.data(), frame, static_cast<std::size_t>(count) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+std::uint64_t ResponseCache::fnv1a(const float* frame, std::int64_t count) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(frame);
+  const std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ResponseCache::ResponseCache(std::size_t capacity, Hasher hasher)
+    : capacity_(capacity), hasher_(hasher ? std::move(hasher) : Hasher(&ResponseCache::fnv1a)) {
+  if (capacity_ == 0) throw std::invalid_argument("ResponseCache: capacity must be positive");
+}
+
+ResponseCache::EntryList::iterator ResponseCache::find_locked(std::uint64_t hash,
+                                                              const float* frame,
+                                                              std::int64_t count) {
+  const auto bucket = index_.find(hash);
+  if (bucket == index_.end()) return mru_.end();
+  for (const EntryList::iterator it : bucket->second) {
+    if (bytes_equal(it->key, frame, count)) return it;
+  }
+  return mru_.end();
+}
+
+std::optional<InferenceResult> ResponseCache::lookup(const float* frame, std::int64_t count) {
+  const std::uint64_t hash = hasher_(frame, count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const EntryList::iterator it = find_locked(hash, frame, count);
+  if (it == mru_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  mru_.splice(mru_.begin(), mru_, it);  // refresh: hit -> most recently used
+  ++hits_;
+  return it->result;
+}
+
+void ResponseCache::insert(const float* frame, std::int64_t count,
+                           const InferenceResult& result) {
+  const std::uint64_t hash = hasher_(frame, count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const EntryList::iterator existing = find_locked(hash, frame, count);
+  if (existing != mru_.end()) {
+    // Another worker cached this frame first; keep its result, refresh
+    // the recency.
+    mru_.splice(mru_.begin(), mru_, existing);
+    return;
+  }
+  mru_.push_front(Entry{hash, std::vector<float>(frame, frame + count), result});
+  index_[hash].push_back(mru_.begin());
+  if (mru_.size() > capacity_) evict_one_locked();
+}
+
+void ResponseCache::evict_one_locked() {
+  const EntryList::iterator victim = std::prev(mru_.end());
+  const auto bucket = index_.find(victim->hash);
+  std::vector<EntryList::iterator>& peers = bucket->second;
+  peers.erase(std::remove(peers.begin(), peers.end(), victim), peers.end());
+  if (peers.empty()) index_.erase(bucket);
+  mru_.erase(victim);
+  ++evictions_;
+}
+
+std::size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mru_.size();
+}
+
+std::int64_t ResponseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t ResponseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::int64_t ResponseCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace meanet::runtime

@@ -1,0 +1,81 @@
+// Session-level response cache with LRU eviction and byte-exact keys.
+//
+// The cache deduplicates repeated frames: the key is the frame's raw
+// image bytes (hashed for the index, compared byte-for-byte on lookup),
+// the value is the frame's fully-served InferenceResult. Eviction is
+// least-recently-used — a hit refreshes the entry — which fixes the
+// FIFO behavior the session shipped with (a hot frame was evicted
+// purely by insertion age while cold one-off frames survived).
+//
+// Hash collisions are resolved exactly: two distinct frames that land
+// on the same 64-bit hash live side by side in the bucket, and a lookup
+// only hits the entry whose bytes match. The hash function is
+// injectable so the property tests can force collisions synthetically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/result_handle.h"
+
+namespace meanet::runtime {
+
+class ResponseCache {
+ public:
+  using Hasher = std::function<std::uint64_t(const float*, std::int64_t)>;
+
+  /// `capacity` bounds the number of entries (must be positive); a null
+  /// `hasher` uses FNV-1a over the frame bytes.
+  explicit ResponseCache(std::size_t capacity, Hasher hasher = {});
+
+  /// Returns the cached result of a byte-identical frame and marks the
+  /// entry most-recently-used; nullopt on miss (including a hash
+  /// collision whose bytes differ).
+  std::optional<InferenceResult> lookup(const float* frame, std::int64_t count);
+
+  /// Caches `result` under the frame's bytes. An existing byte-identical
+  /// entry is refreshed (moved to most-recently-used) and keeps its
+  /// stored result — concurrent workers race benignly. Inserting beyond
+  /// capacity evicts the least-recently-used entry.
+  void insert(const float* frame, std::int64_t count, const InferenceResult& result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+
+  /// The default hasher: FNV-1a over the frame's raw bytes.
+  static std::uint64_t fnv1a(const float* frame, std::int64_t count);
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<float> key;  // the frame bytes, for exact compare
+    InferenceResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// Iterator into mru_ of the byte-identical entry, or end(). Caller
+  /// holds mutex_.
+  EntryList::iterator find_locked(std::uint64_t hash, const float* frame, std::int64_t count);
+  void evict_one_locked();
+
+  const std::size_t capacity_;
+  Hasher hasher_;
+
+  mutable std::mutex mutex_;
+  EntryList mru_;  // front = most recently used
+  // hash -> entries sharing it (collision bucket; usually size 1).
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace meanet::runtime

@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <numeric>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -37,27 +35,45 @@ Shape instance_shape(const Shape& batch_shape) {
   return Shape(dims);
 }
 
-/// FNV-1a over an instance's raw image bytes — the response-cache key.
-/// Distinct frames colliding on all 64 bits is vanishingly unlikely for
-/// the workloads served here; a hit is trusted without a byte compare.
-std::uint64_t hash_instance(const float* data, std::int64_t count) {
-  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
-  const std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ULL;
+}  // namespace
+
+namespace detail {
+
+namespace {
+
+/// User callbacks must not take down the runner thread (or, on the
+/// inline fallback, the transitioning thread): the documented pattern
+/// `on_complete = [](const ResultHandle& h) { consume(h.wait()); }`
+/// rethrows the worker's error from wait() when the request failed.
+void run_guarded(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (...) {
+    // A throwing completion callback is the caller's bug; swallowing it
+    // beats std::terminate. The request itself already settled.
   }
-  return h;
-}
-
-using SteadyClock = std::chrono::steady_clock;
-
-double seconds_since(SteadyClock::time_point start) {
-  return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
 }  // namespace
+
+CallbackRunner::CallbackRunner(std::size_t capacity) : queue_(capacity) {
+  thread_ = std::thread([this] {
+    while (std::optional<std::function<void()>> fn = queue_.pop()) run_guarded(*fn);
+  });
+}
+
+CallbackRunner::~CallbackRunner() { shutdown(); }
+
+void CallbackRunner::post(std::function<void()> fn) {
+  if (!queue_.push(fn)) run_guarded(fn);  // already shut down: run inline
+}
+
+void CallbackRunner::shutdown() {
+  queue_.close();  // pop() drains what is queued, then the thread exits
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace detail
 
 core::RouteCounts count_routes(const std::vector<InferenceResult>& results) {
   core::RouteCounts counts;
@@ -68,12 +84,10 @@ core::RouteCounts count_routes(const std::vector<InferenceResult>& results) {
 InferenceSession::InferenceSession(EngineConfig config)
     : batch_size_(config.batch_size),
       offload_timeout_s_(config.offload_timeout_s),
+      route_deadline_s_(config.route_deadline_s),
       costs_(config.costs),
       queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))),
-      offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))),
-      cache_capacity_(config.response_cache_capacity > 0
-                          ? static_cast<std::size_t>(config.response_cache_capacity)
-                          : 0) {
+      offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))) {
   if (config.net == nullptr || config.dict == nullptr) {
     throw std::invalid_argument("InferenceSession: EngineConfig needs net and dict");
   }
@@ -87,6 +101,13 @@ InferenceSession::InferenceSession(EngineConfig config)
   backend_ = config.backend
                  ? config.backend
                  : make_backend(config.offload_mode, config.cloud, config.feature_cloud);
+  if (config.transport) link_ = std::make_unique<SimulatedLink>(*config.transport);
+  if (config.response_cache_capacity > 0) {
+    cache_ = std::make_unique<ResponseCache>(
+        static_cast<std::size_t>(config.response_cache_capacity));
+  }
+  callbacks_ = std::make_shared<detail::CallbackRunner>(
+      static_cast<std::size_t>(std::max(1, config.queue_capacity)));
 
   // One engine per worker: worker 0 serves on the primary net, worker
   // i > 0 on replicas[i-1] (layer forward passes cache activations, so
@@ -132,24 +153,56 @@ InferenceSession::~InferenceSession() {
   // dispatcher drains whatever is left and exits.
   offload_queue_.close();
   if (offload_worker_.joinable()) offload_worker_.join();
+  // Every request has transitioned by now; flush their callbacks.
+  callbacks_->shutdown();
 }
 
 ResultHandle InferenceSession::submit(Tensor images) {
-  return enqueue(std::move(images), /*track_in_round=*/true);
+  return enqueue(std::move(images), SubmitOptions{}, /*track_in_round=*/true);
 }
 
-ResultHandle InferenceSession::enqueue(Tensor images, bool track_in_round) {
+ResultHandle InferenceSession::submit(Tensor images, SubmitOptions options) {
+  return enqueue(std::move(images), std::move(options), /*track_in_round=*/true);
+}
+
+ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
+                                       bool track_in_round) {
   Tensor batch = normalize_batch(std::move(images));
   const int count = batch.shape().batch();
   if (count <= 0) throw std::invalid_argument("InferenceSession::submit: empty batch");
   auto state = std::make_shared<detail::RequestState>();
   state->first_id = next_id_.fetch_add(count);
   state->expected = count;
+  state->submitted_at = SteadyClock::now();
+  state->deadline_override_s = options.deadline_s;
+  // Runs under the state mutex when a cancel wins, so the counter never
+  // lags the handle's cancelled() view. Capturing `this` is safe: a
+  // cancel can only win while the request is unsettled, and the
+  // destructor joins the workers — which settle everything — before the
+  // session's members die.
+  state->cancel_hook = [this, count] { collector_.record_cancelled(count); };
+  ResultHandle handle(state);
+  if (options.on_complete) {
+    // The hook (fired once by whichever transition wins) posts the user
+    // callback to the runner thread; if the runner is already gone —
+    // only reachable from a caller's own late cancel — it runs inline.
+    state->completion_hook = [weak = std::weak_ptr<detail::CallbackRunner>(callbacks_),
+                              callback = std::move(options.on_complete), handle]() {
+      std::function<void()> bound = [callback, handle] { callback(handle); };
+      if (const std::shared_ptr<detail::CallbackRunner> runner = weak.lock()) {
+        runner->post(std::move(bound));
+      } else {
+        detail::run_guarded(bound);
+      }
+    };
+  }
   if (!queue_.push(InferenceRequest{state->first_id, std::move(batch), state})) {
+    // The hook holds a handle back onto this state; a request that never
+    // transitions would leak the cycle. Break it before reporting.
+    state->completion_hook = nullptr;
     throw std::logic_error("InferenceSession::submit: session is shut down");
   }
   collector_.record_submitted(count);
-  ResultHandle handle(std::move(state));
   if (track_in_round) {
     // Registration happens after the push: the worker may already have
     // settled the state, which only makes the later drain() trivial.
@@ -163,7 +216,7 @@ ResultHandle InferenceSession::enqueue(Tensor images, bool track_in_round) {
                                   [](const ResultHandle& h) {
                                     const detail::RequestState& s = *h.state_;
                                     std::lock_guard<std::mutex> state_lock(s.mutex);
-                                    return s.done && s.consumed;
+                                    return s.done && (s.consumed || s.cancelled);
                                   }),
                    round_.end());
       round_prune_threshold_ = std::max<std::size_t>(64, 2 * round_.size());
@@ -178,6 +231,7 @@ void InferenceSession::collect(const ResultHandle& handle, std::vector<Inference
   const detail::RequestState& state = *handle.state_;
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done_cv.wait(lock, [&] { return state.done; });
+  if (state.cancelled) return;  // a cancelled request contributes nothing
   if (!state.error.empty()) {
     if (first_error.empty()) first_error = state.error;
     return;
@@ -226,7 +280,7 @@ std::vector<InferenceResult> InferenceSession::run(const data::Dataset& dataset)
   handles.reserve(static_cast<std::size_t>((dataset.size() + batch_size_ - 1) / batch_size_));
   for (int start = 0; start < dataset.size(); start += batch_size_) {
     const int count = std::min(batch_size_, dataset.size() - start);
-    handles.push_back(enqueue(dataset.images.slice_batch(start, count), false));
+    handles.push_back(enqueue(dataset.images.slice_batch(start, count), SubmitOptions{}, false));
     starts.push_back(start);
   }
   std::vector<InferenceResult> results;
@@ -258,20 +312,41 @@ std::vector<InferenceResult> InferenceSession::run(const data::Dataset& dataset)
 SessionMetrics InferenceSession::metrics() const {
   SessionMetrics m = collector_.snapshot();
   m.queue_depth_high_water = static_cast<std::int64_t>(queue_.high_water_mark());
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    m.cache_entries = static_cast<std::int64_t>(cache_.size());
+  if (cache_) {
+    m.cache_entries = static_cast<std::int64_t>(cache_->size());
+    m.cache_evictions = cache_->evictions();
   }
   return m;
 }
 
+InferenceSession::SteadyClock::time_point InferenceSession::deadline_at(
+    const detail::RequestState& state, core::Route route) const {
+  // submitted_at and deadline_override_s are immutable after enqueue.
+  double limit = state.deadline_override_s;
+  if (std::isnan(limit)) limit = route_deadline_s_[static_cast<std::size_t>(route)];
+  // Anything beyond ~30 years (including infinity) is "unbounded";
+  // the cast below would overflow otherwise.
+  if (!(limit < 1e9)) return SteadyClock::time_point::max();
+  return state.submitted_at +
+         std::chrono::duration_cast<SteadyClock::duration>(std::chrono::duration<double>(limit));
+}
+
 void InferenceSession::worker_loop(int worker_index) {
   core::EdgeInferenceEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
+  // A request cancelled while it sat in the queue is discarded here,
+  // before it can touch the engine or the offload backend (the cancel
+  // transition itself already recorded the metrics).
+  auto discard_if_cancelled = [&](const InferenceRequest& request) {
+    return request.completion->is_cancelled();
+  };
   // Runs one process() call, settling its requests exactly once: on
   // failure every affected request is failed (with the error recorded)
   // so no handle — and therefore no drain() — can wait forever.
   auto settle_failure = [&](const std::vector<InferenceRequest>& requests, const char* error) {
-    for (const InferenceRequest& request : requests) request.completion->fail(error);
+    for (const InferenceRequest& request : requests) {
+      const std::int64_t count = request.images.shape().batch();
+      request.completion->fail(error, [&] { collector_.record_failed(count); });
+    }
   };
   auto safe_process = [&](const std::vector<InferenceRequest>& requests) {
     try {
@@ -293,6 +368,7 @@ void InferenceSession::worker_loop(int worker_index) {
     std::optional<InferenceRequest> first =
         carry.has_value() ? std::exchange(carry, std::nullopt) : queue_.pop();
     if (!first.has_value()) return;  // closed and drained
+    if (discard_if_cancelled(*first)) continue;
     // Coalesce pending requests into one edge batch, up to batch_size
     // instances of the same geometry. A single request larger than
     // batch_size cannot be split and runs as-is.
@@ -303,6 +379,7 @@ void InferenceSession::worker_loop(int worker_index) {
     while (rows < batch_size_) {
       std::optional<InferenceRequest> next = queue_.try_pop();
       if (!next.has_value()) break;
+      if (discard_if_cancelled(*next)) continue;
       const int count = next->images.shape().batch();
       if (instance_shape(next->images.shape()) != item_shape ||
           rows + count > batch_size_) {
@@ -318,6 +395,27 @@ void InferenceSession::worker_loop(int worker_index) {
 
 void InferenceSession::offload_loop() {
   while (std::optional<OffloadJob> job = offload_queue_.pop()) {
+    OffloadTicket& ticket = *job->ticket;
+    // Simulated transport: the payload's upload occupies the single
+    // shared link for its WiFi-derived duration (+base RTT +jitter). An
+    // abandoned ticket cuts the upload short — the sender gave up at
+    // its offload timeout or deadline, so nothing keeps transmitting —
+    // and skips the backend entirely.
+    bool abandoned = false;
+    if (link_) {
+      const double delay = link_->delay_s(job->payload_bytes);
+      std::unique_lock<std::mutex> lock(ticket.mutex);
+      abandoned = ticket.answered.wait_for(lock, std::chrono::duration<double>(delay),
+                                           [&] { return ticket.abandoned; });
+    } else {
+      std::lock_guard<std::mutex> lock(ticket.mutex);
+      abandoned = ticket.abandoned;
+    }
+    if (abandoned) {
+      std::lock_guard<std::mutex> lock(ticket.mutex);
+      ticket.done = true;  // nobody waits anymore; keep the slip coherent
+      continue;
+    }
     std::vector<int> predictions;
     bool failed = false;
     try {
@@ -329,37 +427,49 @@ void InferenceSession::offload_loop() {
       predictions.clear();
     }
     {
-      std::lock_guard<std::mutex> lock(job->ticket->mutex);
-      job->ticket->failed = failed;
-      job->ticket->predictions = std::move(predictions);
-      job->ticket->done = true;
+      std::lock_guard<std::mutex> lock(ticket.mutex);
+      ticket.failed = failed;
+      ticket.predictions = std::move(predictions);
+      ticket.answered_at = SteadyClock::now();
+      ticket.done = true;
     }
-    job->ticket->answered.notify_all();
+    ticket.answered.notify_all();
   }
 }
 
-std::vector<int> InferenceSession::offload(OffloadPayload payload, std::size_t expected) {
+InferenceSession::OffloadAnswer InferenceSession::offload(OffloadPayload payload,
+                                                          std::size_t expected,
+                                                          std::int64_t payload_bytes,
+                                                          double wait_bound_s) {
   collector_.record_offload_dispatch();
   auto ticket = std::make_shared<OffloadTicket>();
-  if (!offload_queue_.push(OffloadJob{std::move(payload), expected, ticket})) {
+  if (!offload_queue_.push(OffloadJob{std::move(payload), expected, payload_bytes, ticket})) {
     return {};  // session shutting down: edge fallback
   }
   std::unique_lock<std::mutex> lock(ticket->mutex);
-  if (std::isinf(offload_timeout_s_) && offload_timeout_s_ > 0.0) {
+  if (std::isinf(wait_bound_s) && wait_bound_s > 0.0) {
     ticket->answered.wait(lock, [&] { return ticket->done; });
   } else {
-    const auto timeout = std::chrono::duration<double>(std::max(0.0, offload_timeout_s_));
-    if (!ticket->answered.wait_for(lock, timeout, [&] { return ticket->done; })) {
-      // The dispatcher still finishes the job eventually; its late
-      // answer dies with the ticket. The instances fall back to their
-      // edge predictions exactly like the NullBackend path.
-      collector_.record_offload_timeout(static_cast<std::int64_t>(expected));
-      return {};
+    const auto bound = std::chrono::duration<double>(std::max(0.0, wait_bound_s));
+    if (!ticket->answered.wait_for(lock, bound, [&] { return ticket->done; })) {
+      // Give up: mark the slip abandoned so the dispatcher stops the
+      // simulated upload and never bothers the backend; a late answer
+      // dies with the ticket. The caller attributes the cause per
+      // instance (offload timeout vs deadline expiry) and keeps edge
+      // predictions, exactly like the NullBackend path.
+      ticket->abandoned = true;
+      lock.unlock();
+      ticket->answered.notify_all();
+      OffloadAnswer answer;
+      answer.gave_up = true;
+      return answer;
     }
   }
   if (ticket->failed) {
     collector_.record_offload_failure();
-    return {};
+    OffloadAnswer answer;
+    answer.failed = true;
+    return answer;
   }
   if (ticket->predictions.size() != expected) {
     // A wrong-sized reply is a misbehaving backend; treat it like an
@@ -368,16 +478,19 @@ std::vector<int> InferenceSession::offload(OffloadPayload payload, std::size_t e
     if (!ticket->predictions.empty()) collector_.record_offload_failure();
     return {};
   }
-  return std::move(ticket->predictions);
+  OffloadAnswer answer;
+  answer.predictions = std::move(ticket->predictions);
+  answer.answered_at = ticket->answered_at;
+  return answer;
 }
 
 void InferenceSession::process(core::EdgeInferenceEngine& engine,
                                const std::vector<InferenceRequest>& requests) {
   if (requests.empty()) return;
-  const SteadyClock::time_point started = SteadyClock::now();
   std::int64_t rows = 0;
   for (const InferenceRequest& request : requests) rows += request.images.shape().batch();
   std::vector<std::int64_t> ids(static_cast<std::size_t>(rows));
+  std::vector<int> req_of_row(static_cast<std::size_t>(rows));
   // Stack the coalesced requests into one batch tensor; a lone request
   // (the common run() path submits full batches) is forwarded as-is.
   Tensor stacked;
@@ -387,63 +500,51 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
     stacked = Tensor{Shape(dims)};
     const std::int64_t stride = stacked.numel() / rows;
     std::int64_t offset = 0;
-    for (const InferenceRequest& request : requests) {
+    for (std::size_t q = 0; q < requests.size(); ++q) {
+      const InferenceRequest& request = requests[q];
       const std::int64_t count = request.images.shape().batch();
       std::copy(request.images.data(), request.images.data() + count * stride,
                 stacked.data() + offset * stride);
       for (std::int64_t i = 0; i < count; ++i) {
         ids[static_cast<std::size_t>(offset + i)] = request.id + i;
+        req_of_row[static_cast<std::size_t>(offset + i)] = static_cast<int>(q);
       }
       offset += count;
     }
   } else {
     for (std::int64_t i = 0; i < rows; ++i) {
       ids[static_cast<std::size_t>(i)] = requests.front().id + i;
+      req_of_row[static_cast<std::size_t>(i)] = 0;
     }
   }
   const Tensor& batch = requests.size() > 1 ? stacked : requests.front().images;
   const std::int64_t stride = batch.numel() / rows;
 
   std::vector<InferenceResult> batch_results(static_cast<std::size_t>(rows));
-  std::vector<double> latencies(static_cast<std::size_t>(rows), 0.0);
 
   // ---- Response cache: serve repeated frames without re-inferring ----
   std::vector<int> fresh_rows;  // rows the engine still has to serve
-  std::vector<std::uint64_t> hashes;
-  if (cache_capacity_ > 0) {
-    hashes.resize(static_cast<std::size_t>(rows));
-    for (std::int64_t i = 0; i < rows; ++i) {
-      hashes[static_cast<std::size_t>(i)] = hash_instance(batch.data() + i * stride, stride);
-    }
+  if (cache_) {
     std::int64_t hits = 0;
-    {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
-      for (std::int64_t i = 0; i < rows; ++i) {
-        const auto it = cache_.find(hashes[static_cast<std::size_t>(i)]);
-        if (it == cache_.end()) {
-          fresh_rows.push_back(static_cast<int>(i));
-          continue;
-        }
-        InferenceResult& r = batch_results[static_cast<std::size_t>(i)];
-        r = it->second;
-        r.id = ids[static_cast<std::size_t>(i)];
-        r.cached = true;
-        // A hit re-runs nothing: charge no compute and no upload, or
-        // energy dashboards would double-bill work that never happened.
-        r.compute_energy_j = 0.0;
-        r.comm_energy_j = 0.0;
-        r.compute_time_s = 0.0;
-        r.comm_time_s = 0.0;
-        ++hits;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      std::optional<InferenceResult> hit = cache_->lookup(batch.data() + i * stride, stride);
+      if (!hit) {
+        fresh_rows.push_back(static_cast<int>(i));
+        continue;
       }
+      InferenceResult& r = batch_results[static_cast<std::size_t>(i)];
+      r = *hit;
+      r.id = ids[static_cast<std::size_t>(i)];
+      r.cached = true;
+      // A hit re-runs nothing: charge no compute and no upload, or
+      // energy dashboards would double-bill work that never happened.
+      r.compute_energy_j = 0.0;
+      r.comm_energy_j = 0.0;
+      r.compute_time_s = 0.0;
+      r.comm_time_s = 0.0;
+      ++hits;
     }
     if (hits > 0) collector_.record_cache_hits(hits);
-    const double cache_latency = seconds_since(started);
-    for (std::int64_t i = 0; i < rows; ++i) {
-      if (batch_results[static_cast<std::size_t>(i)].cached) {
-        latencies[static_cast<std::size_t>(i)] = cache_latency;
-      }
-    }
   } else {
     fresh_rows.resize(static_cast<std::size_t>(rows));
     std::iota(fresh_rows.begin(), fresh_rows.end(), 0);
@@ -456,24 +557,55 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
 
     core::BatchInference inference = engine.infer_batch(engine_input);
     std::vector<core::InstanceDecision>& decisions = inference.decisions;
-    const double edge_latency = seconds_since(started);
 
     // Ship cloud-routed instances to the offload dispatcher in one
-    // payload; row indices are into the fresh sub-batch.
+    // payload; row indices are into the fresh sub-batch. An instance
+    // whose request was cancelled, or whose deadline already passed
+    // while it sat in the queue, is excluded — it keeps its edge
+    // prediction and never touches the backend.
     std::vector<int> cloud_rows;
+    const SteadyClock::time_point routed_at = SteadyClock::now();
     for (std::size_t j = 0; j < decisions.size(); ++j) {
-      if (decisions[j].route == core::Route::kCloud) cloud_rows.push_back(static_cast<int>(j));
+      if (decisions[j].route != core::Route::kCloud) continue;
+      const std::size_t row = static_cast<std::size_t>(fresh_rows[j]);
+      const detail::RequestState& state =
+          *requests[static_cast<std::size_t>(req_of_row[row])].completion;
+      if (state.is_cancelled()) continue;
+      if (routed_at >= deadline_at(state, core::Route::kCloud)) {
+        batch_results[row].deadline_expired = true;  // expired while queued
+        continue;
+      }
+      cloud_rows.push_back(static_cast<int>(j));
     }
-    std::vector<int> cloud_predictions;
-    double cloud_latency = edge_latency;
+    OffloadAnswer answer;
+    SteadyClock::time_point gave_up_at{};
     if (!cloud_rows.empty()) {
       OffloadPayload payload;
       if (backend_->needs_images()) payload.images = ops::gather_rows(engine_input, cloud_rows);
       if (backend_->needs_features()) {
         payload.features = ops::gather_rows(inference.features, cloud_rows);
       }
-      cloud_predictions = offload(std::move(payload), cloud_rows.size());
-      cloud_latency = seconds_since(started);
+      const std::int64_t payload_bytes =
+          backend_->payload_bytes(instance_shape(batch.shape()),
+                                  instance_shape(inference.features.shape())) *
+          static_cast<std::int64_t>(cloud_rows.size());
+      // Wait no longer than the offload timeout, and no longer than the
+      // last payload instance's deadline keeps anyone interested.
+      double max_remaining_s = 0.0;
+      for (const int j : cloud_rows) {
+        const std::size_t row = static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(j)]);
+        const detail::RequestState& state =
+            *requests[static_cast<std::size_t>(req_of_row[row])].completion;
+        const SteadyClock::time_point deadline = deadline_at(state, core::Route::kCloud);
+        const double remaining_s =
+            deadline == SteadyClock::time_point::max()
+                ? std::numeric_limits<double>::infinity()
+                : std::chrono::duration<double>(deadline - routed_at).count();
+        max_remaining_s = std::max(max_remaining_s, remaining_s);
+      }
+      answer = offload(std::move(payload), cloud_rows.size(), payload_bytes,
+                       std::min(offload_timeout_s_, max_remaining_s));
+      gave_up_at = SteadyClock::now();
     }
 
     // Price the work. An unset upload payload size is derived from the
@@ -502,52 +634,87 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
       r.compute_time_s = costs.compute_time_s(d.route);
       r.comm_energy_j = costs.comm_energy_j(d.route);
       r.comm_time_s = costs.comm_time_s(d.route);
-      latencies[row] = edge_latency;
     }
+    // Per-instance attribution of the dispatch outcome, each instance
+    // to exactly one cause: a cloud answer is used only if it arrived
+    // before the instance's deadline (an answer past it, or a give-up
+    // past it, is a deadline expiry); a give-up before the deadline is
+    // an offload timeout; a prompt-but-empty reply (lossy link,
+    // NullBackend) or a backend failure is a drop — neither flag.
+    const bool answered = !answer.predictions.empty();
+    std::int64_t timed_out = 0;
     for (std::size_t k = 0; k < cloud_rows.size(); ++k) {
-      const std::size_t row = static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(cloud_rows[k])]);
-      if (!cloud_predictions.empty()) {
-        batch_results[row].prediction = cloud_predictions[k];
+      const std::size_t row =
+          static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(cloud_rows[k])]);
+      const detail::RequestState& state =
+          *requests[static_cast<std::size_t>(req_of_row[row])].completion;
+      const SteadyClock::time_point deadline = deadline_at(state, core::Route::kCloud);
+      if (answered && answer.answered_at <= deadline) {
+        batch_results[row].prediction = answer.predictions[k];
         batch_results[row].offloaded = true;
+      } else if (answered) {
+        batch_results[row].deadline_expired = true;  // the answer came too late
+      } else if (answer.gave_up) {
+        if (gave_up_at < deadline) {
+          ++timed_out;
+        } else {
+          batch_results[row].deadline_expired = true;
+        }
       }
-      latencies[row] = cloud_latency;
     }
+    if (timed_out > 0) collector_.record_offload_timeout(timed_out);
 
-    if (cache_capacity_ > 0) {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_) {
       for (const int fresh_row : fresh_rows) {
         const InferenceResult& fresh_result = batch_results[static_cast<std::size_t>(fresh_row)];
         if (fresh_result.route == core::Route::kCloud && !fresh_result.offloaded) {
-          // A degraded outcome (offload timeout / loss / unreachable
-          // cloud) must not be frozen in: the next occurrence of this
-          // frame deserves another shot at the cloud.
+          // A degraded outcome (offload timeout / deadline expiry /
+          // loss / unreachable cloud) must not be frozen in: the next
+          // occurrence of this frame deserves another shot at the
+          // cloud.
           continue;
         }
-        const std::uint64_t key = hashes[static_cast<std::size_t>(fresh_row)];
-        if (!cache_.emplace(key, fresh_result).second) {
-          continue;  // another worker cached this frame first
-        }
-        cache_order_.push_back(key);
-        if (cache_order_.size() > cache_capacity_) {
-          cache_.erase(cache_order_.front());
-          cache_order_.pop_front();
-        }
+        cache_->insert(batch.data() + fresh_row * stride, stride, fresh_result);
       }
     }
   }
 
-  for (std::int64_t i = 0; i < rows; ++i) {
-    collector_.record_completion(batch_results[static_cast<std::size_t>(i)].route,
-                                 latencies[static_cast<std::size_t>(i)]);
-  }
-
-  // Settle each coalesced request's slot in the completion table.
+  // Settle each coalesced request's slot in the completion table,
+  // flagging instances that completed past their routed deadline and
+  // recording end-to-end (submit -> settle) latency — unless a cancel
+  // won the race, in which case the results are dropped.
   std::size_t offset = 0;
   for (const InferenceRequest& request : requests) {
     const std::size_t count = static_cast<std::size_t>(request.images.shape().batch());
-    request.completion->settle(std::vector<InferenceResult>(
-        batch_results.begin() + static_cast<std::ptrdiff_t>(offset),
-        batch_results.begin() + static_cast<std::ptrdiff_t>(offset + count)));
+    const SteadyClock::time_point settled_at = SteadyClock::now();
+    std::int64_t late = 0;
+    for (std::size_t i = offset; i < offset + count; ++i) {
+      InferenceResult& r = batch_results[i];
+      // Cloud instances were attributed above (an offloaded or
+      // timed-out instance is never also an expiry); the on-device
+      // routes get the observational late flag here.
+      if (r.route != core::Route::kCloud && !r.deadline_expired &&
+          settled_at > deadline_at(*request.completion, r.route)) {
+        r.deadline_expired = true;
+      }
+      if (r.deadline_expired) ++late;
+    }
+    const double e2e_s =
+        std::chrono::duration<double>(settled_at - request.completion->submitted_at).count();
+    // Metrics are recorded inside the transition's critical section so a
+    // caller woken by the settle can never read counters that miss it.
+    // A lost transition means a cancel won mid-service: the inference
+    // ran but the caller is gone, and the cancel already counted itself.
+    request.completion->settle(
+        std::vector<InferenceResult>(
+            batch_results.begin() + static_cast<std::ptrdiff_t>(offset),
+            batch_results.begin() + static_cast<std::ptrdiff_t>(offset + count)),
+        [&] {
+          for (std::size_t i = offset; i < offset + count; ++i) {
+            collector_.record_completion(batch_results[i].route, e2e_s);
+          }
+          if (late > 0) collector_.record_deadline_expired(late);
+        });
     offset += count;
   }
 }

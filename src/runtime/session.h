@@ -1,54 +1,69 @@
 // The unified serving API for Alg. 2 (edge pass -> route -> extension
-// or offload), asynchronous since PR 2.
+// or offload), asynchronous since PR 2, with a full request lifecycle
+// since PR 3: per-route deadlines, cancellation, completion callbacks,
+// and a WiFi-timed offload transport.
 //
 // An InferenceSession is built once from an EngineConfig — which model,
 // which routing policy, which offload backend, how many workers — and
 // then serves requests through submit()/drain() or the synchronous
 // run() convenience. submit() returns a ResultHandle (future-like:
-// ready() / try_get() / wait()) backed by the session's completion
-// table; drain() and run() are thin wrappers that wait a round of
-// handles and collect their results.
+// ready() / try_get() / wait() / cancel()) backed by the session's
+// completion table; drain() and run() are thin wrappers that wait a
+// round of handles and collect their results.
 //
 //   EngineConfig cfg;
 //   cfg.net = &net; cfg.dict = &dict;
 //   cfg.policy_config = {.entropy_threshold = 0.6, .cloud_available = true};
 //   cfg.offload_mode = OffloadMode::kRawImage; cfg.cloud = &cloud;
+//   cfg.route_deadline_s[size_t(core::Route::kCloud)] = 0.050;
+//   cfg.transport = TransportConfig{};  // WiFi-timed uploads
 //   InferenceSession session(cfg);
-//   ResultHandle frame = session.submit(camera_frame);
-//   ... do other work ...
-//   for (const InferenceResult& r : frame.wait()) consume(r);
+//   SubmitOptions opts;
+//   opts.on_complete = [](const ResultHandle& h) { consume(h.wait()); };
+//   ResultHandle frame = session.submit(camera_frame, opts);
+//   ... do other work, or frame.cancel() to abandon it ...
 //
 // Concurrency: worker i > 0 serves on replicas[i-1] (weight-synced from
 // the primary at construction, because eval-mode forwards mutate layer
 // caches). Offloading is off the worker hot path: workers hand cloud
 // payloads to a dedicated dispatcher thread (the single shared cloud
-// link) and wait at most offload_timeout_s for the answer, after which
-// the affected instances keep their edge predictions exactly like the
-// NullBackend path. Per-instance results are independent of batch
+// link) and wait at most offload_timeout_s — or the tightest remaining
+// deadline among the payload's instances, whichever is sooner — after
+// which the affected instances keep their edge predictions exactly like
+// the NullBackend path. Per-instance results are independent of batch
 // composition, so a threaded session reproduces the single-threaded
 // results exactly when offloads complete (the default infinite timeout)
 // or miss the deadline decisively (link RTT far above the timeout, or
-// no backend). A finite timeout near the link's actual round-trip is
-// inherently racy: whether a borderline offload beats it can depend on
-// dispatcher backlog and therefore on worker count.
+// no backend). A finite timeout or deadline near the link's actual
+// round-trip is inherently racy: whether a borderline offload beats it
+// can depend on dispatcher backlog and therefore on worker count.
+//
+// Completion callbacks run on a dedicated callback thread, never on a
+// serving worker — a slow callback backpressures the callback queue,
+// not the inference hot path.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/edge_inference.h"
 #include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
 #include "runtime/request_queue.h"
+#include "runtime/response_cache.h"
 #include "runtime/result_handle.h"
+#include "runtime/transport.h"
 #include "sim/edge_node.h"
 
 namespace meanet::runtime {
@@ -76,7 +91,34 @@ struct EngineConfig {
   /// the cloud-routed instances fall back to their edge predictions
   /// (the NullBackend behavior). Infinity = wait for the backend;
   /// <= 0 = never wait (fallback immediately, answers are discarded).
+  /// Measured from dispatch — the per-route deadlines below are
+  /// measured from submit() and bound the same wait from the other end.
   double offload_timeout_s = std::numeric_limits<double>::infinity();
+  /// Simulated link the dispatcher applies to every dispatched payload:
+  /// upload time derived from the WiFi model and the payload's byte
+  /// size, plus base RTT and seeded jitter (see runtime/transport.h).
+  /// This replaces a fixed injected latency as the transport model;
+  /// nullopt = ideal instant link.
+  std::optional<TransportConfig> transport;
+
+  // ----- Deadlines -----
+  /// Per-route completion deadlines in seconds measured from submit(),
+  /// indexed by core::Route; infinity (the default) disables. The
+  /// deadline of the route an instance lands on bounds its end-to-end
+  /// completion: a cloud-routed instance whose deadline passes while
+  /// its request sits in the queue or its offload is in flight is
+  /// completed with its edge prediction (NullBackend parity), flagged
+  /// InferenceResult::deadline_expired, and counted in
+  /// SessionMetrics::deadline_expirations — distinct from
+  /// offload_timeouts. An instance whose deadline expires before its
+  /// payload is built never touches the backend. Deadlines on the
+  /// on-device routes are observational (nothing faster than the edge
+  /// answer exists): a late instance is only flagged and counted.
+  std::array<double, core::kNumRoutes> route_deadline_s{
+      std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()};
+  /// Convenience: one deadline for every route.
+  void set_deadline_s(double seconds) { route_deadline_s.fill(seconds); }
 
   // ----- Batching -----
   /// Max instances coalesced into one edge forward pass.
@@ -84,21 +126,24 @@ struct EngineConfig {
   /// Worker threads; threads beyond 1 + replicas.size() are clamped
   /// (each extra worker needs its own architecturally identical net).
   int worker_threads = 1;
-  /// Bound on queued requests (backpressure for submit()).
+  /// Bound on queued requests (backpressure for submit()) and on
+  /// pending completion callbacks.
   int queue_capacity = 256;
   /// Extra nets for workers > 1; weight-synced from `net` at session
   /// construction.
   std::vector<core::MEANet*> replicas;
 
   // ----- Response cache -----
-  /// Entries of the session-level response cache (hash of image bytes
-  /// -> InferenceResult), deduplicating repeated frames. 0 disables it.
-  /// Hits are served without re-running the edge pass or the offload,
-  /// charge zero compute/upload cost, and surface in
-  /// SessionMetrics::cache_hits. Only fully-served results are cached:
-  /// a cloud-routed instance that fell back to its edge prediction
-  /// (timeout / loss / unreachable cloud) is not frozen in, so the next
-  /// occurrence of the frame gets another shot at the cloud.
+  /// Entries of the session-level response cache (LRU over the frame's
+  /// image bytes -> InferenceResult), deduplicating repeated frames.
+  /// 0 disables it. Hits are served without re-running the edge pass or
+  /// the offload, charge zero compute/upload cost, refresh the entry's
+  /// recency, and surface in SessionMetrics::cache_hits. Keys are
+  /// compared byte-exactly on hash collision. Only fully-served results
+  /// are cached: a cloud-routed instance that fell back to its edge
+  /// prediction (timeout / deadline / loss / unreachable cloud) is not
+  /// frozen in, so the next occurrence of the frame gets another shot
+  /// at the cloud.
   int response_cache_capacity = 0;
 
   // ----- Cost model -----
@@ -106,6 +151,18 @@ struct EngineConfig {
   /// zero. If upload_bytes_per_instance is 0 it is derived from the
   /// backend's payload_bytes() on first use.
   sim::EdgeNodeCosts costs;
+};
+
+/// Per-submit request options.
+struct SubmitOptions {
+  /// Overrides the session's per-route deadlines for this request (one
+  /// bound for whatever route its instances land on), in seconds from
+  /// submit(). NaN (the default) = use EngineConfig::route_deadline_s.
+  double deadline_s = std::numeric_limits<double>::quiet_NaN();
+  /// Invoked exactly once when the request settles — completed, failed,
+  /// or cancelled — with a handle that is already ready(). Runs on the
+  /// session's completion-callback thread, never on a serving worker.
+  std::function<void(const ResultHandle&)> on_complete;
 };
 
 /// One unit of work: `images` holds 1..N instances ([C,H,W] or
@@ -116,6 +173,27 @@ struct InferenceRequest {
   Tensor images;
   std::shared_ptr<detail::RequestState> completion;
 };
+
+namespace detail {
+
+/// Dedicated executor for completion callbacks: posted closures run on
+/// its single thread in post order. Posting after shutdown runs the
+/// closure inline (only reachable from a caller's own thread).
+class CallbackRunner {
+ public:
+  explicit CallbackRunner(std::size_t capacity);
+  ~CallbackRunner();
+
+  void post(std::function<void()> fn);
+  /// Drains pending callbacks and joins the thread; idempotent.
+  void shutdown();
+
+ private:
+  BoundedQueue<std::function<void()>> queue_;
+  std::thread thread_;
+};
+
+}  // namespace detail
 
 /// Route occupancy over a result set.
 core::RouteCounts count_routes(const std::vector<InferenceResult>& results);
@@ -133,14 +211,18 @@ class InferenceSession {
   /// handle.id() is the result id of the first instance.
   ResultHandle submit(Tensor images);
 
+  /// submit() with a per-request deadline override and/or a completion
+  /// callback (see SubmitOptions).
+  ResultHandle submit(Tensor images, SubmitOptions options);
+
   /// Waits for every handle submit() issued since the last drain()/run()
-  /// round, then returns all their results sorted by id. Reading a
-  /// handle first is fine (handle reads are non-destructive); drain()
-  /// is what retires the round — though requests already settled AND
-  /// read through their handle may have been pruned from the round by a
-  /// later submit() (see ResultHandle::wait), so handle-consuming
-  /// streamers should not double-count drain() output. If a worker
-  /// failed, throws
+  /// round, then returns all their results sorted by id; cancelled
+  /// requests contribute nothing. Reading a handle first is fine
+  /// (handle reads are non-destructive); drain() is what retires the
+  /// round — though requests already settled AND read through their
+  /// handle may have been pruned from the round by a later submit()
+  /// (see ResultHandle::wait), so handle-consuming streamers should not
+  /// double-count drain() output. If a worker failed, throws
   /// std::runtime_error with the first error; results of requests that
   /// completed are kept and returned by the next drain() call, so the
   /// caller can tell which instances survived. Ids are always the
@@ -158,8 +240,9 @@ class InferenceSession {
   std::vector<InferenceResult> run(const data::Dataset& dataset);
 
   /// Point-in-time serving counters: queue depth high-water mark,
-  /// per-route counts and latency percentiles, offload timeouts, cache
-  /// hits. Cheap enough to poll between rounds.
+  /// per-route counts and end-to-end latency percentiles, offload
+  /// timeouts, deadline expirations, cancellations, cache hits and
+  /// evictions. Cheap enough to poll between rounds.
   SessionMetrics metrics() const;
 
   const OffloadBackend& backend() const { return *backend_; }
@@ -168,33 +251,58 @@ class InferenceSession {
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
  private:
+  using SteadyClock = std::chrono::steady_clock;
+
   /// Completion slip for one in-flight offload dispatch. The worker
   /// waits on it with a timeout; the dispatcher settles it. Whoever
   /// loses the race simply drops its side — the shared_ptr keeps the
-  /// slip alive for the late party.
+  /// slip alive for the late party. A worker that gives up marks the
+  /// slip abandoned, which also cuts the dispatcher's simulated upload
+  /// short (the sender stops transmitting at its deadline).
   struct OffloadTicket {
     std::mutex mutex;
     std::condition_variable answered;
     bool done = false;       // guarded by mutex
+    bool abandoned = false;  // guarded by mutex; the waiter gave up
     bool failed = false;     // backend threw or answered the wrong shape
     std::vector<int> predictions;
+    SteadyClock::time_point answered_at{};
   };
   struct OffloadJob {
     OffloadPayload payload;
-    std::size_t expected = 0;  // instances in the payload
+    std::size_t expected = 0;       // instances in the payload
+    std::int64_t payload_bytes = 0;  // drives the simulated upload time
     std::shared_ptr<OffloadTicket> ticket;
   };
+  /// What came back from one dispatch: predictions (empty = none) with
+  /// the arrival timestamp, a failure marker, or gave_up when the wait
+  /// bound expired before any answer (that — and only that — is what
+  /// timeout/deadline accounting attributes; an empty-but-prompt reply
+  /// is a drop, e.g. a lossy link or NullBackend).
+  struct OffloadAnswer {
+    std::vector<int> predictions;
+    SteadyClock::time_point answered_at{};
+    bool failed = false;
+    bool gave_up = false;
+  };
 
-  ResultHandle enqueue(Tensor images, bool track_in_round);
+  ResultHandle enqueue(Tensor images, SubmitOptions options, bool track_in_round);
   void worker_loop(int worker_index);
   void offload_loop();
   void process(core::EdgeInferenceEngine& engine, const std::vector<InferenceRequest>& requests);
-  /// Ships a payload to the dispatcher and waits up to the offload
-  /// timeout. Empty result = unavailable / timed out: the caller keeps
-  /// edge predictions for all `expected` instances.
-  std::vector<int> offload(OffloadPayload payload, std::size_t expected);
+  /// Ships a payload to the dispatcher and waits up to `wait_bound_s`
+  /// (the offload timeout and the tightest payload deadline already
+  /// folded in). An answerless return = unavailable / timed out /
+  /// abandoned: the caller keeps edge predictions for all `expected`
+  /// instances and attributes the cause per instance.
+  OffloadAnswer offload(OffloadPayload payload, std::size_t expected,
+                        std::int64_t payload_bytes, double wait_bound_s);
+  /// The request's deadline for `route`, as an absolute time point
+  /// (time_point::max() when unbounded).
+  SteadyClock::time_point deadline_at(const detail::RequestState& state,
+                                      core::Route route) const;
   /// Appends a handle's results to `out`; records the first error
-  /// instead of throwing.
+  /// instead of throwing; skips cancelled requests.
   static void collect(const ResultHandle& handle, std::vector<InferenceResult>& out,
                       std::string& first_error);
 
@@ -203,6 +311,7 @@ class InferenceSession {
   // otherwise be a stale second source of truth).
   int batch_size_;
   double offload_timeout_s_;
+  std::array<double, core::kNumRoutes> route_deadline_s_;
   sim::EdgeNodeCosts costs_;
   std::shared_ptr<const core::RoutingPolicy> routing_;
   std::shared_ptr<OffloadBackend> backend_;
@@ -212,21 +321,20 @@ class InferenceSession {
   std::vector<std::thread> workers_;
 
   // The offload dispatcher: the single shared cloud link, fed off the
-  // worker hot path.
+  // worker hot path. `link_` simulates the WiFi upload when configured.
   BoundedQueue<OffloadJob> offload_queue_;
+  std::unique_ptr<SimulatedLink> link_;
   std::thread offload_worker_;
+
+  // Completion callbacks run here, never on a worker.
+  std::shared_ptr<detail::CallbackRunner> callbacks_;
 
   std::atomic<std::int64_t> next_id_{0};
 
   MetricsCollector collector_;
 
-  // Response cache: hash of an instance's image bytes -> its settled
-  // result (id/cached fields rewritten per hit). FIFO-evicted at
-  // cache_capacity_.
-  std::size_t cache_capacity_;
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<std::uint64_t, InferenceResult> cache_;
-  std::deque<std::uint64_t> cache_order_;
+  // Response cache (LRU, byte-exact keys); null when disabled.
+  std::unique_ptr<ResponseCache> cache_;
 
   // The current round's completion table: handles issued by submit()
   // and not yet retired by drain(), plus survivors of a failed round.

@@ -1,0 +1,26 @@
+#include "runtime/transport.h"
+
+#include <stdexcept>
+
+namespace meanet::runtime {
+
+SimulatedLink::SimulatedLink(TransportConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.wifi.throughput_mbps <= 0.0) {
+    throw std::invalid_argument("SimulatedLink: non-positive WiFi throughput");
+  }
+  if (config_.base_latency_s < 0.0 || config_.jitter_s < 0.0) {
+    throw std::invalid_argument("SimulatedLink: negative latency or jitter");
+  }
+}
+
+double SimulatedLink::delay_s(std::int64_t payload_bytes) {
+  double delay = config_.wifi.upload_time_s(payload_bytes) + config_.base_latency_s;
+  if (config_.jitter_s > 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    delay += rng_.uniform(0.0f, static_cast<float>(config_.jitter_s));
+  }
+  return delay;
+}
+
+}  // namespace meanet::runtime

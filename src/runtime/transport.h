@@ -1,0 +1,55 @@
+// Simulated offload transport for the session's dispatcher thread.
+//
+// PR 2 modelled the cloud link as a fixed injected latency
+// (LatencyInjectingBackend). This replaces that constant as the default
+// transport model: the dispatcher derives each payload's upload time
+// from the WiFi model (payload bytes / throughput, paper §IV-B) and
+// adds an optional base round-trip plus seeded uniform jitter, so a
+// bigger payload really does occupy the single shared link for longer
+// and two runs with the same seed see the same jitter stream.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "sim/wifi_model.h"
+#include "util/rng.h"
+
+namespace meanet::runtime {
+
+/// Link parameters applied by the offload dispatcher to every
+/// dispatched payload: delay = wifi.upload_time_s(payload_bytes)
+/// + base_latency_s + U[0, jitter_s).
+struct TransportConfig {
+  /// Upload throughput / power model; the default is the paper's
+  /// 18.88 Mb/s cell.
+  sim::WifiModel wifi;
+  /// Fixed round-trip floor (propagation + cloud compute), seconds.
+  double base_latency_s = 0.0;
+  /// Width of the uniform jitter added per payload, seconds. 0 = none.
+  double jitter_s = 0.0;
+  /// Seed of the jitter stream; the same seed reproduces the same
+  /// per-payload delays in dispatch order.
+  std::uint64_t seed = 0x1f1ULL;
+};
+
+/// The dispatcher-side link simulator: one per session (the single
+/// shared cloud link). Thread-safe; jitter draws are deterministic from
+/// the seed in call order.
+class SimulatedLink {
+ public:
+  explicit SimulatedLink(TransportConfig config);
+
+  /// Seconds the link is busy shipping `payload_bytes` (upload + base
+  /// RTT + one jitter draw).
+  double delay_s(std::int64_t payload_bytes);
+
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  TransportConfig config_;
+  std::mutex mutex_;
+  util::Rng rng_;
+};
+
+}  // namespace meanet::runtime

@@ -35,6 +35,8 @@ SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size
   config.worker_threads = worker_threads;
   config.replicas = replicas_;
   config.costs = edge_.costs();
+  config.transport = transport_;
+  config.route_deadline_s = route_deadline_s_;
   runtime::InferenceSession session(std::move(config));
   const std::vector<runtime::InferenceResult> results = session.run(dataset);
 

@@ -5,12 +5,16 @@
 // results into the report the benches consume.
 #pragma once
 
+#include <array>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
+#include "runtime/transport.h"
 #include "sim/cloud_node.h"
 #include "sim/edge_node.h"
 
@@ -57,6 +61,18 @@ class DistributedSystem {
   /// outlive this system.
   void add_replica(core::MEANet& replica);
 
+  /// Times every offload payload over a simulated WiFi link (upload
+  /// time from payload bytes, plus base RTT and seeded jitter) instead
+  /// of the ideal instant link.
+  void set_transport(runtime::TransportConfig transport) { transport_ = transport; }
+
+  /// Per-route completion deadline in seconds from submission (see
+  /// runtime::EngineConfig::route_deadline_s); a cloud-routed instance
+  /// past its deadline keeps its edge prediction.
+  void set_route_deadline_s(core::Route route, double seconds) {
+    route_deadline_s_[static_cast<std::size_t>(route)] = seconds;
+  }
+
   /// Runs Alg. 2 over the dataset and aggregates accuracy / energy.
   /// `worker_threads` beyond 1 + the registered replica count are
   /// clamped, mirroring runtime::EngineConfig.
@@ -70,6 +86,10 @@ class DistributedSystem {
   EdgeNode edge_;
   std::shared_ptr<runtime::OffloadBackend> backend_;
   std::vector<core::MEANet*> replicas_;
+  std::optional<runtime::TransportConfig> transport_;
+  std::array<double, core::kNumRoutes> route_deadline_s_{
+      std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()};
 };
 
 }  // namespace meanet::sim

@@ -4,6 +4,13 @@
 
 namespace meanet::sim {
 
+WifiModel WifiModel::congested(double contention) const {
+  if (contention < 1.0) throw std::invalid_argument("WifiModel::congested: contention < 1");
+  WifiModel crowded = *this;
+  crowded.throughput_mbps = throughput_mbps / contention;
+  return crowded;
+}
+
 double WifiModel::upload_time_s(std::int64_t payload_bytes) const {
   if (payload_bytes < 0) throw std::invalid_argument("upload_time_s: negative payload");
   if (throughput_mbps <= 0.0) throw std::logic_error("WifiModel: non-positive throughput");

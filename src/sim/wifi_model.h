@@ -23,6 +23,10 @@ struct WifiModel {
   /// Seconds to upload `payload_bytes`.
   double upload_time_s(std::int64_t payload_bytes) const;
 
+  /// Copy of this model with throughput divided by `contention` (>= 1):
+  /// a congested cell shared fairly by that many uploading stations.
+  WifiModel congested(double contention) const;
+
   /// Joules to upload `payload_bytes`.
   double upload_energy_j(std::int64_t payload_bytes) const {
     return upload_power_w() * upload_time_s(payload_bytes);
