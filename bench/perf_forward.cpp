@@ -1,0 +1,205 @@
+// Tracked performance baseline of the inference hot path.
+//
+// Times the GEMM-backed kernels against the naive per-pixel loop nests
+// (the MEANET_NAIVE_KERNELS path) on:
+//   - single-image eval forwards of the edge models,
+//   - batched eval forwards,
+//   - the routing-signal reductions (softmax / argmax / entropy /
+//     margin),
+//   - end-to-end submit -> settle through a 2-worker InferenceSession
+//     sharing one net,
+// and emits BENCH_forward.json so every future perf PR is judged
+// against a measured trajectory, not vibes.
+//
+// Usage: perf_forward [--quick] [--out PATH]
+// Exit status is nonzero when the GEMM path is *slower* than the naive
+// path on any single-image forward — the CI perf smoke gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "runtime/session.h"
+#include "tensor/ops.h"
+
+using namespace meanet;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median wall-clock milliseconds of `fn` over `reps` runs (one warmup).
+template <typename Fn>
+double median_ms(int reps, Fn fn) {
+  fn();  // warm caches, scratch buffers, branch predictors
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double start = now_s();
+    fn();
+    samples.push_back((now_s() - start) * 1e3);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Row {
+  std::string name;
+  double gemm_ms = 0.0;
+  double naive_ms = 0.0;
+  double speedup() const { return gemm_ms > 0.0 ? naive_ms / gemm_ms : 0.0; }
+};
+
+/// Runs `fn` under both kernel selections.
+template <typename Fn>
+Row measure(const std::string& name, int reps, Fn fn) {
+  Row row;
+  row.name = name;
+  ops::set_naive_kernels(false);
+  row.gemm_ms = median_ms(reps, fn);
+  ops::set_naive_kernels(true);
+  row.naive_ms = median_ms(reps, fn);
+  ops::set_naive_kernels(false);
+  std::printf("  %-38s gemm %9.3f ms   naive %9.3f ms   speedup %5.2fx\n", name.c_str(),
+              row.gemm_ms, row.naive_ms, row.speedup());
+  return row;
+}
+
+struct ModelUnderTest {
+  std::string name;
+  bench::EdgeModel model;
+  bench::DatasetKind kind;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_forward.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_forward [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+  const int reps = quick ? 5 : 21;
+  const int e2e_frames = quick ? 48 : 200;
+
+  std::printf("=== perf_forward: GEMM hot path vs naive kernels (%s) ===\n",
+              quick ? "quick" : "full");
+  std::vector<Row> rows;
+  std::vector<Row> gated;  // single-image rows the exit status checks
+
+  const ModelUnderTest models[] = {
+      {"resnet_b_cifar", bench::EdgeModel::kResNetB, bench::DatasetKind::kCifarLike},
+      {"mobilenet_b_imagenet", bench::EdgeModel::kMobileNetB,
+       bench::DatasetKind::kImageNetLike},
+  };
+  for (const ModelUnderTest& m : models) {
+    util::Rng rng(3);
+    core::MEANet net = bench::build_edge_model(m.model, m.kind, bench::default_num_hard(m.kind),
+                                               core::FusionMode::kSum, rng);
+    const data::SyntheticSpec spec = bench::spec_for(m.kind);
+    util::Rng data_rng(9);
+    const Tensor single = Tensor::normal(Shape{1, spec.channels, spec.height, spec.width},
+                                         data_rng);
+    const Tensor batch = Tensor::normal(Shape{32, spec.channels, spec.height, spec.width},
+                                        data_rng);
+    Row one = measure(m.name + "_single_image", reps,
+                      [&] { (void)net.forward_main(single, nn::Mode::kEval); });
+    rows.push_back(one);
+    gated.push_back(one);
+    rows.push_back(measure(m.name + "_batch32", std::max(3, reps / 3),
+                           [&] { (void)net.forward_main(batch, nn::Mode::kEval); }));
+  }
+
+  {
+    // Routing-signal reductions on a serving-sized logits block.
+    util::Rng rng(17);
+    const Tensor logits = Tensor::normal(Shape{256, 20}, rng);
+    Tensor probs;
+    std::vector<int> argmax;
+    std::vector<float> conf, margin, entropy;
+    rows.push_back(measure("routing_signal_reductions_256x20", reps * 4, [&] {
+      ops::softmax_into(logits, probs);
+      ops::row_argmax_into(probs, argmax);
+      ops::row_max_into(probs, conf);
+      ops::row_margin_into(probs, margin);
+      ops::row_entropy_into(probs, entropy);
+    }));
+  }
+
+  {
+    // End-to-end submit -> settle on a shared net, 2 workers, no cloud.
+    util::Rng rng(3);
+    core::MEANet net =
+        bench::build_edge_model(bench::EdgeModel::kResNetB, bench::DatasetKind::kCifarLike,
+                                bench::default_num_hard(bench::DatasetKind::kCifarLike),
+                                core::FusionMode::kSum, rng);
+    const data::SyntheticSpec spec = bench::spec_for(bench::DatasetKind::kCifarLike);
+    std::vector<int> hard(static_cast<std::size_t>(
+        bench::default_num_hard(bench::DatasetKind::kCifarLike)));
+    for (std::size_t i = 0; i < hard.size(); ++i) hard[i] = static_cast<int>(i);
+    data::ClassDict dict(spec.num_classes, hard);
+    util::Rng data_rng(11);
+    std::vector<Tensor> frames;
+    for (int i = 0; i < e2e_frames; ++i) {
+      frames.push_back(Tensor::normal(Shape{spec.channels, spec.height, spec.width}, data_rng));
+    }
+    auto serve_once = [&] {
+      runtime::EngineConfig cfg;
+      cfg.net = &net;
+      cfg.dict = &dict;
+      cfg.worker_threads = 2;
+      cfg.batch_size = 8;
+      runtime::InferenceSession session(cfg);
+      for (const Tensor& frame : frames) session.submit(frame);
+      (void)session.drain();
+    };
+    rows.push_back(measure("e2e_submit_settle_" + std::to_string(e2e_frames) + "f", 3,
+                           serve_once));
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf_forward\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(out, "  \"gemm_threads\": %d,\n  \"results\": [\n", ops::gemm_threads());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"gemm_ms\": %.4f, \"naive_ms\": %.4f, "
+                 "\"speedup\": %.2f}%s\n",
+                 rows[i].name.c_str(), rows[i].gemm_ms, rows[i].naive_ms, rows[i].speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  bool regressed = false;
+  for (const Row& row : gated) {
+    if (row.speedup() < 1.0) {
+      std::fprintf(stderr, "PERF REGRESSION: %s GEMM path (%.3f ms) slower than naive (%.3f ms)\n",
+                   row.name.c_str(), row.gemm_ms, row.naive_ms);
+      regressed = true;
+    } else if (row.speedup() < 3.0) {
+      std::printf("note: %s speedup %.2fx is below the 3x target\n", row.name.c_str(),
+                  row.speedup());
+    }
+  }
+  return regressed ? 1 : 0;
+}

@@ -8,8 +8,8 @@
 //                   [--margin M] [--threads N]
 //       loads the blocks (the "edge downloads the model" step), serves
 //       routed inference on the matching test set through the
-//       meanet::runtime session API (N worker threads on weight-synced
-//       replicas), and reports accuracy, exit distribution and
+//       meanet::runtime session API (N worker threads sharing the one
+//       loaded net), and reports accuracy, exit distribution and
 //       detection accuracy;
 //   meanet_cli info --model DIR
 //       prints parameter/MAC statistics of the stored model.
@@ -232,16 +232,9 @@ int cmd_eval(const Args& args) {
     std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
     return 2;
   }
-  // Worker threads beyond the first serve on weight-synced replicas.
-  const int threads = std::max(1, args.threads);
-  std::vector<core::MEANet> replica_store;
-  replica_store.reserve(static_cast<std::size_t>(threads - 1));
-  for (int i = 1; i < threads; ++i) {
-    util::Rng replica_rng(meta.seed + 2);
-    replica_store.push_back(make_model(meta.classes, meta.hard, replica_rng));
-    serve.replicas.push_back(&replica_store.back());
-  }
-  serve.worker_threads = threads;
+  // All worker threads serve on the one loaded net (eval forwards are
+  // cache-free, so no replicas are needed).
+  serve.worker_threads = std::max(1, args.threads);
   runtime::InferenceSession session(serve);
   std::printf("serving with %d worker thread(s), policy %s, backend %s\n",
               session.worker_count(), session.routing().describe().c_str(),

@@ -24,26 +24,34 @@ std::vector<InstanceDecision> EdgeInferenceEngine::infer(const Tensor& images) {
 BatchInference EdgeInferenceEngine::infer_batch(const Tensor& images) {
   const int batch = images.shape().batch();
   MainForward fwd = net_->forward_main(images, nn::Mode::kEval);
-  const Tensor p1 = ops::softmax(fwd.logits);
-  const std::vector<int> pred1 = ops::row_argmax(p1);
+  // All routing signals land in engine-owned scratch reused across
+  // calls — the per-batch hot path allocates nothing here.
+  ops::softmax_into(fwd.logits, probs_);
+  ops::row_argmax_into(probs_, pred_scratch_);
   // Exit-1 confidence is needed regardless of the policy (Alg. 2 keeps
   // the more confident of the two exits); entropy and margin are only
   // reduced when the routing policy declared it reads them.
   const unsigned needed = routing_->needed_signals();
-  const std::vector<float> conf1 = ops::row_max(p1);
-  const std::vector<float> margin1 =
-      (needed & kSignalMargin) ? ops::row_margin(p1) : std::vector<float>();
-  const std::vector<float> entropy =
-      (needed & kSignalEntropy) ? ops::row_entropy(p1) : std::vector<float>();
+  ops::row_max_into(probs_, conf_scratch_);
+  if (needed & kSignalMargin) {
+    ops::row_margin_into(probs_, margin_scratch_);
+  } else {
+    margin_scratch_.clear();
+  }
+  if (needed & kSignalEntropy) {
+    ops::row_entropy_into(probs_, entropy_scratch_);
+  } else {
+    entropy_scratch_.clear();
+  }
 
   std::vector<InstanceDecision> decisions(static_cast<std::size_t>(batch));
-  std::vector<int> extension_rows;
+  extension_rows_.clear();
   for (int n = 0; n < batch; ++n) {
     InstanceDecision& d = decisions[static_cast<std::size_t>(n)];
-    d.main_prediction = pred1[static_cast<std::size_t>(n)];
-    d.entropy = entropy.empty() ? 0.0f : entropy[static_cast<std::size_t>(n)];
-    d.main_confidence = conf1[static_cast<std::size_t>(n)];
-    d.margin = margin1.empty() ? 0.0f : margin1[static_cast<std::size_t>(n)];
+    d.main_prediction = pred_scratch_[static_cast<std::size_t>(n)];
+    d.entropy = entropy_scratch_.empty() ? 0.0f : entropy_scratch_[static_cast<std::size_t>(n)];
+    d.main_confidence = conf_scratch_[static_cast<std::size_t>(n)];
+    d.margin = margin_scratch_.empty() ? 0.0f : margin_scratch_[static_cast<std::size_t>(n)];
     RouteSignals signals;
     signals.entropy = d.entropy;
     signals.main_confidence = d.main_confidence;
@@ -51,23 +59,23 @@ BatchInference EdgeInferenceEngine::infer_batch(const Tensor& images) {
     signals.main_prediction = d.main_prediction;
     d.route = routing_->route(signals);
     d.prediction = d.main_prediction;  // default / cloud fallback
-    if (d.route == Route::kExtensionExit) extension_rows.push_back(n);
+    if (d.route == Route::kExtensionExit) extension_rows_.push_back(n);
   }
 
-  if (!extension_rows.empty()) {
+  if (!extension_rows_.empty()) {
     // Batch all hard-detected instances through the extension path once.
-    const Tensor sub_images = ops::gather_rows(images, extension_rows);
-    const Tensor sub_features = ops::gather_rows(fwd.features, extension_rows);
+    const Tensor sub_images = ops::gather_rows(images, extension_rows_);
+    const Tensor sub_features = ops::gather_rows(fwd.features, extension_rows_);
     const Tensor y2 = net_->forward_extension(sub_images, sub_features, nn::Mode::kEval);
-    const Tensor p2 = ops::softmax(y2);
-    const std::vector<int> pred2 = ops::row_argmax(p2);
-    const std::vector<float> conf2 = ops::row_max(p2);
-    for (std::size_t i = 0; i < extension_rows.size(); ++i) {
-      InstanceDecision& d = decisions[static_cast<std::size_t>(extension_rows[i])];
-      d.extension_confidence = conf2[i];
+    ops::softmax_into(y2, ext_probs_);
+    ops::row_argmax_into(ext_probs_, ext_pred_scratch_);
+    ops::row_max_into(ext_probs_, ext_conf_scratch_);
+    for (std::size_t i = 0; i < extension_rows_.size(); ++i) {
+      InstanceDecision& d = decisions[static_cast<std::size_t>(extension_rows_[i])];
+      d.extension_confidence = ext_conf_scratch_[i];
       // Alg. 2: keep the more confident of the two exits.
       if (d.extension_confidence > d.main_confidence) {
-        d.prediction = dict_->to_global(pred2[i]);
+        d.prediction = dict_->to_global(ext_pred_scratch_[i]);
       }
     }
   }

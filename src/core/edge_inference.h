@@ -82,6 +82,17 @@ class EdgeInferenceEngine {
   MEANet* net_;
   const data::ClassDict* dict_;
   std::shared_ptr<const RoutingPolicy> routing_;
+
+  // Per-engine scratch reused across infer_batch calls so the routing
+  // signals (softmax, argmax, entropy/margin reductions) allocate
+  // nothing on the serving hot path. An engine is single-threaded by
+  // contract (each InferenceSession worker owns one; the *net* is what
+  // they share), so plain members are safe.
+  Tensor probs_, ext_probs_;
+  std::vector<int> pred_scratch_;
+  std::vector<float> conf_scratch_, margin_scratch_, entropy_scratch_, ext_conf_scratch_;
+  std::vector<int> ext_pred_scratch_;
+  std::vector<int> extension_rows_;
 };
 
 /// Route occupancy summary over a set of decisions.

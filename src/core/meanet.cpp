@@ -16,7 +16,9 @@ MainForward MEANet::forward_main(const Tensor& images, nn::Mode mode) {
   MainForward out;
   out.features = main_trunk_.forward(images, mode);
   out.logits = main_exit_.forward(out.features, mode);
-  main_cached_ = true;
+  // Eval forwards must write no state at all — the serving workers run
+  // them concurrently on one shared net (see nn/layer.h).
+  if (mode == nn::Mode::kTrain) main_cached_ = true;
   return out;
 }
 
@@ -50,10 +52,10 @@ Tensor MEANet::fuse(const Tensor& features, const Tensor& adaptive_out) const {
 
 Tensor MEANet::forward_extension(const Tensor& images, const Tensor& features, nn::Mode mode) {
   const Tensor f2 = adaptive_.forward(images, mode);
-  cached_feature_shape_ = features.shape();
+  if (mode == nn::Mode::kTrain) cached_feature_shape_ = features.shape();
   const Tensor fused = fuse(features, f2);
   Tensor logits = extension_.forward(fused, mode);
-  extension_cached_ = true;
+  if (mode == nn::Mode::kTrain) extension_cached_ = true;
   return logits;
 }
 

@@ -85,6 +85,13 @@ class MEANet {
   const nn::Sequential& extension() const { return extension_; }
   FusionMode fusion() const { return fusion_; }
 
+  /// Activation-cache elements currently held across all four blocks —
+  /// 0 after eval-mode forwards (the shared-net serving invariant).
+  std::int64_t activation_cache_elems() const {
+    return main_trunk_.activation_cache_elems() + main_exit_.activation_cache_elems() +
+           adaptive_.activation_cache_elems() + extension_.activation_cache_elems();
+  }
+
   /// Classes at exit 1 (= all classes).
   int num_classes(const Shape& image_shape) const;
   /// Classes at exit 2 (= hard classes).

@@ -4,12 +4,12 @@
 
 namespace meanet::nn {
 
-Tensor ReLU::forward(const Tensor& input, Mode /*mode*/) {
+Tensor ReLU::forward(const Tensor& input, Mode mode) {
   Tensor output(input.shape());
   for (std::int64_t i = 0; i < input.numel(); ++i) {
     output[i] = input[i] > 0.0f ? input[i] : 0.0f;
   }
-  cached_input_ = input;
+  if (mode == Mode::kTrain) cached_input_ = input;
   return output;
 }
 
@@ -28,13 +28,13 @@ LayerStats ReLU::stats(const Shape& input) const {
   return s;
 }
 
-Tensor ReLU6::forward(const Tensor& input, Mode /*mode*/) {
+Tensor ReLU6::forward(const Tensor& input, Mode mode) {
   Tensor output(input.shape());
   for (std::int64_t i = 0; i < input.numel(); ++i) {
     const float v = input[i];
     output[i] = v <= 0.0f ? 0.0f : (v >= 6.0f ? 6.0f : v);
   }
-  cached_input_ = input;
+  if (mode == Mode::kTrain) cached_input_ = input;
   return output;
 }
 

@@ -14,6 +14,7 @@ class ReLU : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_input_.numel(); }
 
  private:
   std::string name_;
@@ -30,6 +31,7 @@ class ReLU6 : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_input_.numel(); }
 
  private:
   std::string name_;

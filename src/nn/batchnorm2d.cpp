@@ -24,6 +24,14 @@ Shape BatchNorm2d::output_shape(const Shape& input) const {
   return input;
 }
 
+void BatchNorm2d::fold_scale_shift(float* scale, float* shift) const {
+  for (int c = 0; c < channels_; ++c) {
+    const float s = gamma_.value[c] / std::sqrt(running_var_[c] + eps_);
+    scale[c] = s;
+    shift[c] = beta_.value[c] - s * running_mean_[c];
+  }
+}
+
 Tensor BatchNorm2d::forward(const Tensor& input, Mode mode) {
   (void)output_shape(input.shape());
   const int batch = input.shape().batch();
@@ -31,7 +39,27 @@ Tensor BatchNorm2d::forward(const Tensor& input, Mode mode) {
   const std::int64_t hw = static_cast<std::int64_t>(h) * w;
   const std::int64_t count = static_cast<std::int64_t>(batch) * hw;
 
-  const bool use_batch_stats = (mode == Mode::kTrain) && !frozen_;
+  if (mode == Mode::kEval) {
+    // Cache-free inference path: the running statistics collapse to a
+    // per-channel affine map, computed into locals — no member writes,
+    // so concurrent eval forwards through a shared net are safe.
+    std::vector<float> scale(static_cast<std::size_t>(channels_));
+    std::vector<float> shift(static_cast<std::size_t>(channels_));
+    fold_scale_shift(scale.data(), shift.data());
+    Tensor output(input.shape());
+    for (int n = 0; n < batch; ++n) {
+      for (int c = 0; c < channels_; ++c) {
+        const float* src = input.data() + ((static_cast<std::int64_t>(n) * channels_ + c) * hw);
+        float* dst = output.data() + ((static_cast<std::int64_t>(n) * channels_ + c) * hw);
+        const float s = scale[static_cast<std::size_t>(c)];
+        const float t = shift[static_cast<std::size_t>(c)];
+        for (std::int64_t i = 0; i < hw; ++i) dst[i] = s * src[i] + t;
+      }
+    }
+    return output;
+  }
+
+  const bool use_batch_stats = !frozen_;  // mode is kTrain here
 
   std::vector<float> mean(static_cast<std::size_t>(channels_), 0.0f);
   std::vector<float> var(static_cast<std::size_t>(channels_), 0.0f);

@@ -22,6 +22,16 @@ class BatchNorm2d : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_xhat_.numel(); }
+
+  int channels() const { return channels_; }
+
+  /// The eval-mode normalization as a per-channel affine map:
+  /// y_c = scale[c] * x_c + shift[c] with scale = gamma / sqrt(var+eps)
+  /// and shift = beta - scale * mean (running statistics). This is what
+  /// the containers fold into the preceding convolution's weights, so
+  /// an eval Conv+BN pair costs one kernel instead of two passes.
+  void fold_scale_shift(float* scale, float* shift) const;
 
   Parameter& gamma() { return gamma_; }
   Parameter& beta() { return beta_; }

@@ -1,7 +1,10 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "tensor/workspace.h"
 
 namespace meanet::nn {
 
@@ -10,6 +13,100 @@ namespace {
 Tensor he_normal(Shape shape, int fan_in, util::Rng& rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
   return Tensor::normal(std::move(shape), rng, 0.0f, stddev);
+}
+
+/// Reference direct convolution (the MEANET_NAIVE_KERNELS path): one
+/// guarded dot product per output pixel, no im2col, no blocking.
+void naive_conv_forward(const Tensor& input, const ops::ConvGeometry& g, int out_channels,
+                        const float* weight, const float* bias, Tensor& output) {
+  const int batch = input.shape().batch();
+  const int out_h = g.out_height(), out_w = g.out_width();
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < out_channels; ++oc) {
+      const float* w_oc = weight + static_cast<std::int64_t>(oc) * g.patch_size();
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          float acc = bias != nullptr ? bias[oc] : 0.0f;
+          for (int ic = 0; ic < g.in_channels; ++ic) {
+            for (int kh = 0; kh < g.kernel; ++kh) {
+              const int ih = oh * g.stride - g.padding + kh;
+              if (ih < 0 || ih >= g.in_height) continue;
+              for (int kw = 0; kw < g.kernel; ++kw) {
+                const int iw = ow * g.stride - g.padding + kw;
+                if (iw < 0 || iw >= g.in_width) continue;
+                acc += w_oc[(ic * g.kernel + kh) * g.kernel + kw] * input.at(n, ic, ih, iw);
+              }
+            }
+          }
+          output.at(n, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+}
+
+/// Guarded single-tap accumulation for the depthwise fringe pixels.
+inline float dw_tap_guarded(const float* channel, const float* filt, int kernel, int stride,
+                            int padding, int in_h, int in_w, int oh, int ow) {
+  float acc = 0.0f;
+  for (int kh = 0; kh < kernel; ++kh) {
+    const int ih = oh * stride - padding + kh;
+    if (ih < 0 || ih >= in_h) continue;
+    const float* in_row = channel + static_cast<std::ptrdiff_t>(ih) * in_w;
+    for (int kw = 0; kw < kernel; ++kw) {
+      const int iw = ow * stride - padding + kw;
+      if (iw < 0 || iw >= in_w) continue;
+      acc += filt[kh * kernel + kw] * in_row[iw];
+    }
+  }
+  return acc;
+}
+
+/// Stride-specialized unrolled 3x3 depthwise channel: interior rows and
+/// columns (no bounds checks possible) run the fully unrolled 9-tap
+/// kernel on three streaming row pointers; the fringe falls back to the
+/// guarded tap. The accumulation order (kh, then kw) matches the naive
+/// loop exactly, so the two paths are bit-identical.
+template <int kStride>
+void dw_channel_3x3(const float* channel, const float* filt, int padding, int in_h, int in_w,
+                    int out_h, int out_w, float* out) {
+  const float f00 = filt[0], f01 = filt[1], f02 = filt[2];
+  const float f10 = filt[3], f11 = filt[4], f12 = filt[5];
+  const float f20 = filt[6], f21 = filt[7], f22 = filt[8];
+  // Interior output columns: every iw = ow*stride - padding + {0,1,2}
+  // lands in [0, in_w). When the image is narrower than the kernel the
+  // numerator goes negative and C++ division truncates toward zero, so
+  // guard it explicitly — no interior exists then.
+  const int ow_lo = std::min(out_w, (padding + kStride - 1) / kStride);
+  const int interior_last = in_w - 3 + padding;  // largest ow*stride with all taps in bounds
+  const int ow_hi = interior_last < 0
+                        ? ow_lo
+                        : std::max(ow_lo, std::min(out_w, interior_last / kStride + 1));
+  for (int oh = 0; oh < out_h; ++oh) {
+    const int ih0 = oh * kStride - padding;
+    float* dst = out + static_cast<std::ptrdiff_t>(oh) * out_w;
+    if (ih0 < 0 || ih0 + 2 >= in_h) {
+      for (int ow = 0; ow < out_w; ++ow) {
+        dst[ow] = dw_tap_guarded(channel, filt, 3, kStride, padding, in_h, in_w, oh, ow);
+      }
+      continue;
+    }
+    const float* r0 = channel + static_cast<std::ptrdiff_t>(ih0) * in_w;
+    const float* r1 = r0 + in_w;
+    const float* r2 = r1 + in_w;
+    for (int ow = 0; ow < ow_lo; ++ow) {
+      dst[ow] = dw_tap_guarded(channel, filt, 3, kStride, padding, in_h, in_w, oh, ow);
+    }
+    for (int ow = ow_lo; ow < ow_hi; ++ow) {
+      const int iw = ow * kStride - padding;
+      dst[ow] = f00 * r0[iw] + f01 * r0[iw + 1] + f02 * r0[iw + 2] +
+                f10 * r1[iw] + f11 * r1[iw + 1] + f12 * r1[iw + 2] +
+                f20 * r2[iw] + f21 * r2[iw + 1] + f22 * r2[iw + 2];
+    }
+    for (int ow = ow_hi; ow < out_w; ++ow) {
+      dst[ow] = dw_tap_guarded(channel, filt, 3, kStride, padding, in_h, in_w, oh, ow);
+    }
+  }
 }
 
 }  // namespace
@@ -52,30 +149,41 @@ Shape Conv2d::output_shape(const Shape& input) const {
   return Shape{input.batch(), out_channels_, g.out_height(), g.out_width()};
 }
 
-Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor Conv2d::forward_with(const Tensor& input, const float* weight, const float* bias) const {
   const ops::ConvGeometry g = geometry(input.shape());
   const int batch = input.shape().batch();
   const int out_h = g.out_height(), out_w = g.out_width();
   const int out_hw = out_h * out_w;
   const int patch = g.patch_size();
   Tensor output(Shape{batch, out_channels_, out_h, out_w});
-  std::vector<float> columns(static_cast<std::size_t>(patch) * out_hw);
+  if (ops::naive_kernels()) {
+    naive_conv_forward(input, g, out_channels_, weight, bias, output);
+    return output;
+  }
+  float* columns = ops::Workspace::tls().buffer(
+      ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * out_hw);
   const std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * g.in_height * g.in_width;
   const std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_hw;
   for (int n = 0; n < batch; ++n) {
-    ops::im2col(input.data() + n * in_stride, g, columns.data());
+    ops::im2col(input.data() + n * in_stride, g, columns);
     // output[n] = W [out_c, patch] * columns [patch, out_hw]
-    ops::gemm(false, false, out_channels_, out_hw, patch, 1.0f, weight_.value.data(), patch,
-              columns.data(), out_hw, 0.0f, output.data() + n * out_stride, out_hw);
-    if (has_bias_) {
+    ops::gemm(false, false, out_channels_, out_hw, patch, 1.0f, weight, patch, columns, out_hw,
+              0.0f, output.data() + n * out_stride, out_hw);
+    if (bias != nullptr) {
       for (int oc = 0; oc < out_channels_; ++oc) {
         float* dst = output.data() + n * out_stride + static_cast<std::int64_t>(oc) * out_hw;
-        const float b = bias_.value[oc];
+        const float b = bias[oc];
         for (int i = 0; i < out_hw; ++i) dst[i] += b;
       }
     }
   }
-  cached_input_ = input;
+  return output;
+}
+
+Tensor Conv2d::forward(const Tensor& input, Mode mode) {
+  Tensor output =
+      forward_with(input, weight_.value.data(), has_bias_ ? bias_.value.data() : nullptr);
+  if (mode == Mode::kTrain) cached_input_ = input;
   return output;
 }
 
@@ -155,33 +263,48 @@ Shape DepthwiseConv2d::output_shape(const Shape& input) const {
   return Shape{input.batch(), channels_, out_h, out_w};
 }
 
-Tensor DepthwiseConv2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor DepthwiseConv2d::forward_with(const Tensor& input, const float* weight,
+                                     const float* bias) const {
   const Shape out_shape = output_shape(input.shape());
   const int batch = input.shape().batch();
   const int in_h = input.shape().height(), in_w = input.shape().width();
   const int out_h = out_shape.height(), out_w = out_shape.width();
+  const std::int64_t in_hw = static_cast<std::int64_t>(in_h) * in_w;
+  const std::int64_t out_hw = static_cast<std::int64_t>(out_h) * out_w;
+  const bool fast = !ops::naive_kernels() && kernel_ == 3 && (stride_ == 1 || stride_ == 2);
   Tensor output(out_shape);
   for (int n = 0; n < batch; ++n) {
     for (int c = 0; c < channels_; ++c) {
-      const float* filt = weight_.value.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          float acc = 0.0f;
-          for (int kh = 0; kh < kernel_; ++kh) {
-            const int ih = oh * stride_ - padding_ + kh;
-            if (ih < 0 || ih >= in_h) continue;
-            for (int kw = 0; kw < kernel_; ++kw) {
-              const int iw = ow * stride_ - padding_ + kw;
-              if (iw < 0 || iw >= in_w) continue;
-              acc += filt[kh * kernel_ + kw] * input.at(n, c, ih, iw);
-            }
-          }
-          output.at(n, c, oh, ow) = acc;
+      const float* channel =
+          input.data() + (static_cast<std::int64_t>(n) * channels_ + c) * in_hw;
+      const float* filt = weight + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+      float* out = output.data() + (static_cast<std::int64_t>(n) * channels_ + c) * out_hw;
+      if (fast) {
+        if (stride_ == 1) {
+          dw_channel_3x3<1>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
+        } else {
+          dw_channel_3x3<2>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
         }
+      } else {
+        for (int oh = 0; oh < out_h; ++oh) {
+          for (int ow = 0; ow < out_w; ++ow) {
+            out[static_cast<std::ptrdiff_t>(oh) * out_w + ow] =
+                dw_tap_guarded(channel, filt, kernel_, stride_, padding_, in_h, in_w, oh, ow);
+          }
+        }
+      }
+      if (bias != nullptr) {
+        const float b = bias[c];
+        for (std::int64_t i = 0; i < out_hw; ++i) out[i] += b;
       }
     }
   }
-  cached_input_ = input;
+  return output;
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, Mode mode) {
+  Tensor output = forward_with(input, weight_.value.data(), nullptr);
+  if (mode == Mode::kTrain) cached_input_ = input;
   return output;
 }
 

@@ -1,4 +1,13 @@
 // 2-D convolutions: standard (im2col + GEMM) and depthwise.
+//
+// Both layers expose forward_with(): a const, cache-free forward that
+// takes the weights (and optional bias) as raw pointers. The eval-mode
+// forward() delegates to it with the layer's own parameters; the
+// Sequential / block containers delegate to it with BatchNorm-folded
+// weights, which is how a Conv+BN pair collapses to one kernel in eval.
+// Under ops::naive_kernels() both layers fall back to the reference
+// per-pixel loop nests (the parity oracle and the bench comparison
+// column).
 #pragma once
 
 #include "nn/layer.h"
@@ -22,6 +31,12 @@ class Conv2d : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_input_.numel(); }
+
+  /// Cache-free forward with externally supplied weights: `weight` has
+  /// the layer's [out_c, in_c*k*k] layout, `bias` is [out_c] or null.
+  /// Thread-safe (scratch comes from the per-thread workspace).
+  Tensor forward_with(const Tensor& input, const float* weight, const float* bias) const;
 
   int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
@@ -30,7 +45,9 @@ class Conv2d : public Layer {
   int padding() const { return padding_; }
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
   Parameter& bias() { return bias_; }
+  const Parameter& bias() const { return bias_; }
   bool has_bias() const { return has_bias_; }
 
  private:
@@ -45,7 +62,9 @@ class Conv2d : public Layer {
 };
 
 /// Depthwise convolution (one filter per channel), the core of the
-/// MobileNetV2-style inverted-residual blocks.
+/// MobileNetV2-style inverted-residual blocks. The 3x3 kernel (the only
+/// size the MobileNet blocks use) runs a stride-specialized, fully
+/// unrolled path with the bounds checks hoisted out of the interior.
 class DepthwiseConv2d : public Layer {
  public:
   DepthwiseConv2d(int channels, int kernel, int stride, int padding, util::Rng& rng,
@@ -57,8 +76,17 @@ class DepthwiseConv2d : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_input_.numel(); }
+
+  /// Cache-free forward with externally supplied weights: `weight` has
+  /// the layer's [channels, k*k] layout, `bias` is [channels] or null
+  /// (the layer itself has no bias — a folded BatchNorm supplies one).
+  Tensor forward_with(const Tensor& input, const float* weight, const float* bias) const;
+
+  int channels() const { return channels_; }
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
 
  private:
   int channels_, kernel_, stride_, padding_;

@@ -12,7 +12,8 @@ Dropout::Dropout(float probability, util::Rng& rng, std::string name)
 }
 
 Tensor Dropout::forward(const Tensor& input, Mode mode) {
-  last_was_train_ = (mode == Mode::kTrain) && !frozen_;
+  if (mode == Mode::kEval) return input;  // identity; no member writes
+  last_was_train_ = !frozen_;
   if (!last_was_train_ || probability_ == 0.0f) {
     mask_ = Tensor();  // identity; backward passes gradients through
     return input;

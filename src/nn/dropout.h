@@ -16,6 +16,7 @@ class Dropout : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return mask_.numel(); }
 
   float probability() const { return probability_; }
 

@@ -9,8 +9,8 @@ Shape Flatten::output_shape(const Shape& input) const {
   return Shape{input.dim(0), static_cast<int>(input.numel() / input.dim(0))};
 }
 
-Tensor Flatten::forward(const Tensor& input, Mode /*mode*/) {
-  cached_input_shape_ = input.shape();
+Tensor Flatten::forward(const Tensor& input, Mode mode) {
+  if (mode == Mode::kTrain) cached_input_shape_ = input.shape();
   return input.reshaped(output_shape(input.shape()));
 }
 

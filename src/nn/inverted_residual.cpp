@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/fuse.h"
+
 namespace meanet::nn {
 
 InvertedResidual::InvertedResidual(int in_channels, int out_channels, int stride, int expansion,
@@ -51,8 +53,9 @@ Shape InvertedResidual::output_shape(const Shape& input) const {
 }
 
 Tensor InvertedResidual::forward(const Tensor& input, Mode mode) {
-  Tensor x = input;
-  for (Layer* l : main_layers()) x = l->forward(x, mode);
+  // Eval folds each Conv+BN pair (expand, depthwise, project) into one
+  // kernel via forward_chain; train is the plain caching chain.
+  Tensor x = forward_chain(main_layers(), input, mode);
   if (use_skip_) x.add_(input);
   return x;
 }
@@ -91,6 +94,12 @@ LayerStats InvertedResidual::stats(const Shape& input) const {
     total.activation_elems += ls.activation_elems;
     s = l->output_shape(s);
   }
+  return total;
+}
+
+std::int64_t InvertedResidual::activation_cache_elems() const {
+  std::int64_t total = 0;
+  for (const Layer* l : main_layers()) total += l->activation_cache_elems();
   return total;
 }
 

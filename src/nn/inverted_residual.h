@@ -26,6 +26,7 @@ class InvertedResidual : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override;
   void set_frozen(bool frozen) override;
 
   bool has_skip() const { return use_skip_; }

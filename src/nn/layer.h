@@ -1,9 +1,17 @@
 // Layer interface for manual backpropagation.
 //
 // Layers own their parameters and cache whatever activations their
-// backward pass needs. The contract is strict call pairing:
-//   y = layer.forward(x, mode);      // caches
-//   dx = layer.backward(dy);         // consumes the cache
+// backward pass needs. The contract is strict call pairing in train
+// mode:
+//   y = layer.forward(x, Mode::kTrain);  // caches
+//   dx = layer.backward(dy);             // consumes the cache
+// Mode::kEval forwards are inference-only and cache-free: they write no
+// layer state whatsoever (no activation caches, no running-statistic
+// updates), so any number of threads may run eval forwards through one
+// shared net concurrently — this is what lets InferenceSession workers
+// serve on a single net instead of weight-synced replicas. backward()
+// after an eval-mode forward is a contract violation (it throws, or
+// pairs with the last train-mode forward if one is still cached).
 // Freezing a layer (paper Alg. 1 step 6, "fix the main block") marks its
 // parameters non-trainable and pins BatchNorm to running statistics,
 // matching the paper's "set main block to evaluation mode" detail.
@@ -69,6 +77,12 @@ class Layer {
 
   /// Params / MACs / activation-cache size for one instance of `input`.
   virtual LayerStats stats(const Shape& input) const = 0;
+
+  /// Elements of activation state the layer is holding for a backward
+  /// pass *right now* (as opposed to stats(), which predicts the cost of
+  /// a train-mode forward). Eval-mode forwards must leave this at 0 —
+  /// the runtime's shared-net serving tests assert it.
+  virtual std::int64_t activation_cache_elems() const { return 0; }
 
   /// Freezes or unfreezes all parameters; see file comment.
   virtual void set_frozen(bool frozen);

@@ -34,7 +34,7 @@ Shape Linear::output_shape(const Shape& input) const {
   return Shape{input.dim(0), out_features_};
 }
 
-Tensor Linear::forward(const Tensor& input, Mode /*mode*/) {
+Tensor Linear::forward(const Tensor& input, Mode mode) {
   const Shape out_shape = output_shape(input.shape());
   const int batch = input.shape().dim(0);
   Tensor output(out_shape);
@@ -45,7 +45,7 @@ Tensor Linear::forward(const Tensor& input, Mode /*mode*/) {
     float* row = output.data() + static_cast<std::int64_t>(n) * out_features_;
     for (int o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
   }
-  cached_input_ = input;
+  if (mode == Mode::kTrain) cached_input_ = input;
   return output;
 }
 

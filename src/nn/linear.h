@@ -18,6 +18,7 @@ class Linear : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override { return cached_input_.numel(); }
 
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }

@@ -17,11 +17,12 @@ Shape MaxPool2d::output_shape(const Shape& input) const {
                input.width() / kernel_};
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor MaxPool2d::forward(const Tensor& input, Mode mode) {
   const Shape out_shape = output_shape(input.shape());
   Tensor output(out_shape);
-  argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
   const Shape& in_shape = input.shape();
+  const bool track_argmax = (mode == Mode::kTrain);  // eval stays cache-free
+  if (track_argmax) argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
   std::int64_t out_index = 0;
   for (int n = 0; n < out_shape.batch(); ++n) {
     for (int c = 0; c < out_shape.channels(); ++c) {
@@ -48,12 +49,12 @@ Tensor MaxPool2d::forward(const Tensor& input, Mode /*mode*/) {
             }
           }
           output[out_index] = best;
-          argmax_[static_cast<std::size_t>(out_index)] = best_idx;
+          if (track_argmax) argmax_[static_cast<std::size_t>(out_index)] = best_idx;
         }
       }
     }
   }
-  cached_input_shape_ = input.shape();
+  if (track_argmax) cached_input_shape_ = input.shape();
   return output;
 }
 

@@ -14,6 +14,9 @@ class MaxPool2d : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override {
+    return static_cast<std::int64_t>(argmax_.size());
+  }
 
  private:
   int kernel_;

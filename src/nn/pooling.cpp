@@ -8,7 +8,7 @@ Shape GlobalAvgPool::output_shape(const Shape& input) const {
   return Shape{input.batch(), input.channels()};
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& input, Mode /*mode*/) {
+Tensor GlobalAvgPool::forward(const Tensor& input, Mode mode) {
   const int batch = input.shape().batch(), channels = input.shape().channels();
   const std::int64_t hw = static_cast<std::int64_t>(input.shape().height()) * input.shape().width();
   Tensor output(Shape{batch, channels});
@@ -21,7 +21,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, Mode /*mode*/) {
       output.at(n, c) = acc * inv;
     }
   }
-  cached_input_shape_ = input.shape();
+  if (mode == Mode::kTrain) cached_input_shape_ = input.shape();
   return output;
 }
 
@@ -61,7 +61,7 @@ Shape AvgPool2d::output_shape(const Shape& input) const {
                input.width() / kernel_};
 }
 
-Tensor AvgPool2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor AvgPool2d::forward(const Tensor& input, Mode mode) {
   const Shape out_shape = output_shape(input.shape());
   Tensor output(out_shape);
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
@@ -80,7 +80,7 @@ Tensor AvgPool2d::forward(const Tensor& input, Mode /*mode*/) {
       }
     }
   }
-  cached_input_shape_ = input.shape();
+  if (mode == Mode::kTrain) cached_input_shape_ = input.shape();
   return output;
 }
 

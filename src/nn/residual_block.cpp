@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/fuse.h"
+
 namespace meanet::nn {
 
 ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride, util::Rng& rng,
@@ -23,6 +25,25 @@ Shape ResidualBlock::output_shape(const Shape& input) const {
 }
 
 Tensor ResidualBlock::forward(const Tensor& input, Mode mode) {
+  if (mode == Mode::kEval) {
+    // Cache-free inference path: both Conv+BN pairs (and the projection
+    // shortcut's) run as folded kernels, ReLUs apply in place, and no
+    // backward state is written — safe for concurrent shared-net use.
+    Tensor main = fused_conv_bn_eval(conv1_, bn1_, input);
+    for (std::int64_t i = 0; i < main.numel(); ++i) {
+      if (main[i] < 0.0f) main[i] = 0.0f;
+    }
+    main = fused_conv_bn_eval(conv2_, bn2_, main);
+    if (shortcut_conv_) {
+      main.add_(fused_conv_bn_eval(*shortcut_conv_, *shortcut_bn_, input));
+    } else {
+      main.add_(input);
+    }
+    for (std::int64_t i = 0; i < main.numel(); ++i) {
+      if (main[i] < 0.0f) main[i] = 0.0f;
+    }
+    return main;
+  }
   Tensor main = bn1_.forward(conv1_.forward(input, mode), mode);
   // Inline ReLU between the two convs; mask recoverable from bn1 output sign.
   for (std::int64_t i = 0; i < main.numel(); ++i) {
@@ -107,6 +128,16 @@ LayerStats ResidualBlock::stats(const Shape& input) const {
   }
   // Pre-ReLU sum cached for the final activation's backward.
   total.activation_elems += output_shape(input).numel() / input.dim(0);
+  return total;
+}
+
+std::int64_t ResidualBlock::activation_cache_elems() const {
+  std::int64_t total = cached_pre_relu_.numel() + relu1_out_.numel();
+  total += conv1_.activation_cache_elems() + bn1_.activation_cache_elems();
+  total += conv2_.activation_cache_elems() + bn2_.activation_cache_elems();
+  if (shortcut_conv_) {
+    total += shortcut_conv_->activation_cache_elems() + shortcut_bn_->activation_cache_elems();
+  }
   return total;
 }
 

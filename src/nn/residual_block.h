@@ -24,6 +24,7 @@ class ResidualBlock : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override;
   void set_frozen(bool frozen) override;
 
   bool has_projection() const { return static_cast<bool>(shortcut_conv_); }

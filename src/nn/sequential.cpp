@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/fuse.h"
 #include "nn/parameter.h"
 
 namespace meanet::nn {
@@ -13,9 +14,9 @@ Sequential& Sequential::add(LayerPtr layer) {
 }
 
 Tensor Sequential::forward(const Tensor& input, Mode mode) {
-  Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, mode);
-  return x;
+  // forward_chain folds adjacent Conv+BN pairs into one kernel in eval
+  // mode; in train mode it is a plain layer-by-layer chain.
+  return forward_chain(layers_, input, mode);
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
@@ -67,6 +68,12 @@ std::vector<LayerStats> Sequential::layer_stats(const Shape& input) const {
     s = layer->output_shape(s);
   }
   return out;
+}
+
+std::int64_t Sequential::activation_cache_elems() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->activation_cache_elems();
+  return total;
 }
 
 void Sequential::set_frozen(bool frozen) {

@@ -31,6 +31,7 @@ class Sequential : public Layer {
   std::string name() const override { return name_; }
   Shape output_shape(const Shape& input) const override;
   LayerStats stats(const Shape& input) const override;
+  std::int64_t activation_cache_elems() const override;
   void set_frozen(bool frozen) override;
 
   int size() const { return static_cast<int>(layers_.size()); }

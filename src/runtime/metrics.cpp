@@ -44,6 +44,11 @@ void MetricsCollector::record_deadline_expired(std::int64_t instances) {
   counters_.deadline_expirations += instances;
 }
 
+void MetricsCollector::record_admission_rejected(std::int64_t instances) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.admission_rejections += instances;
+}
+
 void MetricsCollector::record_offload_dispatch() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.offload_dispatches;

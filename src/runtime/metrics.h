@@ -50,6 +50,11 @@ struct SessionMetrics {
   std::int64_t deadline_expirations = 0;
   /// Most requests ever waiting in the bounded submit queue at once.
   std::int64_t queue_depth_high_water = 0;
+  /// Instances rejected at submit() by deadline-aware admission: the
+  /// estimated queue wait alone already exceeded every finite route
+  /// deadline, so serving them could only produce expired results.
+  /// Rejected instances are not counted in submitted_instances.
+  std::int64_t admission_rejections = 0;
 
   /// Offload payloads handed to the dispatcher thread.
   std::int64_t offload_dispatches = 0;
@@ -88,6 +93,7 @@ class MetricsCollector {
   void record_cancelled(std::int64_t instances);
   void record_failed(std::int64_t instances);
   void record_deadline_expired(std::int64_t instances);
+  void record_admission_rejected(std::int64_t instances);
   void record_offload_dispatch();
   void record_offload_timeout(std::int64_t instances);
   void record_offload_failure();

@@ -1,10 +1,12 @@
-// Model replication for concurrent serving.
+// Weight synchronization between architecturally identical MEANets.
 //
-// The nn layers cache activations for backward on every forward call, so
-// a single MEANet cannot be shared between InferenceSession workers.
-// Workers therefore each run an architecturally identical replica;
-// sync_weights copies the trained parameters and BatchNorm running
-// statistics from the primary so every replica answers bit-identically.
+// Historically this backed replica-based serving: eval forwards cached
+// activations, so every InferenceSession worker needed its own
+// weight-synced net. Eval forwards are cache-free now and workers share
+// one net (EngineConfig::replicas is a deprecated no-op) — sync_weights
+// remains as the model-distribution primitive: pushing a freshly
+// trained net to a deployed one (paper Alg. 1 step 4, "download to the
+// edge") bit-identically.
 #pragma once
 
 #include "core/meanet.h"

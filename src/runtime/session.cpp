@@ -7,7 +7,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "runtime/replica.h"
 #include "tensor/ops.h"
 
 namespace meanet::runtime {
@@ -94,6 +93,13 @@ InferenceSession::InferenceSession(EngineConfig config)
   if (config.batch_size <= 0) {
     throw std::invalid_argument("InferenceSession: batch_size must be positive");
   }
+  // A request with no per-submit override can land on any route, so
+  // admission may only reject when the queue wait blows the loosest of
+  // the configured deadlines — i.e. when no route could still make it.
+  admission_control_ = config.admission_control;
+  admission_deadline_s_ =
+      *std::max_element(route_deadline_s_.begin(), route_deadline_s_.end());
+  service_estimate_s_ = std::max(0.0, config.admission_service_estimate_s);
   routing_ = config.policy
                  ? config.policy
                  : std::make_shared<core::EntropyThresholdPolicy>(*config.dict,
@@ -109,20 +115,16 @@ InferenceSession::InferenceSession(EngineConfig config)
   callbacks_ = std::make_shared<detail::CallbackRunner>(
       static_cast<std::size_t>(std::max(1, config.queue_capacity)));
 
-  // One engine per worker: worker 0 serves on the primary net, worker
-  // i > 0 on replicas[i-1] (layer forward passes cache activations, so
-  // nets cannot be shared between threads).
-  const int max_workers = 1 + static_cast<int>(config.replicas.size());
-  const int worker_count = std::max(1, std::min(config.worker_threads, max_workers));
+  // Every worker serves on the one shared net: eval-mode forwards are
+  // cache-free and const-safe (nn/layer.h), so concurrent forwards do
+  // not race. Each worker still owns an engine for its routing-signal
+  // scratch. config.replicas is a deprecated no-op — extra nets are
+  // neither required nor synced anymore.
+  const int worker_count = std::max(1, config.worker_threads);
   engines_.reserve(static_cast<std::size_t>(worker_count));
-  engines_.push_back(
-      std::make_unique<core::EdgeInferenceEngine>(*config.net, *config.dict, routing_));
-  for (int i = 1; i < worker_count; ++i) {
-    core::MEANet* replica = config.replicas[static_cast<std::size_t>(i - 1)];
-    if (replica == nullptr) throw std::invalid_argument("InferenceSession: null replica");
-    sync_weights(*config.net, *replica);
+  for (int i = 0; i < worker_count; ++i) {
     engines_.push_back(
-        std::make_unique<core::EdgeInferenceEngine>(*replica, *config.dict, routing_));
+        std::make_unique<core::EdgeInferenceEngine>(*config.net, *config.dict, routing_));
   }
   workers_.reserve(static_cast<std::size_t>(worker_count));
   try {
@@ -165,11 +167,52 @@ ResultHandle InferenceSession::submit(Tensor images, SubmitOptions options) {
   return enqueue(std::move(images), std::move(options), /*track_in_round=*/true);
 }
 
+double InferenceSession::service_estimate_s() const {
+  std::lock_guard<std::mutex> lock(service_mutex_);
+  return service_estimate_s_;
+}
+
+void InferenceSession::observe_service(std::int64_t rows, double seconds) {
+  if (rows <= 0 || !(seconds >= 0.0)) return;
+  const double per_instance = seconds / static_cast<double>(rows);
+  std::lock_guard<std::mutex> lock(service_mutex_);
+  // EWMA over batches; the configured seed (or the first sample) is the
+  // starting point.
+  service_estimate_s_ = service_estimate_s_ <= 0.0
+                            ? per_instance
+                            : 0.8 * service_estimate_s_ + 0.2 * per_instance;
+}
+
+void InferenceSession::check_admission(int count, double deadline_override_s) {
+  if (!admission_control_) return;
+  const double deadline_s =
+      std::isnan(deadline_override_s) ? admission_deadline_s_ : deadline_override_s;
+  if (!std::isfinite(deadline_s)) return;  // unbounded: nothing to miss
+  const double estimate_s = service_estimate_s();
+  if (estimate_s <= 0.0) return;  // nothing measured or seeded yet
+  // Queue wait alone: instances already queued ahead of this request,
+  // spread over the serving workers. The request's own service time is
+  // deliberately not charged — admission sheds load that is hopeless
+  // *before* it would even start.
+  const double queue_wait_s = estimate_s *
+                              static_cast<double>(queued_instances_.load(std::memory_order_relaxed)) /
+                              static_cast<double>(workers_.empty() ? 1 : workers_.size());
+  if (queue_wait_s <= deadline_s) return;
+  collector_.record_admission_rejected(count);
+  throw AdmissionRejected("InferenceSession::submit: estimated queue wait " +
+                          std::to_string(queue_wait_s) + "s already exceeds the " +
+                          std::to_string(deadline_s) + "s deadline");
+}
+
 ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
                                        bool track_in_round) {
   Tensor batch = normalize_batch(std::move(images));
   const int count = batch.shape().batch();
   if (count <= 0) throw std::invalid_argument("InferenceSession::submit: empty batch");
+  // Admission gates streaming submit() traffic only (track_in_round):
+  // run() is the bulk-eval API — rejecting one of its chunks midway
+  // would strand the results of the chunks already enqueued.
+  if (track_in_round) check_admission(count, options.deadline_s);
   auto state = std::make_shared<detail::RequestState>();
   state->first_id = next_id_.fetch_add(count);
   state->expected = count;
@@ -196,7 +239,12 @@ ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
       }
     };
   }
+  // Counted before the push: a worker that pops the request decrements
+  // immediately, and incrementing afterwards could drive the admission
+  // counter transiently negative.
+  queued_instances_.fetch_add(count, std::memory_order_relaxed);
   if (!queue_.push(InferenceRequest{state->first_id, std::move(batch), state})) {
+    queued_instances_.fetch_sub(count, std::memory_order_relaxed);
     // The hook holds a handle back onto this state; a request that never
     // transitions would leak the cycle. Break it before reporting.
     state->completion_hook = nullptr;
@@ -349,8 +397,15 @@ void InferenceSession::worker_loop(int worker_index) {
     }
   };
   auto safe_process = [&](const std::vector<InferenceRequest>& requests) {
+    std::int64_t rows = 0;
+    for (const InferenceRequest& request : requests) rows += request.images.shape().batch();
+    const SteadyClock::time_point started = SteadyClock::now();
     try {
       process(engine, requests);
+      // Feed the measured per-instance service time into the admission
+      // estimate (successful batches only; a failing batch's timing
+      // says nothing about healthy service).
+      observe_service(rows, std::chrono::duration<double>(SteadyClock::now() - started).count());
     } catch (const std::exception& e) {
       settle_failure(requests, e.what());
     } catch (...) {
@@ -363,11 +418,18 @@ void InferenceSession::worker_loop(int worker_index) {
   // A request popped but not fitting the current batch (wrong geometry
   // or it would overflow the cap) seeds the next round instead of being
   // served undersized on its own.
+  // Every successful pop leaves the popped instances "in service" from
+  // the admission estimator's point of view.
+  auto popped = [&](const InferenceRequest& request) {
+    queued_instances_.fetch_sub(request.images.shape().batch(), std::memory_order_relaxed);
+  };
   std::optional<InferenceRequest> carry;
   while (true) {
+    const bool from_carry = carry.has_value();
     std::optional<InferenceRequest> first =
-        carry.has_value() ? std::exchange(carry, std::nullopt) : queue_.pop();
+        from_carry ? std::exchange(carry, std::nullopt) : queue_.pop();
     if (!first.has_value()) return;  // closed and drained
+    if (!from_carry) popped(*first);  // carry was accounted when popped
     if (discard_if_cancelled(*first)) continue;
     // Coalesce pending requests into one edge batch, up to batch_size
     // instances of the same geometry. A single request larger than
@@ -379,6 +441,7 @@ void InferenceSession::worker_loop(int worker_index) {
     while (rows < batch_size_) {
       std::optional<InferenceRequest> next = queue_.try_pop();
       if (!next.has_value()) break;
+      popped(*next);
       if (discard_if_cancelled(*next)) continue;
       const int count = next->images.shape().batch();
       if (instance_shape(next->images.shape()) != item_shape ||

@@ -23,9 +23,14 @@
 //   ResultHandle frame = session.submit(camera_frame, opts);
 //   ... do other work, or frame.cancel() to abandon it ...
 //
-// Concurrency: worker i > 0 serves on replicas[i-1] (weight-synced from
-// the primary at construction, because eval-mode forwards mutate layer
-// caches). Offloading is off the worker hot path: workers hand cloud
+// Concurrency: all workers serve on the ONE net the config names —
+// eval-mode forwards are cache-free and const-safe (see nn/layer.h), so
+// a shared net is data-race free and the old weight-synced replica
+// machinery is gone (EngineConfig::replicas is a deprecated no-op).
+// Each worker owns an EdgeInferenceEngine for its routing-signal
+// scratch, and the per-thread ops workspace keeps its im2col / GEMM
+// packing buffers alive across submits. Offloading is off the worker
+// hot path: workers hand cloud
 // payloads to a dedicated dispatcher thread (the single shared cloud
 // link) and wait at most offload_timeout_s — or the tightest remaining
 // deadline among the payload's instances, whichever is sooner — after
@@ -123,15 +128,33 @@ struct EngineConfig {
   // ----- Batching -----
   /// Max instances coalesced into one edge forward pass.
   int batch_size = 64;
-  /// Worker threads; threads beyond 1 + replicas.size() are clamped
-  /// (each extra worker needs its own architecturally identical net).
+  /// Worker threads, all serving on the one shared `net` (eval-mode
+  /// forwards are cache-free, so no per-worker copy is needed).
   int worker_threads = 1;
   /// Bound on queued requests (backpressure for submit()) and on
   /// pending completion callbacks.
   int queue_capacity = 256;
-  /// Extra nets for workers > 1; weight-synced from `net` at session
-  /// construction.
+  /// DEPRECATED no-op, kept for source compatibility: workers share the
+  /// primary net since eval forwards became cache-free; any nets listed
+  /// here are ignored (and no longer weight-synced).
   std::vector<core::MEANet*> replicas;
+
+  // ----- Admission -----
+  /// Deadline-aware queue admission. When enabled and the estimated
+  /// queue wait alone already exceeds every finite route deadline a
+  /// request could land on (or its per-submit override), submit()
+  /// throws AdmissionRejected instead of queueing work that can only
+  /// come back expired; SessionMetrics::admission_rejections counts
+  /// the shed instances. Only streaming submit() traffic is gated —
+  /// run(), the bulk-eval API, always admits its own chunks. Off by
+  /// default: with admission off, a doomed request is still served and
+  /// flagged deadline_expired (the PR 3 deadline contract).
+  bool admission_control = false;
+  /// Seed for the admission estimate of per-instance service time, in
+  /// seconds. The session learns an EWMA from observed batches; until
+  /// the first measurement this seed is the estimate, and 0 (the
+  /// default) disables rejection until something has been measured.
+  double admission_service_estimate_s = 0.0;
 
   // ----- Response cache -----
   /// Entries of the session-level response cache (LRU over the frame's
@@ -197,6 +220,16 @@ class CallbackRunner {
 
 /// Route occupancy over a result set.
 core::RouteCounts count_routes(const std::vector<InferenceResult>& results);
+
+/// Thrown by submit() when deadline-aware admission rejects a request:
+/// the estimated queue wait alone already exceeds every finite route
+/// deadline, so the request could only come back expired. Catch it to
+/// shed load (drop the frame, try a fallback) without tearing down the
+/// stream.
+class AdmissionRejected : public std::runtime_error {
+ public:
+  explicit AdmissionRejected(const std::string& what) : std::runtime_error(what) {}
+};
 
 class InferenceSession {
  public:
@@ -287,6 +320,16 @@ class InferenceSession {
   };
 
   ResultHandle enqueue(Tensor images, SubmitOptions options, bool track_in_round);
+  /// Deadline-aware admission: throws AdmissionRejected when the
+  /// estimated queue wait for `count` more instances already exceeds
+  /// `deadline_override_s` (or, when NaN, every finite configured route
+  /// deadline).
+  void check_admission(int count, double deadline_override_s);
+  /// Current EWMA of per-instance service time (0 = nothing known).
+  double service_estimate_s() const;
+  /// Folds one measured batch (rows instances in `seconds`) into the
+  /// service-time EWMA.
+  void observe_service(std::int64_t rows, double seconds);
   void worker_loop(int worker_index);
   void offload_loop();
   void process(core::EdgeInferenceEngine& engine, const std::vector<InferenceRequest>& requests);
@@ -312,6 +355,17 @@ class InferenceSession {
   int batch_size_;
   double offload_timeout_s_;
   std::array<double, core::kNumRoutes> route_deadline_s_;
+  /// Loosest finite route deadline (infinity when every route is
+  /// unbounded): the admission bar a request with no override must
+  /// clear. Derived once at construction.
+  double admission_deadline_s_;
+  bool admission_control_ = false;
+
+  // Deadline-aware admission state: instances sitting in the queue and
+  // the learned per-instance service time.
+  std::atomic<std::int64_t> queued_instances_{0};
+  mutable std::mutex service_mutex_;
+  double service_estimate_s_ = 0.0;  // guarded by service_mutex_
   sim::EdgeNodeCosts costs_;
   std::shared_ptr<const core::RoutingPolicy> routing_;
   std::shared_ptr<OffloadBackend> backend_;

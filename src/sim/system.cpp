@@ -20,7 +20,11 @@ DistributedSystem::DistributedSystem(EdgeNode edge, CloudNode* cloud)
                                   std::make_shared<runtime::NullBackend>())
                             : std::make_shared<runtime::RawImageBackend>(cloud)) {}
 
-void DistributedSystem::add_replica(core::MEANet& replica) { replicas_.push_back(&replica); }
+void DistributedSystem::add_replica(core::MEANet& replica) {
+  // Deprecated no-op: workers share the edge net (cache-free eval
+  // forwards); the caller's net is deliberately ignored.
+  (void)replica;
+}
 
 SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size,
                                     int worker_threads) {
@@ -33,7 +37,6 @@ SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size
   config.backend = backend_;
   config.batch_size = batch_size;
   config.worker_threads = worker_threads;
-  config.replicas = replicas_;
   config.costs = edge_.costs();
   config.transport = transport_;
   config.route_deadline_s = route_deadline_s_;

@@ -55,10 +55,9 @@ class DistributedSystem {
   /// main-exit prediction).
   DistributedSystem(EdgeNode edge, CloudNode* cloud);
 
-  /// Registers an architecturally identical net as a serving replica;
-  /// each replica lets run() use one more worker thread (weights are
-  /// synced from the edge's net at session construction). The net must
-  /// outlive this system.
+  /// DEPRECATED no-op, kept for source compatibility: run()'s worker
+  /// threads share the edge's net directly now that eval-mode forwards
+  /// are cache-free — no replica registration is needed (or used).
   void add_replica(core::MEANet& replica);
 
   /// Times every offload payload over a simulated WiFi link (upload
@@ -73,19 +72,18 @@ class DistributedSystem {
     route_deadline_s_[static_cast<std::size_t>(route)] = seconds;
   }
 
-  /// Runs Alg. 2 over the dataset and aggregates accuracy / energy.
-  /// `worker_threads` beyond 1 + the registered replica count are
-  /// clamped, mirroring runtime::EngineConfig.
+  /// Runs Alg. 2 over the dataset and aggregates accuracy / energy;
+  /// all `worker_threads` serve on the edge's one net.
   SystemReport run(const data::Dataset& dataset, int batch_size = 64, int worker_threads = 1);
 
   EdgeNode& edge() { return edge_; }
   const runtime::OffloadBackend& backend() const { return *backend_; }
-  int replica_count() const { return static_cast<int>(replicas_.size()); }
+  /// DEPRECATED: always 0 — replicas are gone (see add_replica).
+  int replica_count() const { return 0; }
 
  private:
   EdgeNode edge_;
   std::shared_ptr<runtime::OffloadBackend> backend_;
-  std::vector<core::MEANet*> replicas_;
   std::optional<runtime::TransportConfig> transport_;
   std::array<double, core::kNumRoutes> route_deadline_s_{
       std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),

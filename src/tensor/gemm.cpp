@@ -1,0 +1,314 @@
+// Blocked, register-tiled GEMM with packed operands.
+//
+// Layout: the classic three-level blocking (KC x MC x NC) around a
+// MR x NR microkernel. Both operands are packed into contiguous panels
+// from the per-thread Workspace — packing folds the optional transpose
+// and the alpha scale, so one kernel serves all four transpose cases.
+// Threading partitions the *output rows* into contiguous stripes, one
+// per thread: every C element is accumulated by exactly one thread in
+// the same k-order as the single-threaded run, so results are
+// bit-identical for every thread count (the serving determinism tests
+// rely on this).
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+
+namespace meanet::ops {
+
+namespace {
+
+// Register tile: MR x NR floats of C accumulated in locals. 4 x 16
+// keeps the accumulator within the vector register budget of any SSE2+
+// target while giving -O3 full unroll + vectorize freedom.
+constexpr int kMR = 4;
+constexpr int kNR = 16;
+// Cache blocks: KC sizes the packed panels' k-depth (A panel MC*KC and
+// B panel KC*NC stay L2-resident), MC/NC bound the packed panel sizes.
+constexpr int kKC = 256;
+constexpr int kMC = 128;
+constexpr int kNC = 1024;
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+int default_threads() {
+  if (const char* value = std::getenv("MEANET_GEMM_THREADS")) {
+    const int parsed = std::atoi(value);
+    if (parsed >= 1) return parsed;
+  }
+  // Default single-threaded: InferenceSession already parallelizes over
+  // worker threads, and nested per-call GEMM threads would multiply
+  // into oversubscription on the serving path. Threading is an explicit
+  // opt-in for single-stream callers (env var or set_gemm_threads).
+  return 1;
+}
+
+std::atomic<bool> g_naive_kernels{env_flag("MEANET_NAIVE_KERNELS")};
+std::atomic<int> g_gemm_threads{default_threads()};
+
+// ----- Reference kernels (the MEANET_NAIVE_KERNELS comparison path) ----
+
+void naive_nn(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+              float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    const float* a_row = a + static_cast<std::ptrdiff_t>(i) * lda;
+    for (int p = 0; p < k; ++p) {
+      const float a_ip = alpha * a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + static_cast<std::ptrdiff_t>(p) * ldb;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void naive_tn(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+              float* c, int ldc) {
+  // A is stored [k, m]; op(A)[i,p] = A[p,i].
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a + static_cast<std::ptrdiff_t>(p) * lda;
+    const float* b_row = b + static_cast<std::ptrdiff_t>(p) * ldb;
+    for (int i = 0; i < m; ++i) {
+      const float a_ip = alpha * a_row[i];
+      if (a_ip == 0.0f) continue;
+      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void naive_nt(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+              float* c, int ldc) {
+  // B is stored [n, k]; op(B)[p,j] = B[j,p]. Dot-product formulation.
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::ptrdiff_t>(i) * lda;
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<std::ptrdiff_t>(j) * ldb;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+void naive_tt(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
+              float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a[static_cast<std::ptrdiff_t>(p) * lda + i] *
+               b[static_cast<std::ptrdiff_t>(j) * ldb + p];
+      }
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+void naive_gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha,
+                const float* a, int lda, const float* b, int ldb, float* c, int ldc) {
+  if (!transpose_a && !transpose_b) {
+    naive_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (transpose_a && !transpose_b) {
+    naive_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (!transpose_a && transpose_b) {
+    naive_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    naive_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+// ----- Packed blocked kernel ------------------------------------------
+
+/// Packs op(A)[i0:i0+mc, p0:p0+kc] into MR-wide panels:
+/// dst[(ib/MR) * kc * MR + p * MR + i] = alpha * op(A)[i0+ib+i, p0+p],
+/// zero-padded to a full MR in the last panel. Folding alpha here keeps
+/// the microkernel a pure multiply-accumulate.
+void pack_a(bool transpose, const float* a, int lda, int i0, int mc, int p0, int kc, float alpha,
+            float* dst) {
+  for (int ib = 0; ib < mc; ib += kMR) {
+    const int mr = std::min(kMR, mc - ib);
+    for (int p = 0; p < kc; ++p) {
+      for (int i = 0; i < kMR; ++i) {
+        float value = 0.0f;
+        if (i < mr) {
+          const std::ptrdiff_t row = i0 + ib + i, col = p0 + p;
+          value = transpose ? a[col * lda + row] : a[row * lda + col];
+        }
+        *dst++ = alpha * value;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[p0:p0+kc, j0:j0+nc] into NR-wide panels:
+/// dst[(jb/NR) * kc * NR + p * NR + j] = op(B)[p0+p, j0+jb+j],
+/// zero-padded to a full NR in the last panel.
+void pack_b(bool transpose, const float* b, int ldb, int p0, int kc, int j0, int nc, float* dst) {
+  for (int jb = 0; jb < nc; jb += kNR) {
+    const int nr = std::min(kNR, nc - jb);
+    for (int p = 0; p < kc; ++p) {
+      if (!transpose && nr == kNR) {
+        std::memcpy(dst, b + static_cast<std::ptrdiff_t>(p0 + p) * ldb + (j0 + jb),
+                    sizeof(float) * kNR);
+        dst += kNR;
+        continue;
+      }
+      for (int j = 0; j < kNR; ++j) {
+        float value = 0.0f;
+        if (j < nr) {
+          const std::ptrdiff_t row = p0 + p, col = j0 + jb + j;
+          value = transpose ? b[col * ldb + row] : b[row * ldb + col];
+        }
+        *dst++ = value;
+      }
+    }
+  }
+}
+
+/// C[0:mr, 0:nr] += sum_p apanel[p][.] * bpanel[p][.] — the register
+/// tile. The accumulator covers the full padded MR x NR tile (padded
+/// lanes hold zeros), only the valid mr x nr region is written back.
+void micro_kernel(int kc, const float* apanel, const float* bpanel, float* c, int ldc, int mr,
+                  int nr) {
+  float acc[kMR][kNR] = {};
+  for (int p = 0; p < kc; ++p, apanel += kMR, bpanel += kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      const float a = apanel[i];
+      for (int j = 0; j < kNR; ++j) acc[i][j] += a * bpanel[j];
+    }
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    for (int j = 0; j < nr; ++j) c_row[j] += acc[i][j];
+  }
+}
+
+/// One thread's share: the full blocked loop over rows [row0, row1).
+void blocked_gemm_rows(bool transpose_a, bool transpose_b, int row0, int row1, int n, int k,
+                       float alpha, const float* a, int lda, const float* b, int ldb, float* c,
+                       int ldc) {
+  Workspace& workspace = Workspace::tls();
+  for (int p0 = 0; p0 < k; p0 += kKC) {
+    const int kc = std::min(kKC, k - p0);
+    for (int j0 = 0; j0 < n; j0 += kNC) {
+      const int nc = std::min(kNC, n - j0);
+      const int n_panels = (nc + kNR - 1) / kNR;
+      float* bpack = workspace.buffer(
+          Workspace::kPackB, static_cast<std::size_t>(n_panels) * kc * kNR);
+      pack_b(transpose_b, b, ldb, p0, kc, j0, nc, bpack);
+      for (int i0 = row0; i0 < row1; i0 += kMC) {
+        const int mc = std::min(kMC, row1 - i0);
+        const int m_panels = (mc + kMR - 1) / kMR;
+        float* apack = workspace.buffer(
+            Workspace::kPackA, static_cast<std::size_t>(m_panels) * kc * kMR);
+        pack_a(transpose_a, a, lda, i0, mc, p0, kc, alpha, apack);
+        for (int jb = 0; jb < nc; jb += kNR) {
+          const float* bpanel = bpack + static_cast<std::ptrdiff_t>(jb / kNR) * kc * kNR;
+          const int nr = std::min(kNR, nc - jb);
+          for (int ib = 0; ib < mc; ib += kMR) {
+            const float* apanel = apack + static_cast<std::ptrdiff_t>(ib / kMR) * kc * kMR;
+            micro_kernel(kc, apanel, bpanel,
+                         c + static_cast<std::ptrdiff_t>(i0 + ib) * ldc + (j0 + jb), ldc,
+                         std::min(kMR, mc - ib), nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool naive_kernels() { return g_naive_kernels.load(std::memory_order_relaxed); }
+
+void set_naive_kernels(bool naive) { g_naive_kernels.store(naive, std::memory_order_relaxed); }
+
+int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
+
+void set_gemm_threads(int threads) {
+  g_gemm_threads.store(std::max(1, threads), std::memory_order_relaxed);
+}
+
+void gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha, const float* a,
+          int lda, const float* b, int ldb, float beta, float* c, int ldc) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
+  if (beta == 0.0f) {
+    for (int i = 0; i < m; ++i) {
+      std::memset(c + static_cast<std::ptrdiff_t>(i) * ldc, 0,
+                  sizeof(float) * static_cast<std::size_t>(n));
+    }
+  } else if (beta != 1.0f) {
+    for (int i = 0; i < m; ++i) {
+      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (naive_kernels()) {
+    naive_gemm(transpose_a, transpose_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // Fan contiguous MR-aligned row stripes out over worker threads when
+  // the problem amortizes the spawn cost; otherwise run inline.
+  const std::int64_t flops = 2ll * m * n * k;
+  int threads = std::min(gemm_threads(), (m + kMR - 1) / kMR);
+  if (flops < (1 << 22)) threads = 1;
+  if (threads <= 1) {
+    blocked_gemm_rows(transpose_a, transpose_b, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Stripe boundaries land on MR multiples so no tile spans two threads.
+  const int tiles = (m + kMR - 1) / kMR;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int row0 = std::min(m, (tiles * t / threads) * kMR);
+    const int row1 = std::min(m, (tiles * (t + 1) / threads) * kMR);
+    if (row0 >= row1) continue;
+    pool.emplace_back([=] {
+      blocked_gemm_rows(transpose_a, transpose_b, row0, row1, n, k, alpha, a, lda, b, ldb, c,
+                       ldc);
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+    throw std::invalid_argument("matmul expects rank-2 tensors");
+  }
+  const int a_rows = a.shape().dim(0), a_cols = a.shape().dim(1);
+  const int b_rows = b.shape().dim(0), b_cols = b.shape().dim(1);
+  const int m = transpose_a ? a_cols : a_rows;
+  const int k = transpose_a ? a_rows : a_cols;
+  const int k2 = transpose_b ? b_cols : b_rows;
+  const int n = transpose_b ? b_rows : b_cols;
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " + a.shape().to_string() +
+                                " x " + b.shape().to_string());
+  }
+  Tensor c(Shape{m, n});
+  gemm(transpose_a, transpose_b, m, n, k, 1.0f, a.data(), a_cols, b.data(), b_cols, 0.0f, c.data(),
+       n);
+  return c;
+}
+
+}  // namespace meanet::ops

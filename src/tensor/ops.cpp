@@ -8,121 +8,6 @@
 
 namespace meanet::ops {
 
-namespace {
-
-// Inner kernel for the common non-transposed case: C[m,n] += A[m,k]*B[k,n]
-// with i-k-j loop order so the innermost loop streams B and C rows
-// (auto-vectorizes well with -O3 on a single core).
-void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
-             float* c, int ldc) {
-  for (int i = 0; i < m; ++i) {
-    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-    const float* a_row = a + static_cast<std::ptrdiff_t>(i) * lda;
-    for (int p = 0; p < k; ++p) {
-      const float a_ip = alpha * a_row[p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = b + static_cast<std::ptrdiff_t>(p) * ldb;
-      for (int j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
-}
-
-void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
-             float* c, int ldc) {
-  // A is stored [k, m]; op(A)[i,p] = A[p,i].
-  for (int p = 0; p < k; ++p) {
-    const float* a_row = a + static_cast<std::ptrdiff_t>(p) * lda;
-    const float* b_row = b + static_cast<std::ptrdiff_t>(p) * ldb;
-    for (int i = 0; i < m; ++i) {
-      const float a_ip = alpha * a_row[i];
-      if (a_ip == 0.0f) continue;
-      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
-}
-
-void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
-             float* c, int ldc) {
-  // B is stored [n, k]; op(B)[p,j] = B[j,p]. Dot-product formulation.
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a + static_cast<std::ptrdiff_t>(i) * lda;
-    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-    for (int j = 0; j < n; ++j) {
-      const float* b_row = b + static_cast<std::ptrdiff_t>(j) * ldb;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += alpha * acc;
-    }
-  }
-}
-
-void gemm_tt(int m, int n, int k, float alpha, const float* a, int lda, const float* b, int ldb,
-             float* c, int ldc) {
-  for (int i = 0; i < m; ++i) {
-    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        acc += a[static_cast<std::ptrdiff_t>(p) * lda + i] *
-               b[static_cast<std::ptrdiff_t>(j) * ldb + p];
-      }
-      c_row[j] += alpha * acc;
-    }
-  }
-}
-
-}  // namespace
-
-void gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha, const float* a,
-          int lda, const float* b, int ldb, float beta, float* c, int ldc) {
-  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: negative dimension");
-  if (beta == 0.0f) {
-    for (int i = 0; i < m; ++i) {
-      std::memset(c + static_cast<std::ptrdiff_t>(i) * ldc, 0, sizeof(float) * static_cast<std::size_t>(n));
-    }
-  } else if (beta != 1.0f) {
-    for (int i = 0; i < m; ++i) {
-      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-      for (int j = 0; j < n; ++j) c_row[j] *= beta;
-    }
-  }
-  if (m == 0 || n == 0 || k == 0) return;
-  if (!transpose_a && !transpose_b) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (transpose_a && !transpose_b) {
-    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (!transpose_a && transpose_b) {
-    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else {
-    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  }
-}
-
-Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {
-  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
-    throw std::invalid_argument("matmul expects rank-2 tensors");
-  }
-  const int a_rows = a.shape().dim(0), a_cols = a.shape().dim(1);
-  const int b_rows = b.shape().dim(0), b_cols = b.shape().dim(1);
-  const int m = transpose_a ? a_cols : a_rows;
-  const int k = transpose_a ? a_rows : a_cols;
-  const int k2 = transpose_b ? b_cols : b_rows;
-  const int n = transpose_b ? b_rows : b_cols;
-  if (k != k2) {
-    throw std::invalid_argument("matmul: inner dimension mismatch " + a.shape().to_string() +
-                                " x " + b.shape().to_string());
-  }
-  Tensor c(Shape{m, n});
-  gemm(transpose_a, transpose_b, m, n, k, 1.0f, a.data(), a_cols, b.data(), b_cols, 0.0f, c.data(),
-       n);
-  return c;
-}
-
 void im2col(const float* image, const ConvGeometry& g, float* columns) {
   const int out_h = g.out_height();
   const int out_w = g.out_width();
@@ -142,6 +27,23 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
           }
           const float* in_row = channel + static_cast<std::ptrdiff_t>(ih) * g.in_width;
           float* dst = out_row + static_cast<std::ptrdiff_t>(oh) * out_w;
+          if (g.stride == 1) {
+            // Contiguous tap: dst[ow] = in_row[ow + kw - padding] where
+            // in bounds — one memcpy between two zero-filled fringes.
+            const int shift = kw - g.padding;
+            const int begin = std::max(0, -shift);
+            const int end = std::min(out_w, g.in_width - shift);
+            if (begin > 0) std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(begin));
+            if (end > begin) {
+              std::memcpy(dst + begin, in_row + begin + shift,
+                          sizeof(float) * static_cast<std::size_t>(end - begin));
+            }
+            if (end < out_w) {
+              std::memset(dst + std::max(begin, end), 0,
+                          sizeof(float) * static_cast<std::size_t>(out_w - std::max(begin, end)));
+            }
+            continue;
+          }
           for (int ow = 0; ow < out_w; ++ow) {
             const int iw = ow * g.stride - g.padding + kw;
             dst[ow] = (iw >= 0 && iw < g.in_width) ? in_row[iw] : 0.0f;
@@ -177,10 +79,10 @@ void col2im(const float* columns, const ConvGeometry& g, float* image) {
   }
 }
 
-Tensor softmax(const Tensor& logits) {
+void softmax_into(const Tensor& logits, Tensor& out) {
   if (logits.shape().rank() != 2) throw std::invalid_argument("softmax expects [rows, cols]");
   const int rows = logits.shape().dim(0), cols = logits.shape().dim(1);
-  Tensor out(logits.shape());
+  if (&out != &logits && out.shape() != logits.shape()) out = Tensor(logits.shape());
   for (int r = 0; r < rows; ++r) {
     const float* in = logits.data() + static_cast<std::ptrdiff_t>(r) * cols;
     float* o = out.data() + static_cast<std::ptrdiff_t>(r) * cols;
@@ -194,6 +96,11 @@ Tensor softmax(const Tensor& logits) {
     const float inv = 1.0f / total;
     for (int c = 0; c < cols; ++c) o[c] *= inv;
   }
+}
+
+Tensor softmax(const Tensor& logits) {
+  Tensor out;
+  softmax_into(logits, out);
   return out;
 }
 
@@ -214,55 +121,70 @@ Tensor log_softmax(const Tensor& logits) {
   return out;
 }
 
-std::vector<float> row_entropy(const Tensor& probabilities) {
+void row_entropy_into(const Tensor& probabilities, std::vector<float>& out) {
   if (probabilities.shape().rank() != 2) {
     throw std::invalid_argument("row_entropy expects [rows, cols]");
   }
   const int rows = probabilities.shape().dim(0), cols = probabilities.shape().dim(1);
-  std::vector<float> entropy(static_cast<std::size_t>(rows), 0.0f);
+  out.assign(static_cast<std::size_t>(rows), 0.0f);
   for (int r = 0; r < rows; ++r) {
     const float* p = probabilities.data() + static_cast<std::ptrdiff_t>(r) * cols;
     float h = 0.0f;
     for (int c = 0; c < cols; ++c) {
       if (p[c] > 0.0f) h -= p[c] * std::log(p[c]);
     }
-    entropy[static_cast<std::size_t>(r)] = h;
+    out[static_cast<std::size_t>(r)] = h;
   }
+}
+
+std::vector<float> row_entropy(const Tensor& probabilities) {
+  std::vector<float> entropy;
+  row_entropy_into(probabilities, entropy);
   return entropy;
 }
 
-std::vector<int> row_argmax(const Tensor& values) {
+void row_argmax_into(const Tensor& values, std::vector<int>& out) {
   if (values.shape().rank() != 2) throw std::invalid_argument("row_argmax expects [rows, cols]");
   const int rows = values.shape().dim(0), cols = values.shape().dim(1);
-  std::vector<int> idx(static_cast<std::size_t>(rows), 0);
+  out.assign(static_cast<std::size_t>(rows), 0);
   for (int r = 0; r < rows; ++r) {
     const float* v = values.data() + static_cast<std::ptrdiff_t>(r) * cols;
     int best = 0;
     for (int c = 1; c < cols; ++c) {
       if (v[c] > v[best]) best = c;
     }
-    idx[static_cast<std::size_t>(r)] = best;
+    out[static_cast<std::size_t>(r)] = best;
   }
+}
+
+std::vector<int> row_argmax(const Tensor& values) {
+  std::vector<int> idx;
+  row_argmax_into(values, idx);
   return idx;
 }
 
-std::vector<float> row_max(const Tensor& values) {
+void row_max_into(const Tensor& values, std::vector<float>& out) {
   if (values.shape().rank() != 2) throw std::invalid_argument("row_max expects [rows, cols]");
   const int rows = values.shape().dim(0), cols = values.shape().dim(1);
-  std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  out.assign(static_cast<std::size_t>(rows), 0.0f);
   for (int r = 0; r < rows; ++r) {
     const float* v = values.data() + static_cast<std::ptrdiff_t>(r) * cols;
     float mx = v[0];
     for (int c = 1; c < cols; ++c) mx = std::max(mx, v[c]);
     out[static_cast<std::size_t>(r)] = mx;
   }
+}
+
+std::vector<float> row_max(const Tensor& values) {
+  std::vector<float> out;
+  row_max_into(values, out);
   return out;
 }
 
-std::vector<float> row_margin(const Tensor& values) {
+void row_margin_into(const Tensor& values, std::vector<float>& out) {
   if (values.shape().rank() != 2) throw std::invalid_argument("row_margin expects [rows, cols]");
   const int rows = values.shape().dim(0), cols = values.shape().dim(1);
-  std::vector<float> out(static_cast<std::size_t>(rows), 0.0f);
+  out.assign(static_cast<std::size_t>(rows), 0.0f);
   for (int r = 0; r < rows; ++r) {
     const float* v = values.data() + static_cast<std::ptrdiff_t>(r) * cols;
     float top1 = v[0];
@@ -277,6 +199,11 @@ std::vector<float> row_margin(const Tensor& values) {
     }
     out[static_cast<std::size_t>(r)] = cols == 1 ? top1 : top1 - top2;
   }
+}
+
+std::vector<float> row_margin(const Tensor& values) {
+  std::vector<float> out;
+  row_margin_into(values, out);
   return out;
 }
 

@@ -1,9 +1,17 @@
 // Numeric kernels: GEMM, im2col/col2im, softmax-family ops.
 //
-// All convolution in the library is im2col + GEMM; the GEMM is a
-// cache-friendly single-threaded kernel (the target platform for the
-// experiments is a single-core edge-class CPU). Backward passes use the
-// transposed variants.
+// All convolution in the library is im2col + GEMM. The GEMM is a
+// blocked, register-tiled kernel with packed operands (scratch from the
+// per-thread ops::Workspace, reused across calls) and can fan the row
+// range out over ops::gemm_threads() worker threads; the partition is
+// by output rows, so results are bit-identical for every thread count.
+// Backward passes use the transposed variants.
+//
+// The pre-GEMM reference kernels (simple triple loops, per-pixel direct
+// convolution) stay available behind the runtime naive-kernels flag —
+// set MEANET_NAIVE_KERNELS=1 in the environment or call
+// set_naive_kernels(true). They are the parity oracle for the tests and
+// the comparison column in bench/perf_forward.
 #pragma once
 
 #include <vector>
@@ -11,6 +19,24 @@
 #include "tensor/tensor.h"
 
 namespace meanet::ops {
+
+// ----- Kernel selection ------------------------------------------------
+
+/// True while the reference (naive) kernels serve gemm() and the conv
+/// forwards. Initialized from the MEANET_NAIVE_KERNELS environment
+/// variable; toggled at runtime by the parity tests and benches.
+bool naive_kernels();
+void set_naive_kernels(bool naive);
+
+/// Threads the blocked GEMM may fan out over (1 = run on the calling
+/// thread). Initialized from MEANET_GEMM_THREADS, defaulting to 1 —
+/// serving already parallelizes over session workers, so per-call GEMM
+/// threading is an opt-in for single-stream callers. Small problems
+/// always stay on the calling thread regardless.
+int gemm_threads();
+void set_gemm_threads(int threads);
+
+// ----- GEMM ------------------------------------------------------------
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// A is [M, K] after optional transpose, B is [K, N] after optional
@@ -47,24 +73,38 @@ void im2col(const float* image, const ConvGeometry& g, float* columns);
 /// the caller if accumulation from zero is desired).
 void col2im(const float* columns, const ConvGeometry& g, float* image);
 
+// ----- Row-wise reductions --------------------------------------------
+//
+// Each reduction has an _into variant writing a caller-owned buffer —
+// the serving engines keep those buffers across calls so the per-batch
+// routing signals allocate nothing — plus the allocating convenience
+// wrapper.
+
 /// Row-wise softmax of a [rows, cols] tensor (numerically stabilized).
+/// `out` is resized to match `logits`; in-place (&out == &logits) is
+/// allowed.
+void softmax_into(const Tensor& logits, Tensor& out);
 Tensor softmax(const Tensor& logits);
 
 /// Row-wise log-softmax of a [rows, cols] tensor.
 Tensor log_softmax(const Tensor& logits);
 
 /// Shannon entropy (natural log) of each row of a probability matrix.
+void row_entropy_into(const Tensor& probabilities, std::vector<float>& out);
 std::vector<float> row_entropy(const Tensor& probabilities);
 
 /// Index of the max element in each row of a [rows, cols] tensor.
+void row_argmax_into(const Tensor& values, std::vector<int>& out);
 std::vector<int> row_argmax(const Tensor& values);
 
 /// Max element of each row of a [rows, cols] tensor.
+void row_max_into(const Tensor& values, std::vector<float>& out);
 std::vector<float> row_max(const Tensor& values);
 
 /// Top-1 minus top-2 element of each row of a [rows, cols] tensor (the
 /// confidence margin when applied to softmax scores). Rows with a single
 /// column have margin equal to their only element.
+void row_margin_into(const Tensor& values, std::vector<float>& out);
 std::vector<float> row_margin(const Tensor& values);
 
 /// Copies the listed batch rows of `source` (any rank >= 1) into a new

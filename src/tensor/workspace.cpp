@@ -1,0 +1,22 @@
+#include "tensor/workspace.h"
+
+namespace meanet::ops {
+
+float* Workspace::buffer(Slot slot, std::size_t elems) {
+  Tensor& t = buffers_[static_cast<std::size_t>(slot)];
+  if (static_cast<std::size_t>(t.numel()) < elems) {
+    t = Tensor(Shape{static_cast<int>(elems)});
+  }
+  return t.data();
+}
+
+std::size_t Workspace::capacity(Slot slot) const {
+  return static_cast<std::size_t>(buffers_[static_cast<std::size_t>(slot)].numel());
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace meanet::ops

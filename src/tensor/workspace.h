@@ -1,0 +1,50 @@
+// Per-thread scratch arena for the numeric kernels.
+//
+// The inference hot path (im2col + packed GEMM + folded BatchNorm)
+// needs large temporary buffers on every forward call. Allocating them
+// per call dominates small-model latency, and sharing them across
+// threads would break the const-safe eval contract — so each thread
+// owns one Workspace, reached via Workspace::tls(), whose Tensor-backed
+// buffers only ever grow and are reused across calls. A serving worker
+// therefore pays the im2col allocation once per (shape, lifetime), not
+// once per submit.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace meanet::ops {
+
+class Workspace {
+ public:
+  /// Distinct live uses of scratch within one kernel invocation. Using
+  /// separate slots (instead of one bump arena) keeps buffers stable
+  /// across nested kernels: a folded-conv forward holds kFoldedWeights
+  /// while the GEMM below it uses kPackA/kPackB.
+  enum Slot {
+    kPackA,
+    kPackB,
+    kIm2col,
+    kFoldedWeights,
+    kFoldedBias,
+    kNumSlots,
+  };
+
+  /// A buffer of at least `elems` floats for `slot`; contents are
+  /// undefined. The buffer stays valid until the next request for the
+  /// same slot on the same thread.
+  float* buffer(Slot slot, std::size_t elems);
+
+  /// Elements currently held by `slot` (capacity, not a fill level).
+  std::size_t capacity(Slot slot) const;
+
+  /// The calling thread's workspace.
+  static Workspace& tls();
+
+ private:
+  std::array<Tensor, kNumSlots> buffers_;
+};
+
+}  // namespace meanet::ops

@@ -27,6 +27,10 @@ struct GradCheckOptions {
   float epsilon = 1e-2f;
   float tolerance = 2e-2f;  // absolute+relative mix, see check()
   nn::Mode mode = nn::Mode::kTrain;
+  /// Skip the parameter-gradient sweep: frozen layers intentionally
+  /// accumulate no parameter gradients, so only the input gradient is
+  /// checkable against finite differences.
+  bool check_params = true;
 };
 
 /// Checks d<w, L(x)>/dx and d<w, L(x)>/dtheta for every parameter.
@@ -64,6 +68,7 @@ inline void check_layer_gradients(nn::Layer& layer, Tensor x, util::Rng& rng,
   }
 
   // Parameter gradients.
+  if (!opts.check_params) return;
   for (nn::Parameter* p : layer.parameters()) {
     const std::int64_t pn = p->value.numel();
     const std::int64_t pstep = std::max<std::int64_t>(1, pn / 16);

@@ -220,15 +220,10 @@ TEST(OffloadTimeout, ThreadedTimeoutRunMatchesSingleThreaded) {
   InferenceSession single_session(single);
   const auto single_results = single_session.run(f.ds.test);
 
-  util::Rng r1(11), r2(12), r3(13);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-  core::MEANet replica2 = tiny_meanet_b(r2, 2);
-  core::MEANet replica3 = tiny_meanet_b(r3, 2);
   EngineConfig threaded = f.config();
   threaded.backend = make_backend();
   threaded.offload_timeout_s = 0.001;
-  threaded.worker_threads = 4;
-  threaded.replicas = {&replica1, &replica2, &replica3};
+  threaded.worker_threads = 4;  // all sharing the one net
   threaded.batch_size = 8;
   threaded.queue_capacity = 4;
   InferenceSession threaded_session(threaded);
@@ -322,15 +317,10 @@ TEST(BackendDecorators, ChainForwardsContractAndDescription) {
 
 TEST(SessionMetrics, PercentilesAndCountsAreSaneUnderFourWorkers) {
   Fixture& f = Fixture::instance();
-  util::Rng r1(11), r2(12), r3(13);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-  core::MEANet replica2 = tiny_meanet_b(r2, 2);
-  core::MEANet replica3 = tiny_meanet_b(r3, 2);
   EngineConfig cfg = f.config();
   cfg.offload_mode = OffloadMode::kRawImage;
   cfg.cloud = &f.cloud;
-  cfg.worker_threads = 4;
-  cfg.replicas = {&replica1, &replica2, &replica3};
+  cfg.worker_threads = 4;  // all sharing the one net
   cfg.batch_size = 8;
   InferenceSession session(cfg);
 

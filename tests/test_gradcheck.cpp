@@ -68,11 +68,19 @@ TEST(GradCheck, BatchNormTrainMode) {
   check_layer_gradients(bn, Tensor::normal(Shape{4, 3, 3, 3}, rng), rng, opts);
 }
 
-TEST(GradCheck, BatchNormEvalMode) {
+TEST(GradCheck, BatchNormRunningStatisticsMode) {
+  // Eval-mode forwards are cache-free and no longer support backward;
+  // the constant-statistics gradient path (statistics treated as
+  // constants, not functions of the batch) is reached by freezing the
+  // layer in train mode — the paper's "fixed main block" configuration.
+  // Frozen layers accumulate no parameter gradients, so only the input
+  // gradient is checked.
   util::Rng rng(107);
   BatchNorm2d bn(2);
+  bn.set_frozen(true);
   GradCheckOptions opts;
-  opts.mode = Mode::kEval;
+  opts.mode = Mode::kTrain;
+  opts.check_params = false;
   check_layer_gradients(bn, Tensor::normal(Shape{2, 2, 4, 4}, rng), rng, opts);
 }
 

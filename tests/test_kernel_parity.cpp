@@ -1,0 +1,251 @@
+// Parity and concurrency guarantees of the GEMM-backed inference hot
+// path:
+//  - the blocked, packed GEMM matches the naive reference loops across
+//    seeded shapes and all four transpose cases;
+//  - Conv2d / DepthwiseConv2d forwards match the naive per-pixel loop
+//    nests (MEANET_NAIVE_KERNELS path) within 1e-5 across odd sizes,
+//    stride 2, padding, and batch > 1;
+//  - eval-mode Conv+BN folding matches the unfused pair;
+//  - eval-mode forwards are cache-free (activation_cache_elems == 0)
+//    and thread-safe: four workers share ONE net and reproduce the
+//    single-threaded logits bit-identically (run this binary under
+//    TSAN to verify the absence of data races mechanically);
+//  - the row-striped GEMM threading is bit-identical to single-thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/fuse.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "tiny_models.h"
+
+namespace meanet {
+namespace {
+
+using meanet::testing::tiny_meanet_b;
+
+/// Runs `fn` once with the naive kernels and once with the optimized
+/// ones, restoring the previous selection afterwards.
+template <typename Fn>
+std::pair<Tensor, Tensor> both_kernel_paths(Fn fn) {
+  const bool before = ops::naive_kernels();
+  ops::set_naive_kernels(true);
+  Tensor naive = fn();
+  ops::set_naive_kernels(false);
+  Tensor fast = fn();
+  ops::set_naive_kernels(before);
+  return {std::move(naive), std::move(fast)};
+}
+
+TEST(GemmParity, BlockedMatchesNaiveAcrossShapesAndTransposes) {
+  util::Rng rng(7);
+  // Odd sizes, tile-boundary sizes, degenerate rows/cols.
+  const int sizes[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 16, 256}, {17, 33, 9},
+                          {64, 64, 64}, {5, 130, 31}, {130, 17, 300}};
+  for (const auto& s : sizes) {
+    const int m = s[0], n = s[1], k = s[2];
+    const Tensor a = Tensor::normal(Shape{m, k}, rng);
+    const Tensor b = Tensor::normal(Shape{k, n}, rng);
+    const Tensor at = Tensor::normal(Shape{k, m}, rng);
+    const Tensor bt = Tensor::normal(Shape{n, k}, rng);
+    for (int ta = 0; ta < 2; ++ta) {
+      for (int tb = 0; tb < 2; ++tb) {
+        auto [naive, fast] = both_kernel_paths([&] {
+          return ops::matmul(ta ? at : a, tb ? bt : b, ta != 0, tb != 0);
+        });
+        ASSERT_EQ(naive.shape(), fast.shape());
+        for (std::int64_t i = 0; i < naive.numel(); ++i) {
+          ASSERT_NEAR(naive[i], fast[i], 1e-4f * std::max(1.0f, std::fabs(naive[i])))
+              << "m=" << m << " n=" << n << " k=" << k << " ta=" << ta << " tb=" << tb
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmParity, AlphaBetaAccumulationMatches) {
+  util::Rng rng(11);
+  const int m = 19, n = 37, k = 23;
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  const Tensor c0 = Tensor::normal(Shape{m, n}, rng);
+  auto run = [&] {
+    Tensor c = c0;
+    ops::gemm(false, false, m, n, k, 0.5f, a.data(), k, b.data(), n, 2.0f, c.data(), n);
+    return c;
+  };
+  auto [naive, fast] = both_kernel_paths(run);
+  for (std::int64_t i = 0; i < naive.numel(); ++i) {
+    ASSERT_NEAR(naive[i], fast[i], 1e-4f * std::max(1.0f, std::fabs(naive[i])));
+  }
+}
+
+TEST(GemmParity, RowStripedThreadingIsBitIdentical) {
+  util::Rng rng(13);
+  const int m = 160, n = 160, k = 160;  // big enough to cross the spawn threshold
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  const Tensor single = ops::matmul(a, b);
+  ops::set_gemm_threads(3);
+  const Tensor threaded = ops::matmul(a, b);
+  ops::set_gemm_threads(before);
+  EXPECT_TRUE(allclose(single, threaded, 0.0f));  // same row, same k-order
+}
+
+class ConvParity : public ::testing::TestWithParam<std::tuple<int, int, int, int, int, int>> {};
+// batch, in_c, out_c, kernel, stride, padding
+
+TEST_P(ConvParity, GemmPathMatchesNaiveLoopNest) {
+  const auto [batch, in_c, out_c, kernel, stride, padding] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(batch * 7919 + in_c * 131 + out_c * 17 +
+                                           kernel * 5 + stride * 3 + padding));
+  nn::Conv2d conv(in_c, out_c, kernel, stride, padding, /*bias=*/true, rng);
+  const int size = 9;  // odd, so strides hit ragged edges
+  if (conv.output_shape(Shape{1, in_c, size, size}).height() <= 0) GTEST_SKIP();
+  const Tensor x = Tensor::normal(Shape{batch, in_c, size, size}, rng);
+  auto [naive, fast] = both_kernel_paths([&] { return conv.forward(x, nn::Mode::kEval); });
+  ASSERT_EQ(naive.shape(), fast.shape());
+  EXPECT_TRUE(allclose(naive, fast, 1e-5f))
+      << "b=" << batch << " in=" << in_c << " out=" << out_c << " k=" << kernel
+      << " s=" << stride << " p=" << padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededShapes, ConvParity,
+                         ::testing::Combine(::testing::Values(1, 3), ::testing::Values(1, 3),
+                                            ::testing::Values(2, 5), ::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2), ::testing::Values(0, 1, 2)));
+
+class DepthwiseParity : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+// channels, kernel, stride, padding
+
+TEST_P(DepthwiseParity, SpecializedPathMatchesNaiveLoopNest) {
+  const auto [channels, kernel, stride, padding] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(channels * 101 + kernel * 13 + stride * 7 + padding));
+  nn::DepthwiseConv2d dw(channels, kernel, stride, padding, rng);
+  const int size = 11;
+  if (dw.output_shape(Shape{1, channels, size, size}).height() <= 0) GTEST_SKIP();
+  const Tensor x = Tensor::normal(Shape{2, channels, size, size}, rng);
+  auto [naive, fast] = both_kernel_paths([&] { return dw.forward(x, nn::Mode::kEval); });
+  EXPECT_TRUE(allclose(naive, fast, 1e-5f))
+      << "c=" << channels << " k=" << kernel << " s=" << stride << " p=" << padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededShapes, DepthwiseParity,
+                         ::testing::Combine(::testing::Values(1, 3), ::testing::Values(3, 5),
+                                            ::testing::Values(1, 2), ::testing::Values(0, 1, 2)));
+
+TEST(DepthwiseParity, NarrowerThanKernelInputsStayInBounds) {
+  // Regression: with in_w < kernel (valid thanks to padding) the
+  // interior-column bound's truncating division used to round toward
+  // zero instead of clamping to "no interior", reading past the row.
+  util::Rng rng(41);
+  for (const int stride : {1, 2}) {
+    nn::DepthwiseConv2d dw(1, 3, stride, /*padding=*/1, rng);
+    const Tensor x = Tensor::normal(Shape{1, 1, 3, 2}, rng);  // 2-wide rows
+    auto [naive, fast] = both_kernel_paths([&] { return dw.forward(x, nn::Mode::kEval); });
+    EXPECT_TRUE(allclose(naive, fast, 1e-6f)) << "stride=" << stride;
+  }
+  // The unpadded stride-2 case that originally read past the row.
+  nn::DepthwiseConv2d dw(1, 3, 2, /*padding=*/0, rng);
+  const Tensor x = Tensor::normal(Shape{1, 1, 3, 2}, rng);
+  auto [naive, fast] = both_kernel_paths([&] { return dw.forward(x, nn::Mode::kEval); });
+  EXPECT_TRUE(allclose(naive, fast, 1e-6f));
+}
+
+TEST(BatchNormFolding, FoldedSequentialMatchesUnfusedPair) {
+  util::Rng rng(23);
+  nn::Sequential fused("fused");
+  fused.emplace<nn::Conv2d>(3, 5, 3, 1, 1, /*bias=*/true, rng, "c");
+  fused.emplace<nn::BatchNorm2d>(5);
+  // Give the BN non-trivial statistics: a few train-mode batches.
+  for (int i = 0; i < 3; ++i) {
+    fused.forward(Tensor::normal(Shape{4, 3, 7, 7}, rng), nn::Mode::kTrain);
+  }
+  auto& conv = dynamic_cast<nn::Conv2d&>(fused.layer(0));
+  auto& bn = dynamic_cast<nn::BatchNorm2d&>(fused.layer(1));
+  const Tensor x = Tensor::normal(Shape{2, 3, 7, 7}, rng);
+  const Tensor folded = fused.forward(x, nn::Mode::kEval);
+  // Unfused reference: conv then BN, each standalone in eval mode.
+  const Tensor unfused = bn.forward(conv.forward(x, nn::Mode::kEval), nn::Mode::kEval);
+  EXPECT_TRUE(allclose(folded, unfused, 1e-5f));
+}
+
+TEST(BatchNormFolding, FoldedDepthwiseMatchesUnfusedPair) {
+  util::Rng rng(29);
+  nn::Sequential fused("fused");
+  fused.emplace<nn::DepthwiseConv2d>(4, 3, 2, 1, rng, "dw");
+  fused.emplace<nn::BatchNorm2d>(4);
+  for (int i = 0; i < 3; ++i) {
+    fused.forward(Tensor::normal(Shape{4, 4, 9, 9}, rng), nn::Mode::kTrain);
+  }
+  auto& dw = dynamic_cast<nn::DepthwiseConv2d&>(fused.layer(0));
+  auto& bn = dynamic_cast<nn::BatchNorm2d&>(fused.layer(1));
+  const Tensor x = Tensor::normal(Shape{2, 4, 9, 9}, rng);
+  const Tensor folded = fused.forward(x, nn::Mode::kEval);
+  const Tensor unfused = bn.forward(dw.forward(x, nn::Mode::kEval), nn::Mode::kEval);
+  EXPECT_TRUE(allclose(folded, unfused, 1e-5f));
+}
+
+TEST(CacheFreeEval, EvalForwardAllocatesNoActivationCaches) {
+  util::Rng rng(31);
+  core::MEANet net = tiny_meanet_b(rng, 2);
+  ASSERT_EQ(net.activation_cache_elems(), 0);
+  const Tensor images = Tensor::normal(Shape{3, 2, 8, 8}, rng);
+  const core::MainForward fwd = net.forward_main(images, nn::Mode::kEval);
+  (void)net.forward_extension(images, fwd.features, nn::Mode::kEval);
+  EXPECT_EQ(net.activation_cache_elems(), 0);  // the serving invariant
+  // Train-mode forwards cache as before.
+  (void)net.forward_main(images, nn::Mode::kTrain);
+  EXPECT_GT(net.activation_cache_elems(), 0);
+}
+
+TEST(SharedNetServing, FourWorkersOnOneNetAreDeterministic) {
+  util::Rng rng(37);
+  core::MEANet net = tiny_meanet_b(rng, 2);
+  constexpr int kBatches = 8;
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 6;
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  util::Rng data_rng(38);
+  for (int i = 0; i < kBatches; ++i) {
+    inputs.push_back(Tensor::normal(Shape{2, 2, 8, 8}, data_rng));
+    expected.push_back(net.forward_main(inputs.back(), nn::Mode::kEval).logits);
+  }
+  // Four threads hammer the SAME net concurrently; every result must be
+  // bit-identical to the single-threaded reference. Run under TSAN to
+  // verify the const-safe eval contract mechanically.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kBatches; ++i) {
+          const int pick = (i + w + round) % kBatches;
+          const Tensor logits = net.forward_main(inputs[static_cast<std::size_t>(pick)],
+                                                 nn::Mode::kEval)
+                                    .logits;
+          if (!allclose(logits, expected[static_cast<std::size_t>(pick)], 0.0f)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(net.activation_cache_elems(), 0);
+}
+
+}  // namespace
+}  // namespace meanet

@@ -183,7 +183,9 @@ TEST(ReLU, BackwardMasks) {
 TEST(ReLU6, ClipsAtSix) {
   ReLU6 relu6;
   Tensor x(Shape{1, 3}, std::vector<float>{-1.0f, 3.0f, 9.0f});
-  const Tensor y = relu6.forward(x, Mode::kEval);
+  // Train mode: the backward below needs the cached input (eval-mode
+  // forwards are cache-free and do not support backward).
+  const Tensor y = relu6.forward(x, Mode::kTrain);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_FLOAT_EQ(y[1], 3.0f);
   EXPECT_FLOAT_EQ(y[2], 6.0f);
@@ -205,7 +207,7 @@ TEST(GlobalAvgPool, AveragesSpatially) {
 
 TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
   GlobalAvgPool pool;
-  pool.forward(Tensor::zeros(Shape{1, 1, 2, 2}), Mode::kEval);
+  pool.forward(Tensor::zeros(Shape{1, 1, 2, 2}), Mode::kTrain);
   Tensor g(Shape{1, 1}, std::vector<float>{4.0f});
   const Tensor dx = pool.backward(g);
   for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
@@ -229,7 +231,7 @@ TEST(Flatten, RoundTrips) {
   Flatten flatten;
   util::Rng rng(6);
   const Tensor x = Tensor::normal(Shape{2, 3, 2, 2}, rng);
-  const Tensor y = flatten.forward(x, Mode::kEval);
+  const Tensor y = flatten.forward(x, Mode::kTrain);
   EXPECT_EQ(y.shape(), Shape({2, 12}));
   const Tensor back = flatten.backward(y);
   EXPECT_TRUE(allclose(x, back, 0.0f));

@@ -305,11 +305,6 @@ TEST(Cancellation, CancelAfterCompleteIsANoOp) {
 
 TEST(Cancellation, RacesCleanlyWithFourWorkersOverSeededIterations) {
   Fixture& f = Fixture::instance();
-  util::Rng r1(11), r2(12), r3(13);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-  core::MEANet replica2 = tiny_meanet_b(r2, 2);
-  core::MEANet replica3 = tiny_meanet_b(r3, 2);
-
   util::Rng rng(0xCA7);
   constexpr int kIterations = 12;
   constexpr int kRequests = 24;
@@ -317,8 +312,7 @@ TEST(Cancellation, RacesCleanlyWithFourWorkersOverSeededIterations) {
     EngineConfig cfg = f.config();
     cfg.offload_mode = OffloadMode::kRawImage;
     cfg.cloud = &f.cloud;
-    cfg.worker_threads = 4;
-    cfg.replicas = {&replica1, &replica2, &replica3};
+    cfg.worker_threads = 4;  // all sharing the one net
     cfg.batch_size = 2;
     std::vector<std::shared_ptr<std::atomic<int>>> fired;
     std::vector<ResultHandle> handles;
@@ -375,9 +369,6 @@ TEST(CompletionCallbacks, FireExactlyOnceWithAReadyHandleOffTheWorkerThreads) {
         pc.entropy_threshold = 0.3;
         return pc;
       }()));
-  util::Rng r1(11);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-
   std::mutex seen_mutex;
   std::set<std::thread::id> callback_threads;
   std::atomic<int> fired{0};
@@ -388,8 +379,7 @@ TEST(CompletionCallbacks, FireExactlyOnceWithAReadyHandleOffTheWorkerThreads) {
     cfg.policy = recording;
     cfg.offload_mode = OffloadMode::kRawImage;
     cfg.cloud = &f.cloud;
-    cfg.worker_threads = 2;
-    cfg.replicas = {&replica1};
+    cfg.worker_threads = 2;  // both sharing the one net
     cfg.batch_size = 2;
     InferenceSession session(cfg);
     std::vector<ResultHandle> handles;
@@ -483,6 +473,133 @@ TEST(WifiTransport, CongestedCellScalesUploadTime) {
   const sim::WifiModel crowded = wifi.congested(4.0);
   EXPECT_DOUBLE_EQ(crowded.upload_time_s(1 << 20), 4.0 * wifi.upload_time_s(1 << 20));
   EXPECT_THROW(wifi.congested(0.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Deadline-aware queue admission
+// ---------------------------------------------------------------------
+
+/// Holds each routing call for `hold_s`, pinning the serving worker so
+/// the submit queue deterministically backs up behind it.
+class SlowPolicy : public core::RoutingPolicy {
+ public:
+  SlowPolicy(std::shared_ptr<const core::RoutingPolicy> inner, double hold_s)
+      : inner_(std::move(inner)), hold_s_(hold_s) {}
+
+  core::Route route(const core::RouteSignals& signals) const override {
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_s_));
+    return inner_->route(signals);
+  }
+  unsigned needed_signals() const override { return inner_->needed_signals(); }
+  std::string describe() const override { return "slow+" + inner_->describe(); }
+
+ private:
+  std::shared_ptr<const core::RoutingPolicy> inner_;
+  double hold_s_;
+};
+
+TEST(Admission, RejectsWhenQueueWaitAloneExceedsTheDeadline) {
+  Fixture& f = Fixture::instance();
+  EngineConfig cfg;
+  cfg.net = &f.net;
+  cfg.dict = &f.dict;
+  // The worker holds the first request for 400ms, so the next submits
+  // pile up behind it deterministically.
+  cfg.policy = std::make_shared<SlowPolicy>(
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400);
+  cfg.worker_threads = 1;
+  cfg.batch_size = 1;
+  cfg.set_deadline_s(0.050);
+  // Seeded estimate: any instance queued ahead predicts a 10s wait,
+  // far past the 50ms deadline.
+  cfg.admission_control = true;
+  cfg.admission_service_estimate_s = 10.0;
+  InferenceSession session(cfg);
+
+  // First request: picked up by the worker (queue wait 0 — admitted).
+  ResultHandle first = session.submit(f.ds.test.instance(0));
+  // Give the worker time to pop it and start the slow routing call.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Second request: nothing queued ahead of it — still admitted.
+  ResultHandle second = session.submit(f.ds.test.instance(1));
+  // Third request: one instance queued ahead -> estimated wait 10s
+  // against a 50ms deadline. Rejected at submit, before any queueing.
+  EXPECT_THROW(session.submit(f.ds.test.instance(2)), AdmissionRejected);
+
+  EXPECT_EQ(first.wait().size(), 1u);
+  EXPECT_EQ(second.wait().size(), 1u);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.admission_rejections, 1);
+  EXPECT_EQ(m.submitted_instances, 2);  // the rejected one never counted
+  session.drain();
+}
+
+TEST(Admission, BulkRunIsNeverGated) {
+  // run() is the bulk-eval API: rejecting one of its chunks midway
+  // would strand the ones already enqueued, so admission only gates
+  // streaming submit() traffic.
+  Fixture& f = Fixture::instance();
+  EngineConfig cfg;
+  cfg.net = &f.net;
+  cfg.dict = &f.dict;
+  cfg.worker_threads = 1;
+  cfg.batch_size = 4;
+  cfg.set_deadline_s(0.000001);  // hopeless for everything
+  cfg.admission_control = true;
+  cfg.admission_service_estimate_s = 10.0;
+  InferenceSession session(cfg);
+  const auto results = session.run(f.ds.test);
+  EXPECT_EQ(static_cast<int>(results.size()), f.ds.test.size());
+  EXPECT_EQ(session.metrics().admission_rejections, 0);
+}
+
+TEST(Admission, UnboundedDeadlinesNeverReject) {
+  Fixture& f = Fixture::instance();
+  EngineConfig cfg;
+  cfg.net = &f.net;
+  cfg.dict = &f.dict;
+  cfg.policy = std::make_shared<SlowPolicy>(
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.100);
+  cfg.worker_threads = 1;
+  cfg.batch_size = 1;
+  cfg.admission_control = true;
+  cfg.admission_service_estimate_s = 10.0;  // estimate alone must not matter
+  InferenceSession session(cfg);
+  std::vector<ResultHandle> handles;
+  for (int i = 0; i < 4; ++i) handles.push_back(session.submit(f.ds.test.instance(i)));
+  for (ResultHandle& h : handles) EXPECT_EQ(h.wait().size(), 1u);
+  EXPECT_EQ(session.metrics().admission_rejections, 0);
+  session.drain();
+}
+
+TEST(Admission, PerSubmitOverrideGatesAdmissionToo) {
+  Fixture& f = Fixture::instance();
+  EngineConfig cfg;
+  cfg.net = &f.net;
+  cfg.dict = &f.dict;
+  cfg.policy = std::make_shared<SlowPolicy>(
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400);
+  cfg.worker_threads = 1;
+  cfg.batch_size = 1;
+  cfg.admission_control = true;
+  cfg.admission_service_estimate_s = 10.0;
+  InferenceSession session(cfg);  // session deadlines all unbounded
+
+  ResultHandle first = session.submit(f.ds.test.instance(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ResultHandle second = session.submit(f.ds.test.instance(1));  // queues behind the slow one
+  SubmitOptions tight;
+  tight.deadline_s = 0.050;  // this request's own bound does the gating
+  EXPECT_THROW(session.submit(f.ds.test.instance(2), tight), AdmissionRejected);
+  SubmitOptions loose;
+  loose.deadline_s = 3600.0;  // a lenient override clears the same queue
+  ResultHandle third = session.submit(f.ds.test.instance(2), loose);
+
+  EXPECT_EQ(first.wait().size(), 1u);
+  EXPECT_EQ(second.wait().size(), 1u);
+  EXPECT_EQ(third.wait().size(), 1u);
+  EXPECT_EQ(session.metrics().admission_rejections, 1);
+  session.drain();
 }
 
 }  // namespace

@@ -171,16 +171,11 @@ TEST(InferenceSession, ThreadedSubmitDrainMatchesSingleThreaded) {
   InferenceSession single_session(single);
   const auto baseline = single_session.run(f.ds.test);
 
-  // Four workers on three weight-synced replicas + the primary.
-  util::Rng r1(11), r2(12), r3(13);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-  core::MEANet replica2 = tiny_meanet_b(r2, 2);
-  core::MEANet replica3 = tiny_meanet_b(r3, 2);
+  // Four workers sharing the one net (eval forwards are cache-free).
   EngineConfig threaded = f.config();
   threaded.offload_mode = OffloadMode::kRawImage;
   threaded.cloud = &f.cloud;
   threaded.worker_threads = 4;
-  threaded.replicas = {&replica1, &replica2, &replica3};
   threaded.batch_size = 8;      // different batching must not matter
   threaded.queue_capacity = 4;  // exercise submit() backpressure
   InferenceSession threaded_session(threaded);
@@ -210,12 +205,18 @@ TEST(InferenceSession, ThreadedSubmitDrainMatchesSingleThreaded) {
   EXPECT_EQ(base_correct, thread_correct);  // identical accuracy
 }
 
-TEST(InferenceSession, WorkerThreadsClampToAvailableReplicas) {
+TEST(InferenceSession, WorkersShareOneNetWithoutReplicas) {
   Fixture& f = Fixture::instance();
   EngineConfig cfg = f.config();
-  cfg.worker_threads = 8;  // no replicas: only the primary can serve
+  cfg.worker_threads = 8;  // all serve on the one shared net
   InferenceSession session(cfg);
-  EXPECT_EQ(session.worker_count(), 1);
+  EXPECT_EQ(session.worker_count(), 8);
+  // The deprecated replica list is ignored rather than required.
+  EngineConfig with_replicas = f.config();
+  with_replicas.worker_threads = 2;
+  with_replicas.replicas = {nullptr};  // would have thrown when it was real
+  InferenceSession shim(with_replicas);
+  EXPECT_EQ(shim.worker_count(), 2);
 }
 
 TEST(InferenceSession, SessionIsReusableAcrossDrains) {

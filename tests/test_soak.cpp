@@ -85,11 +85,6 @@ TEST(Soak, ChurnWithCancelStormKeepsInvariantsAndLeaksNothing) {
   Fixture& f = Fixture::instance();
   const std::int64_t live_baseline = detail::RequestState::live_count.load();
 
-  util::Rng r1(11), r2(12), r3(13);
-  core::MEANet replica1 = tiny_meanet_b(r1, 2);
-  core::MEANet replica2 = tiny_meanet_b(r2, 2);
-  core::MEANet replica3 = tiny_meanet_b(r3, 2);
-
   constexpr int kOps = 2500;
   util::Rng rng(0x50AC);
   std::vector<std::shared_ptr<std::atomic<int>>> fired;
@@ -106,8 +101,7 @@ TEST(Soak, ChurnWithCancelStormKeepsInvariantsAndLeaksNothing) {
         /*loss_rate=*/0.25, /*seed=*/0xFEED);
     cfg.offload_timeout_s = 0.002;
     cfg.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = 0.250;
-    cfg.worker_threads = 4;
-    cfg.replicas = {&replica1, &replica2, &replica3};
+    cfg.worker_threads = 4;  // all sharing the one net
     cfg.batch_size = 4;
     cfg.queue_capacity = 64;
     cfg.response_cache_capacity = 32;

@@ -143,12 +143,13 @@ TEST(DistributedSystem, ThreadedRunMatchesSingleThreadedAndReportsServing) {
   DistributedSystem system(std::move(edge), &cloud);
   const SystemReport single = system.run(f.ds.test, 16);
 
+  // add_replica is a deprecated no-op: workers share the edge net.
   util::Rng replica_rng(11);
   core::MEANet replica = tiny_meanet_b(replica_rng, 2);
   system.add_replica(replica);
-  EXPECT_EQ(system.replica_count(), 1);
-  // Two workers (primary + the weight-synced replica), small batches:
-  // the routed predictions must be identical to the single-worker run.
+  EXPECT_EQ(system.replica_count(), 0);
+  // Two workers sharing the one net, small batches: the routed
+  // predictions must be identical to the single-worker run.
   const SystemReport threaded = system.run(f.ds.test, 8, 2);
   ASSERT_EQ(threaded.predictions.size(), single.predictions.size());
   for (std::size_t i = 0; i < single.predictions.size(); ++i) {
