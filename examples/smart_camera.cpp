@@ -8,16 +8,24 @@
 // whose wait() completes when that frame's result settles — and prints a
 // running dashboard of accuracy, exit distribution, and the edge energy
 // bill (compute + WiFi upload), plus the session metrics (queue depth,
-// per-route latency percentiles) at the end. The offload really rides
-// the WiFi model: every cloud payload's upload time is derived from its
-// byte size over a congested, jittered cell (cfg.transport), a 60ms
-// per-frame deadline keeps the camera real-time (an expired frame keeps
-// its edge answer), and a completion callback — fired off the serving
-// workers — tallies the frames the deadline saved.
+// per-route latency percentiles, cell airtime) at the end. The offload
+// really rides the radio: the camera shares one sim::SharedCell with a
+// neighbor device whose background uploads halve the fair-share
+// throughput, every cloud payload's upload time is derived from its
+// byte size over that congested, jittered cell (and the answer pays
+// downlink time on the way back), a 60ms per-frame deadline keeps the
+// camera real-time (an expired frame keeps its edge answer), the
+// camera's frames are submitted at high scheduling priority — ordering
+// them ahead of any lower-priority traffic *on the camera's own
+// session*; the neighbor's separate session contends only for cell
+// airtime — and a completion callback — fired off the serving workers
+// — tallies the frames the deadline saved.
 //
 // Build & run:  ./build/examples/smart_camera
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/builders.h"
@@ -26,6 +34,7 @@
 #include "runtime/session.h"
 #include "runtime/transport.h"
 #include "sim/cloud_node.h"
+#include "sim/shared_cell.h"
 
 using namespace meanet;
 
@@ -84,12 +93,30 @@ int main() {
   costs.main_macs = trunk.macs + exit1.macs;
   costs.extension_macs = adaptive.macs + extension.macs;
 
+  // One radio cell, two stations: the camera and a neighbor device
+  // whose background uploads contend for the same airtime (the
+  // fair-share throughput halves while both are attached). The cell
+  // itself is a ~0.63 Mb/s slice of the paper's 18.88 Mb/s uplink with
+  // seeded jitter; answers ride its downlink, so they are cheap but no
+  // longer free.
+  auto cell = std::make_shared<sim::SharedCell>([] {
+    sim::SharedCellConfig cc;
+    cc.uplink = cc.uplink.congested(30.0);  // ~0.63 Mb/s uplink
+    cc.jitter_s = 0.005;
+    return cc;
+  }());
+  runtime::TransportConfig wifi_link;
+  wifi_link.cell = cell;
+
   // The camera is one InferenceSession: entropy routing + raw-image
   // offload selected at runtime through the EngineConfig. Uploads ride
-  // a congested, jittered WiFi cell (upload time scales with payload
-  // bytes), and a 60ms per-frame cloud deadline keeps the stream
-  // real-time: a frame whose answer cannot make it back in time keeps
-  // its edge prediction instead of stalling the dashboard.
+  // the shared cell (upload time scales with payload bytes and the
+  // station count), a 60ms per-frame cloud deadline keeps the stream
+  // real-time — a frame whose answer cannot make it back in time keeps
+  // its edge prediction instead of stalling the dashboard — and the
+  // camera's frames are submitted at high scheduling priority, so any
+  // lower-priority housekeeping traffic on the same session would queue
+  // behind them.
   runtime::EngineConfig serve;
   serve.net = &net;
   serve.dict = &dict;
@@ -99,9 +126,6 @@ int main() {
   serve.cloud = &cloud;
   serve.batch_size = 32;
   serve.costs = costs;
-  runtime::TransportConfig wifi_link;
-  wifi_link.wifi = wifi_link.wifi.congested(30.0);  // ~0.63 Mb/s cell
-  wifi_link.jitter_s = 0.005;
   serve.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = 0.060;
   serve.transport = wifi_link;
 
@@ -111,6 +135,7 @@ int main() {
   // tally must outlive it.
   std::atomic<std::int64_t> deadline_saved{0};
   runtime::SubmitOptions frame_opts;
+  frame_opts.priority = 5;  // camera frames outrank default traffic
   frame_opts.on_complete = [&deadline_saved](const runtime::ResultHandle& handle) {
     for (const runtime::InferenceResult& r : handle.wait()) {
       if (r.deadline_expired) ++deadline_saved;
@@ -119,6 +144,21 @@ int main() {
   runtime::SessionMetrics m;
   {
     runtime::InferenceSession camera(serve);
+
+    // The neighbor: a second session on the same cell, streaming its
+    // own frames through the same cloud in the background so the
+    // camera's uploads genuinely contend for airtime.
+    runtime::EngineConfig neighbor_cfg = serve;
+    neighbor_cfg.batch_size = 8;
+    runtime::InferenceSession neighbor(neighbor_cfg);
+    std::atomic<bool> neighbor_stop{false};
+    std::thread neighbor_traffic([&] {
+      int frame = 0;
+      while (!neighbor_stop.load()) {
+        neighbor.submit(ds.test.instance(frame % ds.test.size())).wait();
+        ++frame;
+      }
+    });
 
     // Stream the test set frame by frame and print a dashboard.
     std::printf("streaming %d frames through the smart camera (threshold %.1f, backend %s)...\n\n",
@@ -163,6 +203,8 @@ int main() {
     std::printf("edge energy bill: %.2f J compute + %.2f J WiFi\n", compute_j, comm_j);
 
     m = camera.metrics();
+    neighbor_stop.store(true);
+    neighbor_traffic.join();
   }  // session destruction flushes every pending completion callback
 
   std::printf("\nsession metrics: %lld submitted, queue depth high-water %lld\n",
@@ -171,6 +213,11 @@ int main() {
   std::printf("deadline: %lld frames kept their edge answer (60ms bound; callback saw %lld)\n",
               static_cast<long long>(m.deadline_expirations),
               static_cast<long long>(deadline_saved.load()));
+  const runtime::PriorityWaitStats camera_wait = m.priority_wait(5);
+  std::printf("scheduling: priority-5 camera frames waited p99 %.3f ms in queue\n",
+              1e3 * camera_wait.p99_s);
+  std::printf("shared cell: %.2f s airtime charged, %.2f demand per wall second\n",
+              m.cell_busy_s, m.cell_airtime_utilization);
   std::printf("%-12s %8s %10s %10s %10s\n", "route", "count", "p50 ms", "p95 ms", "p99 ms");
   for (const core::Route route :
        {core::Route::kMainExit, core::Route::kExtensionExit, core::Route::kCloud}) {

@@ -29,6 +29,11 @@ void MetricsCollector::record_completion(core::Route route, double seconds) {
   samples_[static_cast<std::size_t>(route)].push_back(seconds);
 }
 
+void MetricsCollector::record_queue_wait(int priority, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wait_samples_[priority].push_back(seconds);
+}
+
 void MetricsCollector::record_cancelled(std::int64_t instances) {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.cancelled_instances += instances;
@@ -76,6 +81,16 @@ SessionMetrics MetricsCollector::snapshot() const {
     out.per_route[r].p50_s = percentile(samples_[r], 0.50);
     out.per_route[r].p95_s = percentile(samples_[r], 0.95);
     out.per_route[r].p99_s = percentile(samples_[r], 0.99);
+  }
+  out.queue_wait_by_priority.reserve(wait_samples_.size());
+  for (const auto& [priority, waits] : wait_samples_) {
+    PriorityWaitStats stats;
+    stats.priority = priority;
+    stats.requests = static_cast<std::int64_t>(waits.size());
+    stats.p50_s = percentile(waits, 0.50);
+    stats.p95_s = percentile(waits, 0.95);
+    stats.p99_s = percentile(waits, 0.99);
+    out.queue_wait_by_priority.push_back(stats);
   }
   return out;
 }

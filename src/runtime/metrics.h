@@ -13,6 +13,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -23,6 +25,16 @@ namespace meanet::runtime {
 /// Latency distribution of one route's completed instances.
 struct RouteLatencyStats {
   std::int64_t count = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+/// Queue-wait distribution (submit() -> entering a worker batch) of the
+/// requests served at one priority level.
+struct PriorityWaitStats {
+  int priority = 0;
+  std::int64_t requests = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
@@ -64,6 +76,20 @@ struct SessionMetrics {
   /// Dispatches whose backend threw or answered with the wrong shape.
   std::int64_t offload_failures = 0;
 
+  /// Pops where the scheduler force-served the oldest waiting request
+  /// because the starvation bound (EngineConfig::starvation_bound) was
+  /// reached — the aging counter. Covers the worker queue and the
+  /// offload dispatch queue.
+  std::int64_t starvation_promotions = 0;
+
+  /// Airtime charged on the session's (possibly shared) radio cell so
+  /// far, in seconds, and that figure per wall-clock second of the
+  /// cell's life. Utilization above ~1.0 means the attached stations
+  /// jointly demand more airtime than the medium has — a saturated
+  /// cell. Both 0 when no transport is configured.
+  double cell_busy_s = 0.0;
+  double cell_airtime_utilization = 0.0;
+
   /// Instances served from the response cache.
   std::int64_t cache_hits = 0;
   /// Entries currently held by the response cache.
@@ -75,10 +101,25 @@ struct SessionMetrics {
   /// core::Route (use the accessors below).
   std::array<RouteLatencyStats, core::kNumRoutes> per_route{};
 
+  /// Queue-wait percentiles of the served requests at each priority
+  /// level that appeared, highest priority first. What the scheduler
+  /// actually controls: under contention the high-priority rows should
+  /// show the smaller tails.
+  std::vector<PriorityWaitStats> queue_wait_by_priority;
+
   const RouteLatencyStats& route(core::Route route) const {
     return per_route[static_cast<std::size_t>(route)];
   }
   std::int64_t route_count(core::Route route) const { return this->route(route).count; }
+
+  /// Queue-wait stats of one priority level; zeros when nothing was
+  /// served at it.
+  PriorityWaitStats priority_wait(int priority) const {
+    for (const PriorityWaitStats& stats : queue_wait_by_priority) {
+      if (stats.priority == priority) return stats;
+    }
+    return PriorityWaitStats{priority, 0, 0.0, 0.0, 0.0};
+  }
 };
 
 /// Thread-safe accumulator behind SessionMetrics. Workers record raw
@@ -90,6 +131,9 @@ class MetricsCollector {
   /// One completed instance: tallies the route and stores its
   /// end-to-end (submit -> settle) latency sample.
   void record_completion(core::Route route, double seconds);
+  /// One request entering a worker batch after `seconds` in the queue,
+  /// scheduled at `priority`.
+  void record_queue_wait(int priority, double seconds);
   void record_cancelled(std::int64_t instances);
   void record_failed(std::int64_t instances);
   void record_deadline_expired(std::int64_t instances);
@@ -100,14 +144,18 @@ class MetricsCollector {
   void record_cache_hits(std::int64_t hits);
 
   /// Current counters with percentiles reduced from the samples.
-  /// queue_depth_high_water, cache_entries, and cache_evictions are
-  /// owned by the session and left 0 here.
+  /// queue_depth_high_water, starvation_promotions, the cell airtime
+  /// figures, cache_entries, and cache_evictions are owned by the
+  /// session and left 0 here.
   SessionMetrics snapshot() const;
 
  private:
   mutable std::mutex mutex_;
   SessionMetrics counters_;  // percentiles stay empty until snapshot()
   std::array<std::vector<double>, core::kNumRoutes> samples_;
+  // Queue-wait samples keyed by priority, highest first (the snapshot
+  // order of queue_wait_by_priority).
+  std::map<int, std::vector<double>, std::greater<int>> wait_samples_;
 };
 
 /// Nearest-rank percentile (p in [0,1]) of an unsorted sample set; 0 for

@@ -1,14 +1,24 @@
-// Bounded blocking MPMC queue used between InferenceSession::submit()
-// and the worker threads. Capacity bounds the memory held by pending
+// Bounded blocking MPMC queues between InferenceSession::submit() and
+// the worker threads. Capacity bounds the memory held by pending
 // requests: producers block when the queue is full (backpressure),
 // consumers block when it is empty.
+//
+// Two variants share the contract: the FIFO BoundedQueue (completion
+// callbacks and other order-preserving plumbing), and the
+// PriorityBoundedQueue serving requests and offload payloads by
+// scheduling key — (priority desc, deadline asc, arrival seq asc) —
+// with a configurable starvation bound that ages the oldest waiting
+// item forward when higher-priority traffic floods it.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace meanet::runtime {
 
@@ -76,6 +86,203 @@ class BoundedQueue {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_, not_full_;
   std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+/// Scheduling key of one queued item. Dequeue order is priority
+/// descending, then absolute deadline ascending (earliest-deadline-first
+/// among equals), then arrival order — exactly the order a
+/// std::stable_sort over (priority desc, deadline asc) would produce.
+struct SchedKey {
+  /// Higher is served sooner.
+  int priority = 0;
+  /// Absolute completion deadline; time_point::max() = unbounded.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// True when `a` should be dequeued before `b` (ties fall through to
+/// the arrival sequence, which the queue tracks separately).
+inline bool sched_before(const SchedKey& a, const SchedKey& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.deadline < b.deadline;
+}
+
+/// One dequeued item with the scheduling identity it was queued under,
+/// so a consumer that popped it but could not serve it yet can requeue
+/// it in its original position (same key, same arrival seq).
+template <typename T>
+struct Scheduled {
+  T item;
+  SchedKey key;
+  std::uint64_t seq = 0;
+  /// True when this pop was forced by the starvation bound. A consumer
+  /// that requeues a promoted item hands its promotion credit back (see
+  /// requeue), so coalescing cannot silently burn the aging guarantee.
+  bool promoted = false;
+};
+
+/// Bounded blocking MPMC priority queue keyed by SchedKey.
+///
+/// Starvation bound: with `starvation_bound` N > 0, the oldest waiting
+/// item is never bypassed by more than N consecutive pops — the (N+1)th
+/// pop serves it regardless of priority and counts a promotion. 0
+/// disables aging (pure priority order; a saturating high-priority
+/// flood then starves lower priorities indefinitely).
+///
+/// pop() scans linearly for the best key; with the few hundred entries
+/// a session's capacity admits that costs less than maintaining a heap
+/// that would still need the oldest-by-seq side index.
+template <typename T>
+class PriorityBoundedQueue {
+ public:
+  explicit PriorityBoundedQueue(std::size_t capacity, int starvation_bound)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        starvation_bound_(starvation_bound < 0 ? 0 : starvation_bound) {}
+
+  /// Blocks until there is room; returns false if the queue was closed.
+  bool push(T item, SchedKey key) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(Entry{std::move(item), key, next_seq_++});
+    high_water_ = std::max(high_water_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Re-admits an item a consumer popped but could not serve in its
+  /// current batch (wrong geometry, batch overflow). Keeps the original
+  /// key and seq, so the item resumes its exact place in the dequeue
+  /// order — and if the pop had been a forced starvation promotion, the
+  /// promotion credit is restored (the very next pop forces it again),
+  /// so a victim whose geometry never fits a forming batch still gets
+  /// served as the seed of the next one instead of starving through
+  /// promote-requeue cycles. Never blocks: the item held a slot moments
+  /// ago, and a consumer blocking on its own queue would deadlock the
+  /// session — the transient one-item-per-worker overshoot of
+  /// `capacity` is the price of that guarantee. Works after close()
+  /// (the item drains like any other leftover).
+  void requeue(Scheduled<T> scheduled) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(
+          Entry{std::move(scheduled.item), scheduled.key, scheduled.seq});
+      high_water_ = std::max(high_water_, items_.size());
+      if (scheduled.promoted && starvation_bound_ > 0) {
+        victim_seq_ = scheduled.seq;
+        consecutive_bypasses_ = starvation_bound_;
+      }
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until an item arrives; returns nullopt when the queue is
+  /// closed and drained.
+  std::optional<Scheduled<T>> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    return take(select_locked());
+  }
+
+  /// Non-blocking pop used to coalesce pending requests into one batch.
+  std::optional<Scheduled<T>> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    return take(select_locked());
+  }
+
+  /// Wakes all waiters; push() fails and pop() drains then returns
+  /// nullopt afterwards.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Most items ever queued at once (the SessionMetrics queue-depth
+  /// high-water mark).
+  std::size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+  /// Pops that served the oldest waiting item because the starvation
+  /// bound forced it (SessionMetrics::starvation_promotions).
+  std::int64_t starvation_promotions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return promotions_;
+  }
+
+ private:
+  struct Entry {
+    T item;
+    SchedKey key;
+    std::uint64_t seq = 0;
+  };
+
+  struct Selection {
+    std::size_t index = 0;
+    bool promoted = false;
+  };
+
+  /// The entry the next pop should take, applying the starvation bound.
+  /// Caller holds mutex_; items_ is non-empty.
+  Selection select_locked() {
+    std::size_t best = 0, oldest = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (sched_before(items_[i].key, items_[best].key) ||
+          (!sched_before(items_[best].key, items_[i].key) &&
+           items_[i].seq < items_[best].seq)) {
+        best = i;
+      }
+      if (items_[i].seq < items_[oldest].seq) oldest = i;
+    }
+    if (best == oldest || starvation_bound_ <= 0) {
+      consecutive_bypasses_ = 0;
+      return {best, false};
+    }
+    // The oldest item is being bypassed. Count consecutive bypasses of
+    // *this* victim; when a pop removed the previous victim the seq
+    // comparison resets the run.
+    if (victim_seq_ != items_[oldest].seq) {
+      victim_seq_ = items_[oldest].seq;
+      consecutive_bypasses_ = 0;
+    }
+    if (consecutive_bypasses_ >= starvation_bound_) {
+      ++promotions_;
+      consecutive_bypasses_ = 0;
+      return {oldest, true};  // forced: the bound caps the victim's wait
+    }
+    ++consecutive_bypasses_;
+    return {best, false};
+  }
+
+  Scheduled<T> take(Selection selection) {
+    Scheduled<T> out{std::move(items_[selection.index].item), items_[selection.index].key,
+                     items_[selection.index].seq, selection.promoted};
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(selection.index));
+    not_full_.notify_one();
+    return out;
+  }
+
+  const std::size_t capacity_;
+  const int starvation_bound_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_, not_full_;
+  std::vector<Entry> items_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t victim_seq_ = 0;
+  int consecutive_bypasses_ = 0;
+  std::int64_t promotions_ = 0;
   std::size_t high_water_ = 0;
   bool closed_ = false;
 };

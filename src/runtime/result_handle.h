@@ -68,6 +68,15 @@ struct InferenceResult {
   double comm_energy_j = 0.0;
   double compute_time_s = 0.0;
   double comm_time_s = 0.0;
+  /// Simulated transport occupancy of the offload that delivered this
+  /// instance's cloud answer: the upload delay of its payload and the
+  /// downlink delay of the response (whole-payload figures — coalesced
+  /// instances share one transfer). 0 when the instance was not
+  /// offloaded or the session has no transport configured. Pure
+  /// functions of the transport seed and the payload identity, so
+  /// same-seed runs report bit-identical values at any worker count.
+  double upload_time_s = 0.0;
+  double download_time_s = 0.0;
 };
 
 namespace detail {
@@ -94,6 +103,14 @@ struct RequestState {
   /// Per-request deadline override in seconds from submit(); NaN means
   /// the session's per-route deadlines apply.
   double deadline_override_s = std::numeric_limits<double>::quiet_NaN();
+  /// Scheduling priority the request was queued under (the per-submit
+  /// override, or the best EngineConfig::route_priority it could land
+  /// on). Immutable after enqueue.
+  int queue_priority = 0;
+  /// The explicit SubmitOptions::priority, kept apart from the resolved
+  /// queue_priority so the offload stage can re-resolve an unset
+  /// priority against the route the instance is then known to take.
+  std::optional<int> priority_override;
 
   mutable std::mutex mutex;
   mutable std::condition_variable done_cv;

@@ -84,9 +84,14 @@ InferenceSession::InferenceSession(EngineConfig config)
     : batch_size_(config.batch_size),
       offload_timeout_s_(config.offload_timeout_s),
       route_deadline_s_(config.route_deadline_s),
+      route_priority_(config.route_priority),
+      default_priority_(
+          *std::max_element(config.route_priority.begin(), config.route_priority.end())),
       costs_(config.costs),
-      queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))),
-      offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity))) {
+      queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity)),
+             config.starvation_bound),
+      offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity)),
+                     config.starvation_bound) {
   if (config.net == nullptr || config.dict == nullptr) {
     throw std::invalid_argument("InferenceSession: EngineConfig needs net and dict");
   }
@@ -183,19 +188,37 @@ void InferenceSession::observe_service(std::int64_t rows, double seconds) {
                             : 0.8 * service_estimate_s_ + 0.2 * per_instance;
 }
 
-void InferenceSession::check_admission(int count, double deadline_override_s) {
+void InferenceSession::track_queued(int priority, std::int64_t count) {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  std::int64_t& queued = queued_by_priority_[priority];
+  queued += count;
+  if (queued <= 0) queued_by_priority_.erase(priority);
+}
+
+std::int64_t InferenceSession::queued_at_or_above(int priority) const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  std::int64_t ahead = 0;
+  for (auto it = queued_by_priority_.lower_bound(priority); it != queued_by_priority_.end();
+       ++it) {
+    ahead += it->second;
+  }
+  return ahead;
+}
+
+void InferenceSession::check_admission(int count, double deadline_override_s, int priority) {
   if (!admission_control_) return;
   const double deadline_s =
       std::isnan(deadline_override_s) ? admission_deadline_s_ : deadline_override_s;
   if (!std::isfinite(deadline_s)) return;  // unbounded: nothing to miss
   const double estimate_s = service_estimate_s();
   if (estimate_s <= 0.0) return;  // nothing measured or seeded yet
-  // Queue wait alone: instances already queued ahead of this request,
-  // spread over the serving workers. The request's own service time is
-  // deliberately not charged — admission sheds load that is hopeless
-  // *before* it would even start.
-  const double queue_wait_s = estimate_s *
-                              static_cast<double>(queued_instances_.load(std::memory_order_relaxed)) /
+  // Queue wait alone: instances already queued *ahead in the schedule*
+  // of this request — same or higher priority — spread over the
+  // serving workers. A low-priority backlog does not gate a
+  // high-priority submit (the scheduler serves it first); the
+  // request's own service time is deliberately not charged — admission
+  // sheds load that is hopeless *before* it would even start.
+  const double queue_wait_s = estimate_s * static_cast<double>(queued_at_or_above(priority)) /
                               static_cast<double>(workers_.empty() ? 1 : workers_.size());
   if (queue_wait_s <= deadline_s) return;
   collector_.record_admission_rejected(count);
@@ -209,15 +232,23 @@ ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
   Tensor batch = normalize_batch(std::move(images));
   const int count = batch.shape().batch();
   if (count <= 0) throw std::invalid_argument("InferenceSession::submit: empty batch");
+  const int priority = options.priority.value_or(default_priority_);
   // Admission gates streaming submit() traffic only (track_in_round):
   // run() is the bulk-eval API — rejecting one of its chunks midway
   // would strand the results of the chunks already enqueued.
-  if (track_in_round) check_admission(count, options.deadline_s);
+  if (track_in_round) check_admission(count, options.deadline_s, priority);
   auto state = std::make_shared<detail::RequestState>();
   state->first_id = next_id_.fetch_add(count);
   state->expected = count;
   state->submitted_at = SteadyClock::now();
   state->deadline_override_s = options.deadline_s;
+  // The route is only decided by the edge pass, so an un-overridden
+  // request is queued at the best route priority it could land on
+  // (mirroring admission's loosest-deadline rule); the explicit
+  // override is kept so the offload stage can re-resolve against the
+  // route the instance then actually takes.
+  state->priority_override = options.priority;
+  state->queue_priority = priority;
   // Runs under the state mutex when a cancel wins, so the counter never
   // lags the handle's cancelled() view. Capturing `this` is safe: a
   // cancel can only win while the request is unsettled, and the
@@ -242,9 +273,10 @@ ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
   // Counted before the push: a worker that pops the request decrements
   // immediately, and incrementing afterwards could drive the admission
   // counter transiently negative.
-  queued_instances_.fetch_add(count, std::memory_order_relaxed);
-  if (!queue_.push(InferenceRequest{state->first_id, std::move(batch), state})) {
-    queued_instances_.fetch_sub(count, std::memory_order_relaxed);
+  track_queued(priority, count);
+  if (!queue_.push(InferenceRequest{state->first_id, std::move(batch), state},
+                   request_key(*state))) {
+    track_queued(priority, -count);
     // The hook holds a handle back onto this state; a request that never
     // transitions would leak the cycle. Break it before reporting.
     state->completion_hook = nullptr;
@@ -360,11 +392,29 @@ std::vector<InferenceResult> InferenceSession::run(const data::Dataset& dataset)
 SessionMetrics InferenceSession::metrics() const {
   SessionMetrics m = collector_.snapshot();
   m.queue_depth_high_water = static_cast<std::int64_t>(queue_.high_water_mark());
+  m.starvation_promotions =
+      queue_.starvation_promotions() + offload_queue_.starvation_promotions();
+  if (link_) {
+    m.cell_busy_s = link_->cell().busy_seconds();
+    m.cell_airtime_utilization = link_->cell().utilization();
+  }
   if (cache_) {
     m.cache_entries = static_cast<std::int64_t>(cache_->size());
     m.cache_evictions = cache_->evictions();
   }
   return m;
+}
+
+SchedKey InferenceSession::request_key(const detail::RequestState& state) const {
+  SchedKey key;
+  key.priority = state.queue_priority;
+  // Earliest-deadline-first among equal priorities: the tightest bound
+  // the request could face on any route (with an override, that is just
+  // submit + override on every route).
+  for (int r = 0; r < core::kNumRoutes; ++r) {
+    key.deadline = std::min(key.deadline, deadline_at(state, static_cast<core::Route>(r)));
+  }
+  return key;
 }
 
 InferenceSession::SteadyClock::time_point InferenceSession::deadline_at(
@@ -415,60 +465,75 @@ void InferenceSession::worker_loop(int worker_index) {
       settle_failure(requests, "non-standard exception");
     }
   };
-  // A request popped but not fitting the current batch (wrong geometry
-  // or it would overflow the cap) seeds the next round instead of being
-  // served undersized on its own.
   // Every successful pop leaves the popped instances "in service" from
-  // the admission estimator's point of view.
+  // the admission estimator's point of view; a requeued request (wrong
+  // geometry or batch overflow) goes back to "queued".
   auto popped = [&](const InferenceRequest& request) {
-    queued_instances_.fetch_sub(request.images.shape().batch(), std::memory_order_relaxed);
+    track_queued(request.completion->queue_priority, -request.images.shape().batch());
   };
-  std::optional<InferenceRequest> carry;
+  auto unpopped = [&](const InferenceRequest& request) {
+    track_queued(request.completion->queue_priority, request.images.shape().batch());
+  };
   while (true) {
-    const bool from_carry = carry.has_value();
-    std::optional<InferenceRequest> first =
-        from_carry ? std::exchange(carry, std::nullopt) : queue_.pop();
+    std::optional<Scheduled<InferenceRequest>> first = queue_.pop();
     if (!first.has_value()) return;  // closed and drained
-    if (!from_carry) popped(*first);  // carry was accounted when popped
-    if (discard_if_cancelled(*first)) continue;
+    popped(first->item);
+    if (discard_if_cancelled(first->item)) continue;
     // Coalesce pending requests into one edge batch, up to batch_size
-    // instances of the same geometry. A single request larger than
-    // batch_size cannot be split and runs as-is.
+    // instances of the same geometry, taking them in the queue's
+    // scheduling order. A request that does not fit (wrong geometry or
+    // it would overflow the cap) is requeued under its original key and
+    // arrival seq — never parked on this worker — so a higher-priority
+    // arrival can still overtake it before the next batch forms.
     std::vector<InferenceRequest> batch;
-    int rows = first->images.shape().batch();
-    const Shape item_shape = instance_shape(first->images.shape());
-    batch.push_back(std::move(*first));
+    int rows = first->item.images.shape().batch();
+    const Shape item_shape = instance_shape(first->item.images.shape());
+    batch.push_back(std::move(first->item));
     while (rows < batch_size_) {
-      std::optional<InferenceRequest> next = queue_.try_pop();
+      std::optional<Scheduled<InferenceRequest>> next = queue_.try_pop();
       if (!next.has_value()) break;
-      popped(*next);
-      if (discard_if_cancelled(*next)) continue;
-      const int count = next->images.shape().batch();
-      if (instance_shape(next->images.shape()) != item_shape ||
+      popped(next->item);
+      if (discard_if_cancelled(next->item)) continue;
+      const int count = next->item.images.shape().batch();
+      if (instance_shape(next->item.images.shape()) != item_shape ||
           rows + count > batch_size_) {
-        carry = std::move(next);
+        unpopped(next->item);
+        queue_.requeue(std::move(*next));
         break;
       }
       rows += count;
-      batch.push_back(std::move(*next));
+      batch.push_back(std::move(next->item));
+    }
+    // Queue-wait accounting happens once per request, when it finally
+    // enters a batch (a requeued request is charged its whole wait).
+    const SteadyClock::time_point batched_at = SteadyClock::now();
+    for (const InferenceRequest& request : batch) {
+      collector_.record_queue_wait(
+          request.completion->queue_priority,
+          std::chrono::duration<double>(batched_at - request.completion->submitted_at).count());
     }
     safe_process(batch);
   }
 }
 
 void InferenceSession::offload_loop() {
-  while (std::optional<OffloadJob> job = offload_queue_.pop()) {
-    OffloadTicket& ticket = *job->ticket;
-    // Simulated transport: the payload's upload occupies the single
-    // shared link for its WiFi-derived duration (+base RTT +jitter). An
-    // abandoned ticket cuts the upload short — the sender gave up at
-    // its offload timeout or deadline, so nothing keeps transmitting —
-    // and skips the backend entirely.
+  while (std::optional<Scheduled<OffloadJob>> scheduled = offload_queue_.pop()) {
+    OffloadJob& job = scheduled->item;
+    OffloadTicket& ticket = *job.ticket;
+    // Simulated transport: the payload's upload occupies this station's
+    // share of the (possibly shared) cell for its WiFi-derived duration
+    // (+base RTT +jitter, keyed by the payload's first result id so the
+    // draw does not depend on dispatch interleaving). An abandoned
+    // ticket cuts the transfer short — the sender gave up at its
+    // offload timeout or deadline, so nothing keeps transmitting — and
+    // skips the backend entirely.
+    const std::uint64_t transfer_key = static_cast<std::uint64_t>(job.first_id);
+    double upload_s = 0.0;
     bool abandoned = false;
     if (link_) {
-      const double delay = link_->delay_s(job->payload_bytes);
+      upload_s = link_->uplink_delay_s(transfer_key, job.payload_bytes);
       std::unique_lock<std::mutex> lock(ticket.mutex);
-      abandoned = ticket.answered.wait_for(lock, std::chrono::duration<double>(delay),
+      abandoned = ticket.answered.wait_for(lock, std::chrono::duration<double>(upload_s),
                                            [&] { return ticket.abandoned; });
     } else {
       std::lock_guard<std::mutex> lock(ticket.mutex);
@@ -482,18 +547,37 @@ void InferenceSession::offload_loop() {
     std::vector<int> predictions;
     bool failed = false;
     try {
-      predictions = backend_->classify(job->payload);
+      predictions = backend_->classify(job.payload);
     } catch (...) {
       // A throwing backend is an unreachable cloud (whatever it threw):
       // the affected instances keep their edge predictions.
       failed = true;
       predictions.clear();
     }
+    // The answer is not free anymore: its bytes ride the downlink, and
+    // only after that transfer does the waiting worker see it. A waiter
+    // that gives up mid-downlink abandons the ticket like mid-upload.
+    double downlink_s = 0.0;
+    if (link_ && !failed && !predictions.empty()) {
+      const std::int64_t response_bytes =
+          link_->response_bytes(static_cast<std::int64_t>(predictions.size()));
+      if (response_bytes > 0) {
+        downlink_s = link_->downlink_delay_s(transfer_key, response_bytes);
+        std::unique_lock<std::mutex> lock(ticket.mutex);
+        if (ticket.answered.wait_for(lock, std::chrono::duration<double>(downlink_s),
+                                     [&] { return ticket.abandoned; })) {
+          ticket.done = true;
+          continue;
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(ticket.mutex);
       ticket.failed = failed;
       ticket.predictions = std::move(predictions);
       ticket.answered_at = SteadyClock::now();
+      ticket.upload_s = upload_s;
+      ticket.downlink_s = downlink_s;
       ticket.done = true;
     }
     ticket.answered.notify_all();
@@ -503,10 +587,12 @@ void InferenceSession::offload_loop() {
 InferenceSession::OffloadAnswer InferenceSession::offload(OffloadPayload payload,
                                                           std::size_t expected,
                                                           std::int64_t payload_bytes,
+                                                          std::int64_t first_id, SchedKey key,
                                                           double wait_bound_s) {
   collector_.record_offload_dispatch();
   auto ticket = std::make_shared<OffloadTicket>();
-  if (!offload_queue_.push(OffloadJob{std::move(payload), expected, payload_bytes, ticket})) {
+  if (!offload_queue_.push(
+          OffloadJob{std::move(payload), expected, payload_bytes, first_id, ticket}, key)) {
     return {};  // session shutting down: edge fallback
   }
   std::unique_lock<std::mutex> lock(ticket->mutex);
@@ -544,6 +630,8 @@ InferenceSession::OffloadAnswer InferenceSession::offload(OffloadPayload payload
   OffloadAnswer answer;
   answer.predictions = std::move(ticket->predictions);
   answer.answered_at = ticket->answered_at;
+  answer.upload_s = ticket->upload_s;
+  answer.downlink_s = ticket->downlink_s;
   return answer;
 }
 
@@ -605,6 +693,8 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
       r.comm_energy_j = 0.0;
       r.compute_time_s = 0.0;
       r.comm_time_s = 0.0;
+      r.upload_time_s = 0.0;
+      r.download_time_s = 0.0;
       ++hits;
     }
     if (hits > 0) collector_.record_cache_hits(hits);
@@ -653,8 +743,15 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
                                   instance_shape(inference.features.shape())) *
           static_cast<std::int64_t>(cloud_rows.size());
       // Wait no longer than the offload timeout, and no longer than the
-      // last payload instance's deadline keeps anyone interested.
+      // last payload instance's deadline keeps anyone interested. The
+      // pending upload is ordered against the other dispatch-queue
+      // entries by the same (priority, deadline, arrival) key as the
+      // worker queue — the route is known now, so an unset priority
+      // resolves against route_priority[kCloud], and the key's deadline
+      // is the payload's *tightest* instance deadline.
       double max_remaining_s = 0.0;
+      SchedKey job_key;
+      job_key.priority = std::numeric_limits<int>::min();
       for (const int j : cloud_rows) {
         const std::size_t row = static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(j)]);
         const detail::RequestState& state =
@@ -665,8 +762,14 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
                 ? std::numeric_limits<double>::infinity()
                 : std::chrono::duration<double>(deadline - routed_at).count();
         max_remaining_s = std::max(max_remaining_s, remaining_s);
+        job_key.priority = std::max(
+            job_key.priority, state.priority_override.value_or(
+                                  route_priority_[static_cast<std::size_t>(core::Route::kCloud)]));
+        job_key.deadline = std::min(job_key.deadline, deadline);
       }
-      answer = offload(std::move(payload), cloud_rows.size(), payload_bytes,
+      const std::int64_t first_id =
+          ids[static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(cloud_rows.front())])];
+      answer = offload(std::move(payload), cloud_rows.size(), payload_bytes, first_id, job_key,
                        std::min(offload_timeout_s_, max_remaining_s));
       gave_up_at = SteadyClock::now();
     }
@@ -715,6 +818,11 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
       if (answered && answer.answered_at <= deadline) {
         batch_results[row].prediction = answer.predictions[k];
         batch_results[row].offloaded = true;
+        // Simulated transfer occupancy of the payload that delivered
+        // this answer (whole-payload figures; coalesced instances share
+        // one transfer).
+        batch_results[row].upload_time_s = answer.upload_s;
+        batch_results[row].download_time_s = answer.downlink_s;
       } else if (answered) {
         batch_results[row].deadline_expired = true;  // the answer came too late
       } else if (answer.gave_up) {

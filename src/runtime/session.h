@@ -1,7 +1,11 @@
 // The unified serving API for Alg. 2 (edge pass -> route -> extension
 // or offload), asynchronous since PR 2, with a full request lifecycle
-// since PR 3: per-route deadlines, cancellation, completion callbacks,
-// and a WiFi-timed offload transport.
+// since PR 3 (per-route deadlines, cancellation, completion callbacks,
+// a WiFi-timed offload transport) and priority-aware scheduling since
+// PR 5: requests and pending uploads are served by (priority desc,
+// deadline asc, arrival asc) with a configurable starvation bound, and
+// the transport can be a sim::SharedCell several sessions contend on —
+// uplink and downlink both cost airtime now.
 //
 // An InferenceSession is built once from an EngineConfig — which model,
 // which routing policy, which offload backend, how many workers — and
@@ -55,6 +59,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -107,6 +112,25 @@ struct EngineConfig {
   std::optional<TransportConfig> transport;
 
   // ----- Deadlines -----
+  // ----- Scheduling -----
+  /// Scheduling priority per core::Route (higher = served sooner),
+  /// the session-level default SubmitOptions::priority overrides. A
+  /// request's route is only decided by the edge pass, so at submit
+  /// time it is queued at the *best* route priority it could still land
+  /// on (mirroring how admission uses the loosest route deadline); once
+  /// an instance is known to be cloud-routed, its pending upload is
+  /// ordered by route_priority[kCloud]. The queue key is
+  /// (priority desc, deadline asc, arrival asc) — see
+  /// runtime/request_queue.h.
+  std::array<int, core::kNumRoutes> route_priority{0, 0, 0};
+  /// Starvation/aging bound of the priority queues: the oldest waiting
+  /// request is never bypassed by more than this many consecutive
+  /// dequeues — the next one serves it regardless of priority and
+  /// counts in SessionMetrics::starvation_promotions. 0 disables aging
+  /// (a saturating high-priority flood then starves lower priorities
+  /// indefinitely).
+  int starvation_bound = 64;
+
   /// Per-route completion deadlines in seconds measured from submit(),
   /// indexed by core::Route; infinity (the default) disables. The
   /// deadline of the route an instance lands on bounds its end-to-end
@@ -145,7 +169,10 @@ struct EngineConfig {
   /// request could land on (or its per-submit override), submit()
   /// throws AdmissionRejected instead of queueing work that can only
   /// come back expired; SessionMetrics::admission_rejections counts
-  /// the shed instances. Only streaming submit() traffic is gated —
+  /// the shed instances. The wait estimate is schedule-aware: only
+  /// instances queued at the request's priority or above count as
+  /// ahead, so a low-priority backlog never sheds the high-priority
+  /// traffic the scheduler would serve first. Only streaming submit() traffic is gated —
   /// run(), the bulk-eval API, always admits its own chunks. Off by
   /// default: with admission off, a doomed request is still served and
   /// flagged deadline_expired (the PR 3 deadline contract).
@@ -182,6 +209,13 @@ struct SubmitOptions {
   /// bound for whatever route its instances land on), in seconds from
   /// submit(). NaN (the default) = use EngineConfig::route_deadline_s.
   double deadline_s = std::numeric_limits<double>::quiet_NaN();
+  /// Scheduling priority of this request (higher = served sooner),
+  /// overriding EngineConfig::route_priority. Unset (the default) = the
+  /// best route priority the request could land on. Requests of equal
+  /// priority are served earliest-deadline-first, then in arrival
+  /// order; the starvation bound keeps low priorities from waiting
+  /// forever under a high-priority flood.
+  std::optional<int> priority;
   /// Invoked exactly once when the request settles — completed, failed,
   /// or cancelled — with a handle that is already ready(). Runs on the
   /// session's completion-callback thread, never on a serving worker.
@@ -300,11 +334,19 @@ class InferenceSession {
     bool failed = false;     // backend threw or answered the wrong shape
     std::vector<int> predictions;
     SteadyClock::time_point answered_at{};
+    // Simulated transfer delays the dispatcher applied (0 without a
+    // transport); guarded by mutex, written before done.
+    double upload_s = 0.0;
+    double downlink_s = 0.0;
   };
   struct OffloadJob {
     OffloadPayload payload;
     std::size_t expected = 0;       // instances in the payload
     std::int64_t payload_bytes = 0;  // drives the simulated upload time
+    /// Result id of the payload's first instance: the transfer key the
+    /// link's jitter is hashed from, so a payload's delay does not
+    /// depend on dispatch interleaving.
+    std::int64_t first_id = 0;
     std::shared_ptr<OffloadTicket> ticket;
   };
   /// What came back from one dispatch: predictions (empty = none) with
@@ -317,14 +359,23 @@ class InferenceSession {
     SteadyClock::time_point answered_at{};
     bool failed = false;
     bool gave_up = false;
+    // Simulated transfer delays of the answering dispatch (see
+    // OffloadTicket); meaningful only when predictions is non-empty.
+    double upload_s = 0.0;
+    double downlink_s = 0.0;
   };
 
   ResultHandle enqueue(Tensor images, SubmitOptions options, bool track_in_round);
   /// Deadline-aware admission: throws AdmissionRejected when the
   /// estimated queue wait for `count` more instances already exceeds
   /// `deadline_override_s` (or, when NaN, every finite configured route
-  /// deadline).
-  void check_admission(int count, double deadline_override_s);
+  /// deadline). The wait estimate is priority-aware: only instances
+  /// queued at `priority` or above count as "ahead" — the scheduler
+  /// would serve this request before the rest, so a low-priority
+  /// backlog must not shed the high-priority traffic it cannot delay.
+  /// (Aging can let a bounded number of lower-priority requests go
+  /// first; the estimate ignores that second-order effect.)
+  void check_admission(int count, double deadline_override_s, int priority);
   /// Current EWMA of per-instance service time (0 = nothing known).
   double service_estimate_s() const;
   /// Folds one measured batch (rows instances in `seconds`) into the
@@ -335,11 +386,17 @@ class InferenceSession {
   void process(core::EdgeInferenceEngine& engine, const std::vector<InferenceRequest>& requests);
   /// Ships a payload to the dispatcher and waits up to `wait_bound_s`
   /// (the offload timeout and the tightest payload deadline already
-  /// folded in). An answerless return = unavailable / timed out /
+  /// folded in). `key` orders the pending upload against the other
+  /// dispatch-queue entries; `first_id` keys its simulated transfer
+  /// delays. An answerless return = unavailable / timed out /
   /// abandoned: the caller keeps edge predictions for all `expected`
   /// instances and attributes the cause per instance.
   OffloadAnswer offload(OffloadPayload payload, std::size_t expected,
-                        std::int64_t payload_bytes, double wait_bound_s);
+                        std::int64_t payload_bytes, std::int64_t first_id, SchedKey key,
+                        double wait_bound_s);
+  /// The scheduling key a request is queued under: its resolved
+  /// priority, and the earliest deadline it could face on any route.
+  SchedKey request_key(const detail::RequestState& state) const;
   /// The request's deadline for `route`, as an absolute time point
   /// (time_point::max() when unbounded).
   SteadyClock::time_point deadline_at(const detail::RequestState& state,
@@ -355,15 +412,27 @@ class InferenceSession {
   int batch_size_;
   double offload_timeout_s_;
   std::array<double, core::kNumRoutes> route_deadline_s_;
+  std::array<int, core::kNumRoutes> route_priority_;
+  /// Best route priority a not-yet-routed request could land on (the
+  /// default queue priority when SubmitOptions::priority is unset).
+  int default_priority_;
   /// Loosest finite route deadline (infinity when every route is
   /// unbounded): the admission bar a request with no override must
   /// clear. Derived once at construction.
   double admission_deadline_s_;
   bool admission_control_ = false;
 
-  // Deadline-aware admission state: instances sitting in the queue and
-  // the learned per-instance service time.
-  std::atomic<std::int64_t> queued_instances_{0};
+  // Deadline-aware admission state: instances sitting in the queue (by
+  // scheduling priority, so the wait estimate only counts traffic the
+  // scheduler would actually serve first) and the learned per-instance
+  // service time.
+  mutable std::mutex admission_mutex_;
+  std::map<int, std::int64_t> queued_by_priority_;  // guarded by admission_mutex_
+  /// Adds/removes `count` instances at `priority` from the queued-ahead
+  /// book-keeping (negative count removes).
+  void track_queued(int priority, std::int64_t count);
+  /// Instances currently queued at `priority` or above.
+  std::int64_t queued_at_or_above(int priority) const;
   mutable std::mutex service_mutex_;
   double service_estimate_s_ = 0.0;  // guarded by service_mutex_
   sim::EdgeNodeCosts costs_;
@@ -371,12 +440,14 @@ class InferenceSession {
   std::shared_ptr<OffloadBackend> backend_;
   std::vector<std::unique_ptr<core::EdgeInferenceEngine>> engines_;  // one per worker
 
-  BoundedQueue<InferenceRequest> queue_;
+  PriorityBoundedQueue<InferenceRequest> queue_;
   std::vector<std::thread> workers_;
 
   // The offload dispatcher: the single shared cloud link, fed off the
-  // worker hot path. `link_` simulates the WiFi upload when configured.
-  BoundedQueue<OffloadJob> offload_queue_;
+  // worker hot path, ordered by the same (priority, deadline, arrival)
+  // key as the worker queue. `link_` simulates the WiFi transfers when
+  // configured.
+  PriorityBoundedQueue<OffloadJob> offload_queue_;
   std::unique_ptr<SimulatedLink> link_;
   std::thread offload_worker_;
 

@@ -1,26 +1,36 @@
 #include "runtime/transport.h"
 
-#include <stdexcept>
-
 namespace meanet::runtime {
 
-SimulatedLink::SimulatedLink(TransportConfig config)
-    : config_(config), rng_(config.seed) {
-  if (config_.wifi.throughput_mbps <= 0.0) {
-    throw std::invalid_argument("SimulatedLink: non-positive WiFi throughput");
+SimulatedLink::SimulatedLink(TransportConfig config) : config_(std::move(config)) {
+  if (config_.cell) {
+    cell_ = config_.cell;
+  } else {
+    // A plain config is a cell of one: same delay math, no contention.
+    // SharedCell's constructor validates the throughput/latency fields.
+    sim::SharedCellConfig private_cell;
+    private_cell.uplink = config_.wifi;
+    private_cell.downlink = config_.downlink;
+    private_cell.base_latency_s = config_.base_latency_s;
+    private_cell.jitter_s = config_.jitter_s;
+    private_cell.seed = config_.seed;
+    cell_ = std::make_shared<sim::SharedCell>(private_cell);
   }
-  if (config_.base_latency_s < 0.0 || config_.jitter_s < 0.0) {
-    throw std::invalid_argument("SimulatedLink: negative latency or jitter");
-  }
+  station_ = cell_->attach();
+}
+
+SimulatedLink::~SimulatedLink() { cell_->detach(station_); }
+
+double SimulatedLink::uplink_delay_s(std::uint64_t key, std::int64_t payload_bytes) {
+  return cell_->uplink_delay_s(station_, key, payload_bytes);
+}
+
+double SimulatedLink::downlink_delay_s(std::uint64_t key, std::int64_t response_bytes) {
+  return cell_->downlink_delay_s(station_, key, response_bytes);
 }
 
 double SimulatedLink::delay_s(std::int64_t payload_bytes) {
-  double delay = config_.wifi.upload_time_s(payload_bytes) + config_.base_latency_s;
-  if (config_.jitter_s > 0.0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    delay += rng_.uniform(0.0f, static_cast<float>(config_.jitter_s));
-  }
-  return delay;
+  return uplink_delay_s(next_key_.fetch_add(1), payload_bytes);
 }
 
 }  // namespace meanet::runtime

@@ -6,7 +6,7 @@ namespace meanet::sim {
 
 std::vector<int> CloudNode::classify(const Tensor& images) {
   const Tensor logits = model_.forward(images, nn::Mode::kEval);
-  served_ += images.shape().batch();
+  served_.fetch_add(images.shape().batch(), std::memory_order_relaxed);
   return ops::row_argmax(logits);
 }
 

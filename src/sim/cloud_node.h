@@ -3,6 +3,7 @@
 // predictions.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "data/dataset.h"
@@ -14,18 +15,22 @@ class CloudNode {
  public:
   explicit CloudNode(nn::Sequential model) : model_(std::move(model)) {}
 
-  /// Classifies a batch of raw images.
+  /// Classifies a batch of raw images. Safe to call from several
+  /// sessions' dispatcher threads at once — e.g. two sessions on one
+  /// SharedCell offloading to the same cloud: the eval forward is
+  /// cache-free and const-safe (nn/layer.h) and the served counter is
+  /// atomic.
   std::vector<int> classify(const Tensor& images);
 
   nn::Sequential& model() { return model_; }
   const nn::Sequential& model() const { return model_; }
 
   /// Number of classify() instances served so far.
-  std::int64_t instances_served() const { return served_; }
+  std::int64_t instances_served() const { return served_.load(std::memory_order_relaxed); }
 
  private:
   nn::Sequential model_;
-  std::int64_t served_ = 0;
+  std::atomic<std::int64_t> served_{0};
 };
 
 }  // namespace meanet::sim

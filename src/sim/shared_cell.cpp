@@ -1,0 +1,98 @@
+#include "sim/shared_cell.h"
+
+#include <stdexcept>
+
+namespace meanet::sim {
+
+namespace detail {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double hashed_jitter_s(std::uint64_t seed, std::uint64_t key, double width) {
+  if (width <= 0.0) return 0.0;
+  // Two mixing rounds so adjacent keys decorrelate; the top 53 bits give
+  // a uniform double in [0, 1).
+  const std::uint64_t mixed = splitmix64(splitmix64(seed) ^ key);
+  const double unit = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return unit * width;
+}
+
+}  // namespace detail
+
+SharedCell::SharedCell(SharedCellConfig config)
+    : config_(config), created_(std::chrono::steady_clock::now()) {
+  if (config_.uplink.throughput_mbps <= 0.0 || config_.downlink.throughput_mbps <= 0.0) {
+    throw std::invalid_argument("SharedCell: non-positive throughput");
+  }
+  if (config_.base_latency_s < 0.0 || config_.jitter_s < 0.0) {
+    throw std::invalid_argument("SharedCell: negative latency or jitter");
+  }
+}
+
+int SharedCell::attach() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++attached_;
+  return next_station_++;
+}
+
+void SharedCell::detach(int station) {
+  (void)station;  // ids are never reused; only the contention count drops
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (attached_ > 0) --attached_;
+}
+
+int SharedCell::stations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attached_;
+}
+
+double SharedCell::delay_s(const WifiModel& model, int station, std::uint64_t key,
+                           std::int64_t bytes, std::uint64_t direction_salt) {
+  // Station 0 with direction salt 0 must hash exactly like a plain
+  // single-station SimulatedLink (the parity contract), so the station
+  // salt vanishes for station 0.
+  const std::uint64_t salted =
+      config_.seed ^ (static_cast<std::uint64_t>(station) * 0x9E3779B97F4A7C15ULL) ^
+      direction_salt;
+  const double jitter_s = detail::hashed_jitter_s(salted, key, config_.jitter_s);
+  // One critical section: the contention factor and the airtime charge
+  // must agree on the station count.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double contention = attached_ > 1 ? static_cast<double>(attached_) : 1.0;
+  const double transfer_s = model.upload_time_s(bytes) * contention;
+  busy_s_ += transfer_s + jitter_s;  // the base floor is not airtime
+  return transfer_s + jitter_s + config_.base_latency_s;
+}
+
+double SharedCell::uplink_delay_s(int station, std::uint64_t key, std::int64_t bytes) {
+  return delay_s(config_.uplink, station, key, bytes, 0);
+}
+
+double SharedCell::downlink_delay_s(int station, std::uint64_t key, std::int64_t bytes) {
+  // A fixed direction salt keeps an uplink and a downlink transfer with
+  // the same key on independent jitter draws.
+  return delay_s(config_.downlink, station, key, bytes, 0xD0D0D0D0D0D0D0D0ULL);
+}
+
+double SharedCell::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_s_;
+}
+
+double SharedCell::utilization() const {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - created_).count();
+  if (elapsed_s <= 0.0) return 0.0;
+  return busy_seconds() / elapsed_s;
+}
+
+}  // namespace meanet::sim

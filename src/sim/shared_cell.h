@@ -1,0 +1,118 @@
+// A shared radio cell arbitrating uplink AND downlink airtime between
+// every station attached to it (paper §IV-B generalized to multiple
+// devices under one access point).
+//
+// PR 3 gave each InferenceSession a private SimulatedLink: uploads paid
+// WiFi time but replies were free and nobody contended for the medium.
+// SharedCell closes both gaps. Several sessions attach to one cell;
+// every transfer — an offload payload going up, its answer coming down —
+// is charged airtime at the cell's *fair share* throughput (the full
+// rate divided by the number of attached stations, the same congestion
+// model WifiModel::congested exposes for a single link), plus the base
+// round-trip floor and a seeded jitter draw.
+//
+// Determinism: a transfer's delay is a pure function of
+// (cell seed, station id, transfer key, byte size, direction, attached
+// stations) — the jitter comes from hashing, not from a shared RNG
+// stream — so concurrent sessions cannot perturb each other's timings
+// through call interleaving. Two runs with the same seed, the same
+// attach order, and the same per-station transfer keys see bit-identical
+// delays, at any worker count. Station 0 with the cell to itself
+// reproduces a standalone SimulatedLink with the same parameters
+// exactly (runtime/transport.cpp builds a private single-station cell
+// from every plain TransportConfig, so the parity is structural).
+//
+// Airtime accounting: every charged transfer adds its duration (minus
+// the base-latency floor, which models propagation + cloud compute, not
+// medium occupancy) to busy_seconds(). The charge lands when the delay
+// is computed — i.e. at reservation — so a transfer the sender later
+// abandons mid-flight still counts in full: busy_seconds() measures
+// *offered* airtime load, not carried traffic (crediting the unused
+// remainder back would need the abandonment's wall-clock time and make
+// the figure nondeterministic). utilization() divides by the
+// wall-clock age of the cell: 1.0 means one full second of airtime was
+// charged per second of wall time; values above 1.0 mean the attached
+// stations together asked for more airtime than the medium has — a
+// saturated cell.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/wifi_model.h"
+
+namespace meanet::sim {
+
+struct SharedCellConfig {
+  /// Uplink throughput/power model of the whole cell; each attached
+  /// station transfers at throughput / attached_stations.
+  WifiModel uplink;
+  /// Downlink model (answers coming back). Defaults to the same cell
+  /// geometry as the uplink; responses are small, so with default
+  /// payloads the added delay is microseconds — but it is no longer
+  /// free, and it scales with the response's byte size.
+  WifiModel downlink;
+  /// Fixed round-trip floor (propagation + cloud compute), seconds,
+  /// charged per transfer but not counted as airtime.
+  double base_latency_s = 0.0;
+  /// Width of the uniform jitter added per transfer, seconds. 0 = none.
+  double jitter_s = 0.0;
+  /// Seed of the jitter hash. Station 0's draws with this seed equal a
+  /// standalone SimulatedLink's draws with the same seed.
+  std::uint64_t seed = 0x1f1ULL;
+};
+
+class SharedCell {
+ public:
+  explicit SharedCell(SharedCellConfig config);
+
+  /// Registers a station (one InferenceSession's link) and returns its
+  /// id. Ids count up from 0 in attach order and are never reused, so a
+  /// deterministic attach order gives deterministic jitter streams.
+  int attach();
+  /// Deregisters a station; later transfers of the remaining stations
+  /// see the smaller contention factor.
+  void detach(int station);
+  /// Stations currently sharing the cell (the contention factor).
+  int stations() const;
+
+  /// Seconds station `station` occupies the uplink shipping `bytes`
+  /// (fair-share transfer time + base RTT + one jitter draw keyed by
+  /// `key`). Deterministic: see the header comment.
+  double uplink_delay_s(int station, std::uint64_t key, std::int64_t bytes);
+  /// Same for a response of `bytes` coming down to `station`. The jitter
+  /// draw is salted by direction, so an uplink and a downlink transfer
+  /// with the same key do not share one.
+  double downlink_delay_s(int station, std::uint64_t key, std::int64_t bytes);
+
+  /// Total airtime charged so far (upload + downlink transfer time and
+  /// jitter, excluding the base-latency floor), seconds.
+  double busy_seconds() const;
+  /// busy_seconds() per wall-clock second since the cell was created.
+  /// Above ~1.0 the stations jointly demand more airtime than one
+  /// medium has: the cell is saturated.
+  double utilization() const;
+
+  const SharedCellConfig& config() const { return config_; }
+
+ private:
+  double delay_s(const WifiModel& model, int station, std::uint64_t key, std::int64_t bytes,
+                 std::uint64_t direction_salt);
+
+  SharedCellConfig config_;
+  mutable std::mutex mutex_;
+  int next_station_ = 0;   // guarded by mutex_
+  int attached_ = 0;       // guarded by mutex_
+  double busy_s_ = 0.0;    // guarded by mutex_
+  std::chrono::steady_clock::time_point created_;
+};
+
+namespace detail {
+/// Uniform double in [0, width) from a splitmix64 hash of (seed, key):
+/// the deterministic jitter primitive shared by SharedCell and the
+/// standalone SimulatedLink.
+double hashed_jitter_s(std::uint64_t seed, std::uint64_t key, double width);
+}  // namespace detail
+
+}  // namespace meanet::sim

@@ -72,6 +72,18 @@ class DistributedSystem {
     route_deadline_s_[static_cast<std::size_t>(route)] = seconds;
   }
 
+  /// Per-route scheduling priority (see
+  /// runtime::EngineConfig::route_priority): pending work and uploads
+  /// are served highest priority first, earliest deadline next, arrival
+  /// order last.
+  void set_route_priority(core::Route route, int priority) {
+    route_priority_[static_cast<std::size_t>(route)] = priority;
+  }
+
+  /// Aging bound of the priority scheduler (see
+  /// runtime::EngineConfig::starvation_bound); 0 disables aging.
+  void set_starvation_bound(int bound) { starvation_bound_ = bound; }
+
   /// Runs Alg. 2 over the dataset and aggregates accuracy / energy;
   /// all `worker_threads` serve on the edge's one net.
   SystemReport run(const data::Dataset& dataset, int batch_size = 64, int worker_threads = 1);
@@ -88,6 +100,8 @@ class DistributedSystem {
   std::array<double, core::kNumRoutes> route_deadline_s_{
       std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
       std::numeric_limits<double>::infinity()};
+  std::array<int, core::kNumRoutes> route_priority_{0, 0, 0};
+  int starvation_bound_ = 64;
 };
 
 }  // namespace meanet::sim
