@@ -15,11 +15,28 @@
 // must match exactly). Exits nonzero if the high-priority class does
 // not beat the low-priority class at p99 under the aged scheduler, or
 // if the same-seed runs diverge.
+//
+// Usage: ablation_cell_contention [--virtual] [--quick] [--out PATH]
+//
+// --virtual runs every scenario on a sim::VirtualClock: the cell's
+// airtime, the queue waits and the e2e latencies become scheduled
+// events, so minutes of saturated-cell traffic replay in wall
+// milliseconds and the determinism check is exact by construction.
+// The emitted JSON (default BENCH_contention.json) records both the
+// simulated span and the wall cost, so CI tracks the speedup.
+//
+// --quick trains the system for a single epoch. Every claim this
+// ablation checks is about scheduling and simulated airtime — the
+// entropy threshold of 0 routes every frame to the cloud regardless of
+// model quality — so the CI leg skips the full training budget.
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +44,7 @@
 #include "runtime/session.h"
 #include "runtime/transport.h"
 #include "sim/cloud_node.h"
+#include "sim/event_loop.h"
 #include "sim/shared_cell.h"
 #include "util/stopwatch.h"
 
@@ -44,6 +62,8 @@ struct RunOutcome {
   std::vector<int> settle_order;        // request tags in settle order
   std::vector<double> upload_timings;   // per settled request, simulated upload s
   runtime::SessionMetrics metrics;
+  double simulated_s = 0.0;  // burst start -> drain on the scenario clock
+  double wall_s = 0.0;
 };
 
 constexpr int kHighPriority = 10;
@@ -51,15 +71,22 @@ constexpr int kRequests = 200;  // 90% high / 10% low, seeded
 
 RunOutcome run_once(bench::TrainedSystem& system,
                     const std::shared_ptr<runtime::OffloadBackend>& backend,
-                    int starvation_bound) {
+                    int starvation_bound, bool use_virtual) {
+  // One clock for the cell, both sessions and every driving thread:
+  // under --virtual it is a discrete-event clock, otherwise the
+  // process wall clock (the pre-seam behavior, bit for bit).
+  const std::shared_ptr<sim::Clock> clk =
+      use_virtual ? std::make_shared<sim::VirtualClock>() : sim::wall_clock_ptr();
+
   // One congested cell, ~0.5 Mb/s up: a 768-byte frame upload costs
   // ~12ms solo, ~24ms with the neighbor attached — the camera's single
   // worker is saturated by design.
-  auto cell = std::make_shared<sim::SharedCell>([] {
+  auto cell = std::make_shared<sim::SharedCell>([&] {
     sim::SharedCellConfig cc;
     cc.uplink = cc.uplink.congested(36.0);  // ~0.52 Mb/s
     cc.jitter_s = 0.002;
     cc.seed = 0xCE11;
+    cc.clock = clk;
     return cc;
   }());
   runtime::TransportConfig transport;
@@ -76,6 +103,7 @@ RunOutcome run_once(bench::TrainedSystem& system,
   cfg.queue_capacity = kRequests + 8;
   cfg.starvation_bound = starvation_bound;
   cfg.transport = transport;
+  cfg.clock = clk;
 
   // The neighbor: a second station on the cell, uploading continuously
   // so the camera never sees an idle medium.
@@ -83,52 +111,92 @@ RunOutcome run_once(bench::TrainedSystem& system,
   neighbor_cfg.starvation_bound = 64;
   neighbor_cfg.transport = transport;  // same cell
 
+  // Seeded 90/10 priority mix, submitted as one burst so the queue is
+  // deep before service catches up (the contended scenario). Declared
+  // outside the session scope: completion callbacks reference these and
+  // may run as late as the camera's destruction.
+  util::Rng mix_rng(0xA11CE);
+  std::vector<int> priorities;
+  for (int i = 0; i < kRequests; ++i) {
+    priorities.push_back(mix_rng.bernoulli(0.9) ? kHighPriority : 0);
+  }
+  std::vector<double> submitted_at(kRequests, 0.0);
+
   RunOutcome out;
-  util::Stopwatch clock;
+  util::Stopwatch wall;
+  const sim::Clock::TimePoint t0 = clk->now();
   std::mutex tally_mutex;
   {
     runtime::InferenceSession camera(cfg);
     runtime::InferenceSession neighbor(neighbor_cfg);
 
     std::atomic<bool> neighbor_stop{false};
-    std::thread neighbor_traffic([&] {
-      int frame = 0;
-      while (!neighbor_stop.load()) {
-        neighbor.submit(system.data.test.instance(frame % system.data.test.size())).wait();
-        ++frame;
-      }
-    });
+    std::thread neighbor_traffic;
+    {
+      // The driver registers as a clock actor for the whole burst, so
+      // under --virtual time only moves while it (and everyone else)
+      // is parked in a clock wait. Scoped so the guard is released
+      // before join(): the neighbor's final transfer still needs the
+      // clock to advance once the driver is done.
+      sim::ActorGuard driver(*clk);
 
-    // Seeded 90/10 priority mix, submitted as one burst so the queue is
-    // deep before service catches up (the contended scenario).
-    util::Rng mix_rng(0xA11CE);
-    std::vector<int> priorities;
-    for (int i = 0; i < kRequests; ++i) {
-      priorities.push_back(mix_rng.bernoulli(0.9) ? kHighPriority : 0);
+      std::mutex ready_mutex;
+      std::condition_variable ready_cv;
+      bool neighbor_ready = false;
+      neighbor_traffic = std::thread([&] {
+        sim::ActorGuard actor(*clk);
+        {
+          std::lock_guard<std::mutex> lock(ready_mutex);
+          neighbor_ready = true;
+          ready_cv.notify_one();  // under the lock: the latch locals die
+                                  // once the driver observes the flag
+        }
+        // A fixed virtual offset decouples the neighbor's first
+        // reservation from the OS thread-start race: it lands at
+        // t0+1ms on every run instead of wherever the scheduler put it.
+        if (use_virtual) clk->sleep_for(0.001);
+        int frame = 0;
+        while (!neighbor_stop.load()) {
+          neighbor.submit(system.data.test.instance(frame % system.data.test.size())).wait();
+          ++frame;
+        }
+      });
+      {
+        std::unique_lock<std::mutex> lock(ready_mutex);
+        ready_cv.wait(lock, [&] { return neighbor_ready; });
+      }
+
+      for (int i = 0; i < kRequests; ++i) {
+        runtime::SubmitOptions opts;
+        opts.priority = priorities[static_cast<std::size_t>(i)];
+        const int tag = i;
+        opts.on_complete = [&, tag](const runtime::ResultHandle& handle) {
+          const double now_s = sim::Clock::seconds_between(t0, clk->now());
+          const auto results = handle.wait();
+          std::lock_guard<std::mutex> lock(tally_mutex);
+          out.settle_order.push_back(tag);
+          out.upload_timings.push_back(results.empty() ? 0.0 : results.front().upload_time_s);
+          ClassTally& tally =
+              priorities[static_cast<std::size_t>(tag)] == kHighPriority ? out.high : out.low;
+          tally.e2e_s.push_back(now_s - submitted_at[static_cast<std::size_t>(tag)]);
+        };
+        submitted_at[static_cast<std::size_t>(i)] =
+            sim::Clock::seconds_between(t0, clk->now());
+        camera.submit(system.data.test.instance(i % system.data.test.size()), std::move(opts));
+        // A 1µs virtual gap per submit: the worker claims each frame at
+        // a deterministic instant, so the burst's pop order is a pure
+        // function of the scheduling keys, not of how far the driver's
+        // submission loop raced ahead of the worker.
+        if (use_virtual) clk->sleep_for(1e-6);
+      }
+      camera.drain();
+      out.metrics = camera.metrics();
+      out.simulated_s = sim::Clock::seconds_between(t0, clk->now());
+      neighbor_stop.store(true);
     }
-    std::vector<double> submitted_at(kRequests, 0.0);
-    for (int i = 0; i < kRequests; ++i) {
-      runtime::SubmitOptions opts;
-      opts.priority = priorities[static_cast<std::size_t>(i)];
-      const int tag = i;
-      opts.on_complete = [&, tag](const runtime::ResultHandle& handle) {
-        const double now_s = clock.seconds();
-        const auto results = handle.wait();
-        std::lock_guard<std::mutex> lock(tally_mutex);
-        out.settle_order.push_back(tag);
-        out.upload_timings.push_back(results.empty() ? 0.0 : results.front().upload_time_s);
-        ClassTally& tally =
-            priorities[static_cast<std::size_t>(tag)] == kHighPriority ? out.high : out.low;
-        tally.e2e_s.push_back(now_s - submitted_at[static_cast<std::size_t>(tag)]);
-      };
-      submitted_at[static_cast<std::size_t>(i)] = clock.seconds();
-      camera.submit(system.data.test.instance(i % system.data.test.size()), std::move(opts));
-    }
-    camera.drain();
-    out.metrics = camera.metrics();
-    neighbor_stop.store(true);
     neighbor_traffic.join();
   }  // camera destruction flushes the completion callbacks
+  out.wall_s = wall.seconds();
   return out;
 }
 
@@ -145,15 +213,37 @@ void print_outcome(const char* label, const RunOutcome& out) {
 
 }  // namespace
 
-int main() {
-  util::Stopwatch sw;
-  std::printf("=== Ablation: priority scheduling on a saturated shared cell ===\n\n");
+int main(int argc, char** argv) {
+  bool use_virtual = false;
+  bool quick = false;
+  std::string out_path = "BENCH_contention.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--virtual") == 0) {
+      use_virtual = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ablation_cell_contention [--virtual] [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
 
+  util::Stopwatch sw;
+  std::printf("=== Ablation: priority scheduling on a saturated shared cell ===\n");
+  std::printf("    (clock: %s)\n\n", use_virtual ? "sim::VirtualClock" : "wall");
+
+  bench::TrainBudget budget;
+  if (quick) {
+    budget.main_epochs = 1;
+    budget.edge_epochs = 1;
+  }
   bench::TrainedSystem system = bench::train_system(
       bench::EdgeModel::kResNetB, bench::DatasetKind::kCifarLike,
-      bench::default_num_hard(bench::DatasetKind::kCifarLike), core::FusionMode::kSum,
-      bench::TrainBudget{});
-  nn::Sequential cloud_model = bench::train_cloud_model(system);
+      bench::default_num_hard(bench::DatasetKind::kCifarLike), core::FusionMode::kSum, budget);
+  nn::Sequential cloud_model = bench::train_cloud_model(system, quick ? 1 : 18);
   sim::CloudNode cloud(std::move(cloud_model));
   const auto backend = std::make_shared<runtime::RawImageBackend>(&cloud);
 
@@ -163,11 +253,11 @@ int main() {
   std::printf("%-14s %5s %5s %10s %10s %10s %10s %6s %7s\n", "scheduler", "high", "low",
               "hi p99ms", "lo p99ms", "hi qw99", "lo qw99", "promo", "cell");
 
-  const RunOutcome aged = run_once(system, backend, /*starvation_bound=*/8);
+  const RunOutcome aged = run_once(system, backend, /*starvation_bound=*/8, use_virtual);
   print_outcome("aged (bound 8)", aged);
-  const RunOutcome pure = run_once(system, backend, /*starvation_bound=*/0);
+  const RunOutcome pure = run_once(system, backend, /*starvation_bound=*/0, use_virtual);
   print_outcome("pure priority", pure);
-  const RunOutcome repeat = run_once(system, backend, /*starvation_bound=*/8);
+  const RunOutcome repeat = run_once(system, backend, /*starvation_bound=*/8, use_virtual);
 
   bool ok = true;
   // The scheduler's contract under saturation: the high class strictly
@@ -197,13 +287,53 @@ int main() {
     std::printf("reproduced the settle order and transfer timings exactly.\n");
   }
 
+  if (use_virtual) {
+    const double simulated = aged.simulated_s + pure.simulated_s + repeat.simulated_s;
+    const double serving_wall = aged.wall_s + pure.wall_s + repeat.wall_s;
+    std::printf("\nvirtual time: %.1f s of cell traffic served in %.2f s wall (%.0fx)\n",
+                simulated, serving_wall, serving_wall > 0.0 ? simulated / serving_wall : 0.0);
+  }
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  auto emit_run = [&](const char* name, const RunOutcome& r, bool last) {
+    const runtime::SessionMetrics& m = r.metrics;
+    std::fprintf(json,
+                 "    {\"scheduler\": \"%s\", \"high_p99_s\": %.9f, \"low_p99_s\": %.9f,\n"
+                 "     \"high_queue_wait_p99_s\": %.9f, \"low_queue_wait_p99_s\": %.9f,\n"
+                 "     \"starvation_promotions\": %lld, \"cell_airtime_utilization\": %.6f,\n"
+                 "     \"simulated_s\": %.6f, \"wall_s\": %.6f}%s\n",
+                 name, r.high.p(0.99), r.low.p(0.99), m.priority_wait(kHighPriority).p99_s,
+                 m.priority_wait(0).p99_s, static_cast<long long>(m.starvation_promotions),
+                 m.cell_airtime_utilization, r.simulated_s, r.wall_s, last ? "" : ",");
+  };
+  std::fprintf(json, "{\n  \"bench\": \"ablation_cell_contention\",\n");
+  std::fprintf(json, "  \"virtual_clock\": %s,\n", use_virtual ? "true" : "false");
+  std::fprintf(json, "  \"requests\": %d,\n  \"high_priority_share\": 0.9,\n", kRequests);
+  std::fprintf(json, "  \"runs\": [\n");
+  emit_run("aged_bound_8", aged, false);
+  emit_run("pure_priority", pure, false);
+  emit_run("aged_bound_8_rerun", repeat, true);
+  std::fprintf(json, "  ],\n  \"deterministic_rerun\": %s,\n",
+               (aged.settle_order == repeat.settle_order &&
+                aged.upload_timings == repeat.upload_timings)
+                   ? "true"
+                   : "false");
+  std::fprintf(json, "  \"pass\": %s,\n  \"total_wall_s\": %.3f\n}\n", ok ? "true" : "false",
+               sw.seconds());
+  std::fclose(json);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
   std::printf("\nreading: draining a saturated burst, the scheduler moves the high\n");
   std::printf("class ahead in line — its p99 sits strictly below the low class's.\n");
   std::printf("The aging knob is the dial between the two tails: disabling it\n");
   std::printf("(pure priority) buys the high class a lower p99 by parking every\n");
   std::printf("low request behind the entire backlog, while the bound paces the\n");
   std::printf("lows through at a measured promotion cost. The cell column is\n");
-  std::printf("airtime demand per wall second (>1 = saturated medium).\n");
+  std::printf("airtime demand per second on the scenario clock (>1 = saturated).\n");
   std::printf("\n[ablation_cell_contention] done in %.1f s\n", sw.seconds());
   return ok ? 0 : 1;
 }

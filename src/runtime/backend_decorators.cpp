@@ -18,10 +18,12 @@ std::vector<int> BackendDecorator::classify(const OffloadPayload& payload) {
 
 LatencyInjectingBackend::LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner,
                                                  double latency_s, double jitter_s,
-                                                 std::uint64_t seed)
+                                                 std::uint64_t seed,
+                                                 std::shared_ptr<sim::Clock> clock)
     : BackendDecorator(std::move(inner)),
       latency_s_(latency_s),
       jitter_s_(jitter_s),
+      clock_(sim::resolve_clock(std::move(clock))),
       rng_(seed) {
   if (latency_s_ < 0.0 || jitter_s_ < 0.0) {
     throw std::invalid_argument("LatencyInjectingBackend: negative latency or jitter");
@@ -34,9 +36,7 @@ std::vector<int> LatencyInjectingBackend::classify(const OffloadPayload& payload
     std::lock_guard<std::mutex> lock(rng_mutex_);
     delay += rng_.uniform(0.0f, static_cast<float>(jitter_s_));
   }
-  if (delay > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-  }
+  if (delay > 0.0) clock_->sleep_for(delay);
   return inner().classify(payload);
 }
 
@@ -73,12 +73,25 @@ std::string LossyBackend::describe() const {
 }
 
 RetryingBackend::RetryingBackend(std::shared_ptr<OffloadBackend> inner, int max_attempts)
-    : BackendDecorator(std::move(inner)), max_attempts_(max_attempts) {
+    : RetryingBackend(std::move(inner), max_attempts, 0.0, nullptr) {}
+
+RetryingBackend::RetryingBackend(std::shared_ptr<OffloadBackend> inner, int max_attempts,
+                                 double backoff_s, std::shared_ptr<sim::Clock> clock)
+    : BackendDecorator(std::move(inner)),
+      max_attempts_(max_attempts),
+      backoff_s_(backoff_s),
+      clock_(sim::resolve_clock(std::move(clock))) {
   if (max_attempts_ < 1) throw std::invalid_argument("RetryingBackend: max_attempts < 1");
+  if (backoff_s_ < 0.0) throw std::invalid_argument("RetryingBackend: negative backoff");
 }
 
 std::vector<int> RetryingBackend::classify(const OffloadPayload& payload) {
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    // Exponential backoff before each re-send (none before the first
+    // attempt): backoff_s, 2*backoff_s, 4*backoff_s, ... on the clock.
+    if (attempt > 0 && backoff_s_ > 0.0) {
+      clock_->sleep_for(backoff_s_ * static_cast<double>(1LL << (attempt - 1)));
+    }
     std::vector<int> answer;
     try {
       answer = inner().classify(payload);
@@ -92,7 +105,9 @@ std::vector<int> RetryingBackend::classify(const OffloadPayload& payload) {
 
 std::string RetryingBackend::describe() const {
   std::ostringstream os;
-  os << "retry(" << max_attempts_ << ")+" << inner().describe();
+  os << "retry(" << max_attempts_;
+  if (backoff_s_ > 0.0) os << ",backoff=" << backoff_s_ * 1e3 << "ms";
+  os << ")+" << inner().describe();
   return os.str();
 }
 

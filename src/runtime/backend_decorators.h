@@ -20,6 +20,7 @@
 #include <mutex>
 
 #include "runtime/offload_backend.h"
+#include "sim/clock.h"
 #include "util/rng.h"
 
 namespace meanet::runtime {
@@ -55,8 +56,14 @@ class BackendDecorator : public OffloadBackend {
 /// use EngineConfig::transport instead.)
 class LatencyInjectingBackend : public BackendDecorator {
  public:
+  /// `clock` times the injected sleep (null = the process WallClock).
+  /// Under a sim::VirtualClock the delay is a scheduled event — it
+  /// still gates the dispatcher and the offload timeout, but costs no
+  /// wall time — which is what makes latency-heavy soak scenarios run
+  /// in milliseconds.
   LatencyInjectingBackend(std::shared_ptr<OffloadBackend> inner, double latency_s,
-                          double jitter_s = 0.0, std::uint64_t seed = 0x117e5ULL);
+                          double jitter_s = 0.0, std::uint64_t seed = 0x117e5ULL,
+                          std::shared_ptr<sim::Clock> clock = nullptr);
 
   std::vector<int> classify(const OffloadPayload& payload) override;
   std::string describe() const override;
@@ -67,6 +74,7 @@ class LatencyInjectingBackend : public BackendDecorator {
  private:
   double latency_s_;
   double jitter_s_;
+  std::shared_ptr<sim::Clock> clock_;
   std::mutex rng_mutex_;
   util::Rng rng_;
 };
@@ -93,17 +101,24 @@ class LossyBackend : public BackendDecorator {
 /// Re-sends a payload until the wrapped backend answers: a throw or an
 /// empty reply consumes one attempt. After `max_attempts` the empty
 /// answer propagates (the session falls back to the edge prediction).
+/// An optional exponential backoff (backoff_s, 2*backoff_s, 4*...)
+/// sleeps on the given clock between failed attempts.
 class RetryingBackend : public BackendDecorator {
  public:
   RetryingBackend(std::shared_ptr<OffloadBackend> inner, int max_attempts);
+  RetryingBackend(std::shared_ptr<OffloadBackend> inner, int max_attempts, double backoff_s,
+                  std::shared_ptr<sim::Clock> clock = nullptr);
 
   std::vector<int> classify(const OffloadPayload& payload) override;
   std::string describe() const override;
 
   int max_attempts() const { return max_attempts_; }
+  double backoff_s() const { return backoff_s_; }
 
  private:
   int max_attempts_;
+  double backoff_s_ = 0.0;
+  std::shared_ptr<sim::Clock> clock_;
 };
 
 }  // namespace meanet::runtime

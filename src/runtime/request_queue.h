@@ -16,25 +16,34 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "sim/clock.h"
 
 namespace meanet::runtime {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  /// `clock` routes the blocking waits (null = the process WallClock,
+  /// which is plain condition_variable behavior); under a VirtualClock
+  /// a consumer parked here counts as a blocked actor.
+  explicit BoundedQueue(std::size_t capacity, std::shared_ptr<sim::Clock> clock = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        clock_(sim::resolve_clock(std::move(clock))) {}
 
   /// Blocks until there is room; returns false if the queue was closed.
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    clock_->wait(lock, not_full_, sim::Clock::TimePoint::max(),
+                 [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
     high_water_ = std::max(high_water_, items_.size());
-    not_empty_.notify_one();
+    clock_->notify(not_empty_);
     return true;
   }
 
@@ -42,11 +51,12 @@ class BoundedQueue {
   /// closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    clock_->wait(lock, not_empty_, sim::Clock::TimePoint::max(),
+                 [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    clock_->notify(not_full_);
     return item;
   }
 
@@ -56,7 +66,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    clock_->notify(not_full_);
     return item;
   }
 
@@ -65,8 +75,8 @@ class BoundedQueue {
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    clock_->notify(not_empty_);
+    clock_->notify(not_full_);
   }
 
   std::size_t size() const {
@@ -83,6 +93,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  std::shared_ptr<sim::Clock> clock_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_, not_full_;
   std::deque<T> items_;
@@ -137,18 +148,23 @@ struct Scheduled {
 template <typename T>
 class PriorityBoundedQueue {
  public:
-  explicit PriorityBoundedQueue(std::size_t capacity, int starvation_bound)
+  /// `clock` routes the blocking waits (null = the process WallClock);
+  /// see BoundedQueue.
+  explicit PriorityBoundedQueue(std::size_t capacity, int starvation_bound,
+                                std::shared_ptr<sim::Clock> clock = nullptr)
       : capacity_(capacity == 0 ? 1 : capacity),
-        starvation_bound_(starvation_bound < 0 ? 0 : starvation_bound) {}
+        starvation_bound_(starvation_bound < 0 ? 0 : starvation_bound),
+        clock_(sim::resolve_clock(std::move(clock))) {}
 
   /// Blocks until there is room; returns false if the queue was closed.
   bool push(T item, SchedKey key) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    clock_->wait(lock, not_full_, sim::Clock::TimePoint::max(),
+                 [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(Entry{std::move(item), key, next_seq_++});
     high_water_ = std::max(high_water_, items_.size());
-    not_empty_.notify_one();
+    clock_->notify(not_empty_);
     return true;
   }
 
@@ -175,14 +191,15 @@ class PriorityBoundedQueue {
         consecutive_bypasses_ = starvation_bound_;
       }
     }
-    not_empty_.notify_one();
+    clock_->notify(not_empty_);
   }
 
   /// Blocks until an item arrives; returns nullopt when the queue is
   /// closed and drained.
   std::optional<Scheduled<T>> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    clock_->wait(lock, not_empty_, sim::Clock::TimePoint::max(),
+                 [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     return take(select_locked());
   }
@@ -199,8 +216,8 @@ class PriorityBoundedQueue {
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    clock_->notify(not_empty_);
+    clock_->notify(not_full_);
   }
 
   std::size_t size() const {
@@ -270,12 +287,13 @@ class PriorityBoundedQueue {
     Scheduled<T> out{std::move(items_[selection.index].item), items_[selection.index].key,
                      items_[selection.index].seq, selection.promoted};
     items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(selection.index));
-    not_full_.notify_one();
+    clock_->notify(not_full_);
     return out;
   }
 
   const std::size_t capacity_;
   const int starvation_bound_;
+  std::shared_ptr<sim::Clock> clock_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_, not_full_;
   std::vector<Entry> items_;

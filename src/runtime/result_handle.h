@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/inference_policy.h"
+#include "sim/clock.h"
 
 namespace meanet::runtime {
 
@@ -77,6 +78,13 @@ struct InferenceResult {
   /// same-seed runs report bit-identical values at any worker count.
   double upload_time_s = 0.0;
   double download_time_s = 0.0;
+  /// End-to-end (submit() -> settle) latency of the request that
+  /// carried this instance, on the session clock, seconds — the same
+  /// figure SessionMetrics aggregates into per-route percentiles.
+  /// Under a VirtualClock this is pure simulated time (compute costs
+  /// zero virtual seconds), so a seeded scenario reproduces it
+  /// bit-identically at any worker count.
+  double e2e_latency_s = 0.0;
 };
 
 namespace detail {
@@ -97,8 +105,15 @@ struct RequestState {
 
   std::int64_t first_id = 0;
   int expected = 0;
-  /// When submit() accepted the request: the base of end-to-end latency
-  /// accounting and the epoch its deadline is measured from.
+  /// The session's time source (null = plain condition_variable
+  /// behavior, the standalone-state default): handle waits block
+  /// through it and transitions notify through it, so a caller parked
+  /// on wait() counts as a blocked actor under a VirtualClock. Set once
+  /// at enqueue, before any other thread can see the state.
+  std::shared_ptr<sim::Clock> clock;
+  /// When submit() accepted the request (on the session clock): the
+  /// base of end-to-end latency accounting and the epoch its deadline
+  /// is measured from.
   std::chrono::steady_clock::time_point submitted_at{};
   /// Per-request deadline override in seconds from submit(); NaN means
   /// the session's per-route deadlines apply.
@@ -166,6 +181,16 @@ struct RequestState {
     return cancelled;
   }
 
+  /// Blocks (through the session clock when one is set) until the
+  /// request settles. Call with `lock` held on `mutex`.
+  void wait_done(std::unique_lock<std::mutex>& lock) const {
+    if (clock) {
+      clock->wait(lock, done_cv, sim::Clock::TimePoint::max(), [&] { return done; });
+    } else {
+      done_cv.wait(lock, [&] { return done; });
+    }
+  }
+
  private:
   template <typename Mutation, typename OnWin>
   bool transition(Mutation mutate, OnWin on_win) {
@@ -179,7 +204,11 @@ struct RequestState {
       hook = std::move(completion_hook);
       completion_hook = nullptr;
     }
-    done_cv.notify_all();
+    if (clock) {
+      clock->notify(done_cv);
+    } else {
+      done_cv.notify_all();
+    }
     if (hook) hook();  // outside the lock: the hook may take other locks
     return true;
   }
@@ -234,7 +263,7 @@ class ResultHandle {
   std::vector<InferenceResult> wait() const {
     const detail::RequestState& state = checked();
     std::unique_lock<std::mutex> lock(state.mutex);
-    state.done_cv.wait(lock, [&] { return state.done; });
+    state.wait_done(lock);
     if (!state.error.empty()) {
       throw std::runtime_error("InferenceSession worker failed: " + state.error);
     }

@@ -55,10 +55,31 @@ void run_guarded(const std::function<void()>& fn) {
 
 }  // namespace
 
-CallbackRunner::CallbackRunner(std::size_t capacity) : queue_(capacity) {
-  thread_ = std::thread([this] {
+CallbackRunner::CallbackRunner(std::size_t capacity, std::shared_ptr<sim::Clock> clock)
+    : clock_(sim::resolve_clock(std::move(clock))), queue_(capacity, clock_) {
+  // The constructor must not return before the thread has registered as
+  // a clock actor: otherwise a VirtualClock could advance past events
+  // in the OS-scheduling-dependent window before the thread starts,
+  // making virtual timelines depend on wall thread-start latency.
+  std::mutex start_mutex;
+  std::condition_variable start_cv;
+  bool started = false;
+  thread_ = std::thread([this, &start_mutex, &start_cv, &started] {
+    // Registered actor: a VirtualClock must not advance while a
+    // completion callback is still running (callbacks may submit or
+    // cancel follow-up work at the current virtual instant).
+    sim::ActorGuard actor(*clock_);
+    {
+      // Notify under the lock: the constructor (and the locals) may be
+      // gone the instant `started` is observable.
+      std::lock_guard<std::mutex> lock(start_mutex);
+      started = true;
+      start_cv.notify_one();
+    }
     while (std::optional<std::function<void()>> fn = queue_.pop()) run_guarded(*fn);
   });
+  std::unique_lock<std::mutex> lock(start_mutex);
+  start_cv.wait(lock, [&] { return started; });
 }
 
 CallbackRunner::~CallbackRunner() { shutdown(); }
@@ -88,10 +109,11 @@ InferenceSession::InferenceSession(EngineConfig config)
       default_priority_(
           *std::max_element(config.route_priority.begin(), config.route_priority.end())),
       costs_(config.costs),
+      clock_(sim::resolve_clock(config.clock)),
       queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity)),
-             config.starvation_bound),
+             config.starvation_bound, clock_),
       offload_queue_(static_cast<std::size_t>(std::max(1, config.queue_capacity)),
-                     config.starvation_bound) {
+                     config.starvation_bound, clock_) {
   if (config.net == nullptr || config.dict == nullptr) {
     throw std::invalid_argument("InferenceSession: EngineConfig needs net and dict");
   }
@@ -112,13 +134,13 @@ InferenceSession::InferenceSession(EngineConfig config)
   backend_ = config.backend
                  ? config.backend
                  : make_backend(config.offload_mode, config.cloud, config.feature_cloud);
-  if (config.transport) link_ = std::make_unique<SimulatedLink>(*config.transport);
+  if (config.transport) link_ = std::make_unique<SimulatedLink>(*config.transport, clock_);
   if (config.response_cache_capacity > 0) {
     cache_ = std::make_unique<ResponseCache>(
         static_cast<std::size_t>(config.response_cache_capacity));
   }
   callbacks_ = std::make_shared<detail::CallbackRunner>(
-      static_cast<std::size_t>(std::max(1, config.queue_capacity)));
+      static_cast<std::size_t>(std::max(1, config.queue_capacity)), clock_);
 
   // Every worker serves on the one shared net: eval-mode forwards are
   // cache-free and const-safe (nn/layer.h), so concurrent forwards do
@@ -137,6 +159,10 @@ InferenceSession::InferenceSession(EngineConfig config)
     for (int i = 0; i < worker_count; ++i) {
       workers_.emplace_back([this, i] { worker_loop(i); });
     }
+    // Don't serve until every thread is a registered clock actor — see
+    // the start_mutex_ comment in the header.
+    std::unique_lock<std::mutex> lock(start_mutex_);
+    start_cv_.wait(lock, [&] { return started_threads_ == worker_count + 1; });
   } catch (...) {
     // Thread spawn failed partway: shut down the threads that did start
     // before rethrowing, or their joinable std::thread members would
@@ -240,7 +266,8 @@ ResultHandle InferenceSession::enqueue(Tensor images, SubmitOptions options,
   auto state = std::make_shared<detail::RequestState>();
   state->first_id = next_id_.fetch_add(count);
   state->expected = count;
-  state->submitted_at = SteadyClock::now();
+  state->clock = clock_;  // before any other thread can see the state
+  state->submitted_at = clock_->now();
   state->deadline_override_s = options.deadline_s;
   // The route is only decided by the edge pass, so an un-overridden
   // request is queued at the best route priority it could land on
@@ -310,7 +337,7 @@ void InferenceSession::collect(const ResultHandle& handle, std::vector<Inference
                                std::string& first_error) {
   const detail::RequestState& state = *handle.state_;
   std::unique_lock<std::mutex> lock(state.mutex);
-  state.done_cv.wait(lock, [&] { return state.done; });
+  state.wait_done(lock);
   if (state.cancelled) return;  // a cancelled request contributes nothing
   if (!state.error.empty()) {
     if (first_error.empty()) first_error = state.error;
@@ -429,7 +456,18 @@ InferenceSession::SteadyClock::time_point InferenceSession::deadline_at(
          std::chrono::duration_cast<SteadyClock::duration>(std::chrono::duration<double>(limit));
 }
 
+void InferenceSession::mark_started() {
+  std::lock_guard<std::mutex> lock(start_mutex_);
+  ++started_threads_;
+  start_cv_.notify_all();
+}
+
 void InferenceSession::worker_loop(int worker_index) {
+  // Registered actor for the loop's lifetime: a VirtualClock only
+  // advances while every worker is parked in a queue pop or a timed
+  // wait, never while one is mid-batch.
+  sim::ActorGuard actor(*clock_);
+  mark_started();
   core::EdgeInferenceEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
   // A request cancelled while it sat in the queue is discarded here,
   // before it can touch the engine or the offload backend (the cancel
@@ -449,13 +487,15 @@ void InferenceSession::worker_loop(int worker_index) {
   auto safe_process = [&](const std::vector<InferenceRequest>& requests) {
     std::int64_t rows = 0;
     for (const InferenceRequest& request : requests) rows += request.images.shape().batch();
-    const SteadyClock::time_point started = SteadyClock::now();
+    const SteadyClock::time_point started = clock_->now();
     try {
       process(engine, requests);
       // Feed the measured per-instance service time into the admission
       // estimate (successful batches only; a failing batch's timing
-      // says nothing about healthy service).
-      observe_service(rows, std::chrono::duration<double>(SteadyClock::now() - started).count());
+      // says nothing about healthy service). Measured on the session
+      // clock: under a VirtualClock the raw compute is instantaneous
+      // and only simulated delays (injected latency, transfers) count.
+      observe_service(rows, sim::Clock::seconds_between(started, clock_->now()));
     } catch (const std::exception& e) {
       settle_failure(requests, e.what());
     } catch (...) {
@@ -506,7 +546,7 @@ void InferenceSession::worker_loop(int worker_index) {
     }
     // Queue-wait accounting happens once per request, when it finally
     // enters a batch (a requeued request is charged its whole wait).
-    const SteadyClock::time_point batched_at = SteadyClock::now();
+    const SteadyClock::time_point batched_at = clock_->now();
     for (const InferenceRequest& request : batch) {
       collector_.record_queue_wait(
           request.completion->queue_priority,
@@ -517,31 +557,44 @@ void InferenceSession::worker_loop(int worker_index) {
 }
 
 void InferenceSession::offload_loop() {
+  // The dispatcher is an actor too: while it occupies the cell the
+  // VirtualClock advances through its scheduled transfer completions.
+  sim::ActorGuard actor(*clock_);
+  mark_started();
   while (std::optional<Scheduled<OffloadJob>> scheduled = offload_queue_.pop()) {
     OffloadJob& job = scheduled->item;
     OffloadTicket& ticket = *job.ticket;
     // Simulated transport: the payload's upload occupies this station's
-    // share of the (possibly shared) cell for its WiFi-derived duration
-    // (+base RTT +jitter, keyed by the payload's first result id so the
-    // draw does not depend on dispatch interleaving). An abandoned
-    // ticket cuts the transfer short — the sender gave up at its
-    // offload timeout or deadline, so nothing keeps transmitting — and
-    // skips the backend entirely.
+    // share of the (possibly shared) cell for its transfer duration
+    // (WiFi-derived +base RTT +jitter, keyed by the payload's first
+    // result id so the draw does not depend on dispatch interleaving) —
+    // a blocking cell transfer on the session clock, so under
+    // activity-dependent sharing the elapsed time also depends on who
+    // else is transmitting. An abandoned ticket cuts the transfer short
+    // — the sender gave up at its offload timeout or deadline, so
+    // nothing keeps transmitting — and skips the backend entirely; the
+    // giving-up waiter pokes the link so the cancel is seen promptly.
     const std::uint64_t transfer_key = static_cast<std::uint64_t>(job.first_id);
+    auto ticket_abandoned = [&ticket] {
+      std::lock_guard<std::mutex> lock(ticket.mutex);
+      return ticket.abandoned;
+    };
     double upload_s = 0.0;
     bool abandoned = false;
     if (link_) {
-      upload_s = link_->uplink_delay_s(transfer_key, job.payload_bytes);
-      std::unique_lock<std::mutex> lock(ticket.mutex);
-      abandoned = ticket.answered.wait_for(lock, std::chrono::duration<double>(upload_s),
-                                           [&] { return ticket.abandoned; });
+      const sim::TransferOutcome up =
+          link_->upload(transfer_key, job.payload_bytes, ticket_abandoned);
+      upload_s = up.delay_s;
+      abandoned = up.cancelled;
     } else {
-      std::lock_guard<std::mutex> lock(ticket.mutex);
-      abandoned = ticket.abandoned;
+      abandoned = ticket_abandoned();
     }
     if (abandoned) {
-      std::lock_guard<std::mutex> lock(ticket.mutex);
-      ticket.done = true;  // nobody waits anymore; keep the slip coherent
+      {
+        std::lock_guard<std::mutex> lock(ticket.mutex);
+        ticket.done = true;  // nobody waits anymore; keep the slip coherent
+      }
+      clock_->notify(ticket.answered);
       continue;
     }
     std::vector<int> predictions;
@@ -554,19 +607,23 @@ void InferenceSession::offload_loop() {
       failed = true;
       predictions.clear();
     }
-    // The answer is not free anymore: its bytes ride the downlink, and
-    // only after that transfer does the waiting worker see it. A waiter
-    // that gives up mid-downlink abandons the ticket like mid-upload.
+    // The answer is not free: its bytes ride the downlink, and only
+    // after that transfer does the waiting worker see it. A waiter that
+    // gives up mid-downlink abandons the ticket like mid-upload.
     double downlink_s = 0.0;
     if (link_ && !failed && !predictions.empty()) {
       const std::int64_t response_bytes =
           link_->response_bytes(static_cast<std::int64_t>(predictions.size()));
       if (response_bytes > 0) {
-        downlink_s = link_->downlink_delay_s(transfer_key, response_bytes);
-        std::unique_lock<std::mutex> lock(ticket.mutex);
-        if (ticket.answered.wait_for(lock, std::chrono::duration<double>(downlink_s),
-                                     [&] { return ticket.abandoned; })) {
-          ticket.done = true;
+        const sim::TransferOutcome down =
+            link_->download(transfer_key, response_bytes, ticket_abandoned);
+        downlink_s = down.delay_s;
+        if (down.cancelled) {
+          {
+            std::lock_guard<std::mutex> lock(ticket.mutex);
+            ticket.done = true;
+          }
+          clock_->notify(ticket.answered);
           continue;
         }
       }
@@ -575,12 +632,12 @@ void InferenceSession::offload_loop() {
       std::lock_guard<std::mutex> lock(ticket.mutex);
       ticket.failed = failed;
       ticket.predictions = std::move(predictions);
-      ticket.answered_at = SteadyClock::now();
+      ticket.answered_at = clock_->now();
       ticket.upload_s = upload_s;
       ticket.downlink_s = downlink_s;
       ticket.done = true;
     }
-    ticket.answered.notify_all();
+    clock_->notify(ticket.answered);
   }
 }
 
@@ -596,23 +653,24 @@ InferenceSession::OffloadAnswer InferenceSession::offload(OffloadPayload payload
     return {};  // session shutting down: edge fallback
   }
   std::unique_lock<std::mutex> lock(ticket->mutex);
-  if (std::isinf(wait_bound_s) && wait_bound_s > 0.0) {
-    ticket->answered.wait(lock, [&] { return ticket->done; });
-  } else {
-    const auto bound = std::chrono::duration<double>(std::max(0.0, wait_bound_s));
-    if (!ticket->answered.wait_for(lock, bound, [&] { return ticket->done; })) {
-      // Give up: mark the slip abandoned so the dispatcher stops the
-      // simulated upload and never bothers the backend; a late answer
-      // dies with the ticket. The caller attributes the cause per
-      // instance (offload timeout vs deadline expiry) and keeps edge
-      // predictions, exactly like the NullBackend path.
-      ticket->abandoned = true;
-      lock.unlock();
-      ticket->answered.notify_all();
-      OffloadAnswer answer;
-      answer.gave_up = true;
-      return answer;
-    }
+  const sim::Clock::TimePoint bound =
+      (std::isinf(wait_bound_s) && wait_bound_s > 0.0)
+          ? sim::Clock::TimePoint::max()
+          : sim::Clock::after(clock_->now(), std::max(0.0, wait_bound_s));
+  if (!clock_->wait(lock, ticket->answered, bound, [&] { return ticket->done; })) {
+    // Give up: mark the slip abandoned so the dispatcher stops the
+    // simulated upload and never bothers the backend; a late answer
+    // dies with the ticket. The caller attributes the cause per
+    // instance (offload timeout vs deadline expiry) and keeps edge
+    // predictions, exactly like the NullBackend path. The poke() makes
+    // a dispatcher parked mid-transfer re-check the abandonment flag.
+    ticket->abandoned = true;
+    lock.unlock();
+    clock_->notify(ticket->answered);
+    if (link_) link_->poke();
+    OffloadAnswer answer;
+    answer.gave_up = true;
+    return answer;
   }
   if (ticket->failed) {
     collector_.record_offload_failure();
@@ -717,7 +775,7 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
     // while it sat in the queue, is excluded — it keeps its edge
     // prediction and never touches the backend.
     std::vector<int> cloud_rows;
-    const SteadyClock::time_point routed_at = SteadyClock::now();
+    const SteadyClock::time_point routed_at = clock_->now();
     for (std::size_t j = 0; j < decisions.size(); ++j) {
       if (decisions[j].route != core::Route::kCloud) continue;
       const std::size_t row = static_cast<std::size_t>(fresh_rows[j]);
@@ -771,7 +829,7 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
           ids[static_cast<std::size_t>(fresh_rows[static_cast<std::size_t>(cloud_rows.front())])];
       answer = offload(std::move(payload), cloud_rows.size(), payload_bytes, first_id, job_key,
                        std::min(offload_timeout_s_, max_remaining_s));
-      gave_up_at = SteadyClock::now();
+      gave_up_at = clock_->now();
     }
 
     // Price the work. An unset upload payload size is derived from the
@@ -857,7 +915,7 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
   std::size_t offset = 0;
   for (const InferenceRequest& request : requests) {
     const std::size_t count = static_cast<std::size_t>(request.images.shape().batch());
-    const SteadyClock::time_point settled_at = SteadyClock::now();
+    const SteadyClock::time_point settled_at = clock_->now();
     std::int64_t late = 0;
     for (std::size_t i = offset; i < offset + count; ++i) {
       InferenceResult& r = batch_results[i];
@@ -871,7 +929,10 @@ void InferenceSession::process(core::EdgeInferenceEngine& engine,
       if (r.deadline_expired) ++late;
     }
     const double e2e_s =
-        std::chrono::duration<double>(settled_at - request.completion->submitted_at).count();
+        sim::Clock::seconds_between(request.completion->submitted_at, settled_at);
+    for (std::size_t i = offset; i < offset + count; ++i) {
+      batch_results[i].e2e_latency_s = e2e_s;
+    }
     // Metrics are recorded inside the transition's critical section so a
     // caller woken by the settle can never read counters that miss it.
     // A lost transition means a cancel won mid-service: the inference

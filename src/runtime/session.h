@@ -84,6 +84,20 @@ struct EngineConfig {
   core::MEANet* net = nullptr;
   const data::ClassDict* dict = nullptr;
 
+  // ----- Time source -----
+  /// The clock every timed path of the session runs on — submit
+  /// timestamps, deadlines, queue waits, offload/ticket timeouts, the
+  /// simulated transfer occupancy, e2e latency metrics. Null (the
+  /// default) = the process WallClock: behavior is exactly the
+  /// pre-seam wall-clock serving stack. Inject a sim::VirtualClock
+  /// (sim/event_loop.h) to replay hours of traffic in wall
+  /// milliseconds, bit-identically at any worker count; a shared
+  /// transport cell must then be on the same clock instance
+  /// (SharedCellConfig::clock), and the thread driving submissions
+  /// should register via sim::ActorGuard so its submit timestamps are
+  /// deterministic too.
+  std::shared_ptr<sim::Clock> clock;
+
   // ----- Routing -----
   /// Custom policy; when null, an EntropyThresholdPolicy is built from
   /// `policy_config` (the paper's rule).
@@ -238,7 +252,10 @@ namespace detail {
 /// closure inline (only reachable from a caller's own thread).
 class CallbackRunner {
  public:
-  explicit CallbackRunner(std::size_t capacity);
+  /// `clock` routes the queue's blocking waits and registers the
+  /// callback thread as a clock actor (see sim::ActorGuard) so a
+  /// VirtualClock never advances past a callback still being drained.
+  explicit CallbackRunner(std::size_t capacity, std::shared_ptr<sim::Clock> clock = nullptr);
   ~CallbackRunner();
 
   void post(std::function<void()> fn);
@@ -246,6 +263,7 @@ class CallbackRunner {
   void shutdown();
 
  private:
+  std::shared_ptr<sim::Clock> clock_;
   BoundedQueue<std::function<void()>> queue_;
   std::thread thread_;
 };
@@ -440,8 +458,24 @@ class InferenceSession {
   std::shared_ptr<OffloadBackend> backend_;
   std::vector<std::unique_ptr<core::EdgeInferenceEngine>> engines_;  // one per worker
 
+  /// The session's time source (EngineConfig::clock resolved; the
+  /// process WallClock by default). Declared before the queues, link
+  /// and callback runner — they capture it at construction.
+  std::shared_ptr<sim::Clock> clock_;
+
   PriorityBoundedQueue<InferenceRequest> queue_;
   std::vector<std::thread> workers_;
+
+  // Startup latch: the constructor blocks until every serving thread
+  // has registered as a clock actor, so a VirtualClock can never
+  // advance through the OS-scheduling-dependent window before a thread
+  // starts (virtual timelines must not depend on wall thread-start
+  // latency).
+  std::mutex start_mutex_;
+  std::condition_variable start_cv_;
+  int started_threads_ = 0;  // guarded by start_mutex_
+  /// Called by each serving thread right after actor registration.
+  void mark_started();
 
   // The offload dispatcher: the single shared cloud link, fed off the
   // worker hot path, ordered by the same (priority, deadline, arrival)

@@ -27,8 +27,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
+#include "sim/clock.h"
 #include "sim/shared_cell.h"
 #include "sim/wifi_model.h"
 
@@ -71,7 +73,13 @@ struct TransportConfig {
 /// key, bytes, direction, attached stations).
 class SimulatedLink {
  public:
-  explicit SimulatedLink(TransportConfig config);
+  /// `clock` is the session's time source (null = the process
+  /// WallClock): a private cell is built on it, and a shared cell must
+  /// already be on the same clock instance (throws otherwise — two
+  /// stations timing one medium on different clocks cannot contend
+  /// coherently).
+  explicit SimulatedLink(TransportConfig config,
+                         std::shared_ptr<sim::Clock> clock = nullptr);
   ~SimulatedLink();
 
   SimulatedLink(const SimulatedLink&) = delete;
@@ -83,6 +91,21 @@ class SimulatedLink {
   double uplink_delay_s(std::uint64_t key, std::int64_t payload_bytes);
   /// Seconds the downlink is busy returning `response_bytes`.
   double downlink_delay_s(std::uint64_t key, std::int64_t response_bytes);
+
+  /// Full timed uplink occupancy on the cell: blocks the dispatcher for
+  /// the transfer's simulated duration on the session clock (a
+  /// scheduled event under a VirtualClock, a real wait under
+  /// WallClock). `cancel` — re-checked on every wake — cuts the
+  /// transfer short; signal it through poke().
+  sim::TransferOutcome upload(std::uint64_t key, std::int64_t payload_bytes,
+                              const std::function<bool()>& cancel = nullptr);
+  /// The downlink counterpart for the response's bytes.
+  sim::TransferOutcome download(std::uint64_t key, std::int64_t response_bytes,
+                                const std::function<bool()>& cancel = nullptr);
+  /// Wakes this link's in-flight transfers to re-check their cancel
+  /// predicates (the abandonment flag lives under a ticket mutex the
+  /// cell cannot see).
+  void poke();
 
   /// Legacy PR 3 entry point: an uplink delay keyed by an internal
   /// per-link call counter.
@@ -103,6 +126,7 @@ class SimulatedLink {
 
  private:
   TransportConfig config_;
+  std::shared_ptr<sim::Clock> clock_;
   std::shared_ptr<sim::SharedCell> cell_;
   int station_ = 0;
   std::atomic<std::uint64_t> next_key_{0};

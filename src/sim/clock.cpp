@@ -1,0 +1,22 @@
+#include "sim/clock.h"
+
+namespace meanet::sim {
+
+void Clock::sleep_until(TimePoint deadline) {
+  // A private mutex/cv pair: nothing notifies it, so the wait ends at
+  // the deadline (WallClock) or when virtual time reaches it
+  // (VirtualClock schedules it as an event).
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mutex);
+  wait(lock, cv, deadline, [] { return false; });
+}
+
+std::shared_ptr<Clock> wall_clock_ptr() {
+  static const std::shared_ptr<Clock> instance = std::make_shared<WallClock>();
+  return instance;
+}
+
+Clock& wall_clock() { return *wall_clock_ptr(); }
+
+}  // namespace meanet::sim

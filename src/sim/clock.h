@@ -1,0 +1,148 @@
+// Pluggable time source for every timed path in the runtime (ROADMAP
+// "virtual-time discrete-event core").
+//
+// The serving stack used to block on std::chrono::steady_clock
+// directly: worker/dispatcher waits, request deadlines, queue aging,
+// simulated airtime and injected backend latency all consumed wall
+// time, so a scenario spanning hours of fleet traffic took hours to
+// run. sim::Clock abstracts the three primitives those paths actually
+// need — now(), a predicate wait with an absolute deadline, and the
+// notification that pairs with it — behind one interface with two
+// implementations:
+//
+//  * WallClock (here): the process steady clock. wait()/notify()
+//    degrade to the exact condition_variable calls the code used
+//    before the seam, so the default path is behaviorally unchanged.
+//  * VirtualClock (sim/event_loop.h): a discrete-event clock that
+//    advances straight to the earliest pending deadline whenever every
+//    *registered actor* is blocked, so hours of simulated traffic
+//    replay in wall milliseconds — bit-identically at any worker
+//    count, because delays are scheduled events instead of measured
+//    sleeps.
+//
+// Contract for code that blocks through a Clock:
+//  * every blocking wait on shared state goes through
+//    wait()/wait_for() with the mutex guarding that state held (the
+//    "caller lock"), and
+//  * every mutation of that state is followed by notify() on the same
+//    condition_variable.
+// Under WallClock that is exactly the plain condition_variable
+// discipline; under VirtualClock it is what lets the clock prove
+// "every actor is blocked" without lost wakeups (see event_loop.h).
+//
+// Actors: threads that drive simulated activity (session workers, the
+// offload dispatcher, the callback runner — and any test/driver thread
+// submitting traffic) register for the duration of their loop via
+// ActorGuard. WallClock ignores registration; VirtualClock refuses to
+// advance while any registered actor is runnable. A driving thread
+// that does NOT register still works (its waits and notifies are
+// correct), but virtual time may then advance while it is between
+// actions, so determinism of submit timestamps needs the driver
+// registered.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace meanet::sim {
+
+class Clock {
+ public:
+  // steady_clock's time_point/duration types are kept so SchedKey,
+  // deadline math and every timestamp member stay unchanged; a
+  // VirtualClock simply fabricates the time_points.
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint now() const = 0;
+
+  /// Blocks until pred() is true or `deadline` (on THIS clock) is
+  /// reached; TimePoint::max() waits without bound. Call with `lock`
+  /// held on the mutex guarding pred's state; `cv` is the
+  /// condition_variable the state's mutators notify(). Returns pred()
+  /// at exit — standard condition_variable::wait_until semantics.
+  virtual bool wait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                    TimePoint deadline, const std::function<bool()>& pred) = 0;
+
+  /// Wakes waiters blocked via wait() on `cv`. Call after every
+  /// mutation of pred-visible state (in place of cv.notify_*()).
+  virtual void notify(std::condition_variable& cv) = 0;
+
+  // Actor accounting — no-ops on WallClock. Prefer ActorGuard.
+  virtual void register_actor() {}
+  virtual void unregister_actor() {}
+
+  /// wait() with a relative timeout in seconds from now().
+  bool wait_for(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                double timeout_s, const std::function<bool()>& pred) {
+    return wait(lock, cv, after(now(), timeout_s), pred);
+  }
+
+  /// Blocks the calling thread until `deadline` on this clock.
+  void sleep_until(TimePoint deadline);
+  /// Blocks the calling thread for `seconds` on this clock.
+  void sleep_for(double seconds) { sleep_until(after(now(), seconds)); }
+
+  /// `from + seconds` with the same saturation rule deadline code uses
+  /// everywhere: anything at/above ~30 years (including infinity and
+  /// NaN-free "no bound" sentinels) is TimePoint::max().
+  static TimePoint after(TimePoint from, double seconds) {
+    if (!(seconds < 1e9)) return TimePoint::max();
+    if (seconds <= 0.0) return from;
+    return from + std::chrono::duration_cast<Duration>(std::chrono::duration<double>(seconds));
+  }
+
+  static double seconds_between(TimePoint from, TimePoint to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
+};
+
+/// The process steady clock; wait/notify are plain condition_variable
+/// operations, so injecting a WallClock (or no clock at all) reproduces
+/// the pre-seam behavior exactly.
+class WallClock final : public Clock {
+ public:
+  TimePoint now() const override { return std::chrono::steady_clock::now(); }
+
+  bool wait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+            TimePoint deadline, const std::function<bool()>& pred) override {
+    if (deadline == TimePoint::max()) {
+      cv.wait(lock, pred);
+      return true;
+    }
+    return cv.wait_until(lock, deadline, pred);
+  }
+
+  void notify(std::condition_variable& cv) override { cv.notify_all(); }
+};
+
+/// The shared process-wide WallClock: every component that is handed a
+/// null clock resolves to this one instance, so "same clock" checks can
+/// compare pointers.
+std::shared_ptr<Clock> wall_clock_ptr();
+Clock& wall_clock();
+
+/// Null-tolerant default: `clock` itself, or the process WallClock.
+inline std::shared_ptr<Clock> resolve_clock(std::shared_ptr<Clock> clock) {
+  return clock ? std::move(clock) : wall_clock_ptr();
+}
+
+/// RAII actor registration for the duration of a thread's serving loop
+/// (or a test driver's submission phase).
+class ActorGuard {
+ public:
+  explicit ActorGuard(Clock& clock) : clock_(&clock) { clock_->register_actor(); }
+  ~ActorGuard() { clock_->unregister_actor(); }
+  ActorGuard(const ActorGuard&) = delete;
+  ActorGuard& operator=(const ActorGuard&) = delete;
+
+ private:
+  Clock* clock_;
+};
+
+}  // namespace meanet::sim

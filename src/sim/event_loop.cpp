@@ -1,0 +1,127 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace meanet::sim {
+
+namespace {
+
+// Which VirtualClocks the calling thread registered on. A plain vector:
+// a thread registers on at most a couple of clocks, and duplicates
+// (nested guards) just count twice on both sides.
+thread_local std::vector<const VirtualClock*> t_actor_clocks;
+
+}  // namespace
+
+VirtualClock::VirtualClock(TimePoint epoch) : now_(epoch) {}
+
+Clock::TimePoint VirtualClock::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void VirtualClock::notify(std::condition_variable& cv) {
+  (void)cv;  // global broadcast: per-cv routing would not change correctness
+  std::lock_guard<std::mutex> lock(mutex_);
+  bump_locked();
+}
+
+void VirtualClock::register_actor() {
+  t_actor_clocks.push_back(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++registered_;
+}
+
+void VirtualClock::unregister_actor() {
+  const auto it = std::find(t_actor_clocks.rbegin(), t_actor_clocks.rend(), this);
+  if (it != t_actor_clocks.rend()) t_actor_clocks.erase(std::next(it).base());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registered_ > 0) --registered_;
+  // The departing actor may have been the last runnable one.
+  advance_locked();
+}
+
+bool VirtualClock::calling_thread_is_actor() const {
+  return std::find(t_actor_clocks.begin(), t_actor_clocks.end(), this) != t_actor_clocks.end();
+}
+
+int VirtualClock::registered_actors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registered_;
+}
+
+std::size_t VirtualClock::pending_timers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_.size();
+}
+
+std::uint64_t VirtualClock::advance_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return advances_;
+}
+
+void VirtualClock::bump_locked() {
+  ++generation_;
+  // Every parked waiter is about to be woken, so none of them counts as
+  // blocked anymore: each is runnable until it re-checks its predicate
+  // and parks again (re-incrementing blocked_ in wait()). Without this
+  // reset, time could advance to a later deadline while a woken-but-not-
+  // yet-scheduled actor still had work to do at the current instant —
+  // an OS-scheduling-dependent leak the parity suite would catch.
+  blocked_ = 0;
+  cv_.notify_all();
+}
+
+void VirtualClock::advance_locked() {
+  if (blocked_ < registered_) return;  // some actor is still runnable
+  if (timers_.empty()) return;  // quiescent (or deadlocked, same as wall clock)
+  const TimePoint at = timers_.peek()->at;
+  if (at > now_) {
+    now_ = at;
+    ++advances_;
+  }
+  // Even an already-due timer needs its owner woken: bump the
+  // generation so every waiter re-checks its deadline/predicate.
+  bump_locked();
+}
+
+bool VirtualClock::wait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                        TimePoint deadline, const std::function<bool()>& pred) {
+  (void)cv;  // waiters park on the clock's own condvar (global broadcast)
+  const bool actor = calling_thread_is_actor();
+  while (true) {
+    // Predicate first, under the caller lock only — it may take other
+    // locks of its own (ticket mutexes etc.).
+    if (pred()) return true;
+    std::unique_lock<std::mutex> clock_lock(mutex_);
+    if (now_ >= deadline) return false;  // timed out in virtual time
+    // Lost-wakeup-free handoff: the generation is captured while BOTH
+    // locks are held, and clock_lock stays held until cv_.wait() parks
+    // this thread. Any mutation of pred's state we could have missed
+    // happens after our caller-lock release, and its notify() must then
+    // take mutex_ — i.e. after we are parked — and bump the generation,
+    // which wakes us.
+    const std::uint64_t generation = generation_;
+    lock.unlock();
+    const bool timed = deadline != TimePoint::max();
+    std::uint64_t timer = 0;
+    if (timed) timer = timers_.schedule(deadline);
+    if (actor) ++blocked_;
+    // A new pending deadline (or this actor parking) may complete the
+    // "everyone is blocked" condition.
+    advance_locked();
+    cv_.wait(clock_lock,
+             [&] { return generation_ != generation || now_ >= deadline; });
+    // A generation bump already uncounted us (bump_locked resets
+    // blocked_ to 0); only a wake with the generation unchanged — which
+    // requires now_ >= deadline, i.e. the deadline was already due —
+    // still carries our increment.
+    if (actor && generation_ == generation) --blocked_;
+    if (timed) timers_.cancel(timer);
+    clock_lock.unlock();
+    lock.lock();
+  }
+}
+
+}  // namespace meanet::sim

@@ -1,0 +1,152 @@
+// The discrete-event half of the virtual-time core (see sim/clock.h
+// for the Clock seam and the wait/notify contract).
+//
+// EventQueue is the deterministic timer store: events are ordered by
+// (time, tie_seq) where tie_seq is allocation order, so two events at
+// the same virtual instant pop in the order they were scheduled —
+// exactly the order a std::stable_sort over the times would produce
+// (property-tested against that oracle in tests/test_virtual_time.cpp).
+//
+// VirtualClock is a Clock whose time_points are fabricated. The rules:
+//
+//  * now() never moves while any *registered actor* is runnable.
+//  * When every registered actor is blocked in wait() and at least one
+//    waiter has a finite deadline pending, the clock jumps now()
+//    straight to the earliest pending deadline and broadcasts; waiters
+//    whose deadline arrived return (timeout), everyone else re-checks
+//    its predicate and re-blocks.
+//  * When every registered actor is blocked and NO deadline is pending
+//    the system is quiescent (or genuinely deadlocked — same as wall
+//    clock); the clock stays put until an unregistered thread notifies
+//    or schedules something.
+//  * notify() is a global broadcast: every state change bumps one
+//    generation counter and wakes all clock waiters to re-check their
+//    predicates. Conservative (spurious wakeups), but it makes lost
+//    wakeups impossible without per-cv bookkeeping: a waiter captures
+//    the generation while holding BOTH its caller lock and the clock
+//    lock, so any mutation it missed must bump the generation after
+//    the capture and before the waiter can be parked.
+//
+// Determinism: virtual timestamps are produced by simulated-delay
+// arithmetic, never by measurement, so a seeded scenario driven by
+// registered actors replays bit-identically at any worker count and on
+// any machine. (Which OS thread wakes first at a given virtual instant
+// still varies; the scheduling keys and seeded delay hashes are what
+// make the *outcomes* invariant — asserted by the parity suite.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "sim/clock.h"
+
+namespace meanet::sim {
+
+/// Deterministic min-queue of (time, tie_seq) events. Not thread-safe;
+/// VirtualClock guards its instance with the clock mutex.
+class EventQueue {
+ public:
+  using TimePoint = Clock::TimePoint;
+
+  struct Event {
+    TimePoint at{};
+    std::uint64_t seq = 0;
+  };
+
+  /// Registers an event; returns its tie_seq (allocation order, the
+  /// tie-break among equal times and the handle for cancel()).
+  std::uint64_t schedule(TimePoint at) {
+    const std::uint64_t seq = next_seq_++;
+    events_.emplace(at, seq);
+    by_seq_.emplace(seq, at);
+    return seq;
+  }
+
+  /// Removes a pending event; false if it already popped (or never
+  /// existed).
+  bool cancel(std::uint64_t seq) {
+    const auto it = by_seq_.find(seq);
+    if (it == by_seq_.end()) return false;
+    events_.erase({it->second, seq});
+    by_seq_.erase(it);
+    return true;
+  }
+
+  /// The earliest pending event — ties broken by schedule order.
+  std::optional<Event> peek() const {
+    if (events_.empty()) return std::nullopt;
+    return Event{events_.begin()->first, events_.begin()->second};
+  }
+
+  std::optional<Event> pop() {
+    std::optional<Event> event = peek();
+    if (event) {
+      events_.erase(events_.begin());
+      by_seq_.erase(event->seq);
+    }
+    return event;
+  }
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::set<std::pair<TimePoint, std::uint64_t>> events_;
+  std::map<std::uint64_t, TimePoint> by_seq_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Discrete-event Clock: logical time advances to the earliest pending
+/// deadline only when every registered actor is blocked. See the file
+/// comment for the full rules.
+class VirtualClock final : public Clock {
+ public:
+  /// `epoch` is an arbitrary nonzero origin; simulated timestamps only
+  /// ever matter as differences.
+  explicit VirtualClock(TimePoint epoch = TimePoint{} + std::chrono::hours(1));
+
+  TimePoint now() const override;
+  bool wait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+            TimePoint deadline, const std::function<bool()>& pred) override;
+  void notify(std::condition_variable& cv) override;
+  void register_actor() override;
+  void unregister_actor() override;
+
+  // Introspection for tests.
+  int registered_actors() const;
+  std::size_t pending_timers() const;
+  /// Times the clock jumped forward so far.
+  std::uint64_t advance_count() const;
+
+ private:
+  /// Jumps now_ to the earliest pending deadline and broadcasts, iff
+  /// every registered actor is blocked and a timer is pending. Caller
+  /// holds mutex_.
+  void advance_locked();
+  /// Bumps the generation, resets blocked_ (every parked waiter is
+  /// woken and counts as runnable until it re-parks), and broadcasts.
+  /// Caller holds mutex_.
+  void bump_locked();
+  /// Whether the calling thread registered on THIS clock (thread-local
+  /// bookkeeping; unregistered waiters wait correctly but do not count
+  /// toward "every actor is blocked").
+  bool calling_thread_is_actor() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  TimePoint now_;
+  EventQueue timers_;        // pending wait deadlines, guarded by mutex_
+  std::uint64_t generation_ = 0;  // bumped by every notify() and advance
+  int registered_ = 0;
+  /// Registered actors parked in wait() *since the last generation
+  /// bump*: a bump wakes everyone, so it resets this to 0 and each
+  /// waiter re-counts itself only when it genuinely re-parks — time
+  /// never advances while a woken actor has yet to acknowledge.
+  int blocked_ = 0;
+  std::uint64_t advances_ = 0;
+};
+
+}  // namespace meanet::sim

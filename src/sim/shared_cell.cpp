@@ -1,5 +1,6 @@
 #include "sim/shared_cell.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace meanet::sim {
@@ -29,13 +30,14 @@ double hashed_jitter_s(std::uint64_t seed, std::uint64_t key, double width) {
 }  // namespace detail
 
 SharedCell::SharedCell(SharedCellConfig config)
-    : config_(config), created_(std::chrono::steady_clock::now()) {
+    : config_(std::move(config)), clock_(resolve_clock(config_.clock)) {
   if (config_.uplink.throughput_mbps <= 0.0 || config_.downlink.throughput_mbps <= 0.0) {
     throw std::invalid_argument("SharedCell: non-positive throughput");
   }
   if (config_.base_latency_s < 0.0 || config_.jitter_s < 0.0) {
     throw std::invalid_argument("SharedCell: negative latency or jitter");
   }
+  created_ = clock_->now();
 }
 
 int SharedCell::attach() {
@@ -55,15 +57,20 @@ int SharedCell::stations() const {
   return attached_;
 }
 
-double SharedCell::delay_s(const WifiModel& model, int station, std::uint64_t key,
-                           std::int64_t bytes, std::uint64_t direction_salt) {
+double SharedCell::jitter_for(int station, std::uint64_t key,
+                              std::uint64_t direction_salt) const {
   // Station 0 with direction salt 0 must hash exactly like a plain
   // single-station SimulatedLink (the parity contract), so the station
   // salt vanishes for station 0.
   const std::uint64_t salted =
       config_.seed ^ (static_cast<std::uint64_t>(station) * 0x9E3779B97F4A7C15ULL) ^
       direction_salt;
-  const double jitter_s = detail::hashed_jitter_s(salted, key, config_.jitter_s);
+  return detail::hashed_jitter_s(salted, key, config_.jitter_s);
+}
+
+double SharedCell::delay_s(const WifiModel& model, int station, std::uint64_t key,
+                           std::int64_t bytes, std::uint64_t direction_salt) {
+  const double jitter_s = jitter_for(station, key, direction_salt);
   // One critical section: the contention factor and the airtime charge
   // must agree on the station count.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -83,14 +90,143 @@ double SharedCell::downlink_delay_s(int station, std::uint64_t key, std::int64_t
   return delay_s(config_.downlink, station, key, bytes, 0xD0D0D0D0D0D0D0D0ULL);
 }
 
+void SharedCell::poke() {
+  {
+    std::lock_guard<std::mutex> lock(transfer_mutex_);
+    ++poke_epoch_;
+  }
+  clock_->notify(transfer_cv_);
+}
+
+bool SharedCell::hold(double delay_s, const std::function<bool()>& cancel) {
+  const Clock::TimePoint deadline = Clock::after(clock_->now(), delay_s);
+  std::unique_lock<std::mutex> lock(transfer_mutex_);
+  while (true) {
+    if (cancel && cancel()) return false;
+    if (clock_->now() >= deadline) return true;
+    // The wake on abandonment is the poke-epoch bump (cancel state
+    // lives under mutexes the cell cannot see, so the epoch — guarded
+    // by transfer_mutex_ — is what makes the wait race-free).
+    const std::uint64_t seen = poke_epoch_;
+    clock_->wait(lock, transfer_cv_, deadline,
+                 [&] { return poke_epoch_ != seen || (cancel && cancel()); });
+  }
+}
+
+void SharedCell::settle_lane(Lane& lane, Clock::TimePoint now) {
+  const double dt = Clock::seconds_between(lane.last_settle, now);
+  lane.last_settle = now;
+  if (dt <= 0.0 || lane.remaining_s.empty()) return;
+  const double share = dt / static_cast<double>(lane.remaining_s.size());
+  for (auto& [flow, remaining] : lane.remaining_s) {
+    (void)flow;
+    remaining = std::max(0.0, remaining - share);
+  }
+}
+
+TransferOutcome SharedCell::transfer(Lane& lane, const WifiModel& model, int station,
+                                     std::uint64_t key, std::int64_t bytes,
+                                     std::uint64_t direction_salt,
+                                     const std::function<bool()>& cancel) {
+  if (!config_.activity_dependent_sharing) {
+    // Static share: the whole delay (and airtime charge) is computed at
+    // reservation, exactly as uplink_delay_s/downlink_delay_s always
+    // did; the clock wait just occupies the caller for that long.
+    TransferOutcome out;
+    out.delay_s = delay_s(model, station, key, bytes, direction_salt);
+    out.cancelled = !hold(out.delay_s, cancel);
+    return out;
+  }
+
+  // Activity-dependent share: a processor-sharing lane over the
+  // transfers in flight right now. Progress is tracked in
+  // "solo-seconds" (time the transfer would need alone at full rate),
+  // accrued at 1/N per elapsed second with N concurrent transfers.
+  const double jitter_s = jitter_for(station, key, direction_salt);
+  bool aborted = false;
+  Clock::TimePoint now;
+  std::uint64_t flow;
+  {
+    std::unique_lock<std::mutex> lock(transfer_mutex_);
+    now = clock_->now();
+    settle_lane(lane, now);
+    flow = lane.next_flow++;
+    lane.remaining_s.emplace(flow, model.upload_time_s(bytes));
+    ++lane.epoch;
+    clock_->notify(transfer_cv_);  // peers re-derive their ETAs at the new share
+    const Clock::TimePoint start = now;
+    while (true) {
+      now = clock_->now();
+      settle_lane(lane, now);
+      const double remaining = lane.remaining_s.at(flow);
+      if (remaining <= 0.0) break;
+      if (cancel && cancel()) {
+        aborted = true;
+        break;
+      }
+      // Finish estimate at the current concurrency; any join/leave
+      // bumps the lane epoch and we re-derive.
+      const double concurrency = static_cast<double>(lane.remaining_s.size());
+      const Clock::TimePoint eta = Clock::after(now, remaining * concurrency);
+      const std::uint64_t seen_epoch = lane.epoch;
+      const std::uint64_t seen_poke = poke_epoch_;
+      clock_->wait(lock, transfer_cv_, eta, [&] {
+        return lane.epoch != seen_epoch || poke_epoch_ != seen_poke || (cancel && cancel());
+      });
+    }
+    lane.remaining_s.erase(flow);
+    ++lane.epoch;
+    clock_->notify(transfer_cv_);
+    const double occupied = Clock::seconds_between(start, now);
+    {
+      // Carried airtime: what the lane actually spent on this transfer
+      // (an abandoned transfer charges only the time it occupied).
+      std::lock_guard<std::mutex> busy_lock(mutex_);
+      busy_s_ += occupied;
+    }
+    if (aborted) {
+      return TransferOutcome{occupied, true};
+    }
+    TransferOutcome out;
+    out.delay_s = occupied;
+    // Jitter is airtime (mirroring the static model's accounting);
+    // charged here so a tail abandonment cannot un-charge it.
+    if (jitter_s > 0.0) {
+      std::lock_guard<std::mutex> busy_lock(mutex_);
+      busy_s_ += jitter_s;
+    }
+    out.delay_s += jitter_s + config_.base_latency_s;
+    lock.unlock();
+    // The jitter + base-latency tail (propagation, cloud turnaround)
+    // is not shared capacity: it runs after the lane occupancy.
+    const double tail_s = jitter_s + config_.base_latency_s;
+    if (tail_s > 0.0) out.cancelled = !hold(tail_s, cancel);
+    return out;
+  }
+}
+
+TransferOutcome SharedCell::uplink_transfer(int station, std::uint64_t key, std::int64_t bytes,
+                                            const std::function<bool()>& cancel) {
+  return transfer(uplink_lane_, config_.uplink, station, key, bytes, 0, cancel);
+}
+
+TransferOutcome SharedCell::downlink_transfer(int station, std::uint64_t key,
+                                              std::int64_t bytes,
+                                              const std::function<bool()>& cancel) {
+  return transfer(downlink_lane_, config_.downlink, station, key, bytes,
+                  0xD0D0D0D0D0D0D0D0ULL, cancel);
+}
+
 double SharedCell::busy_seconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return busy_s_;
 }
 
 double SharedCell::utilization() const {
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - created_).count();
+  const double elapsed_s = Clock::seconds_between(created_, clock_->now());
+  // Guard the zero-elapsed (and any clock-skew negative) window: a cell
+  // created and polled within one virtual instant has demanded no
+  // airtime per unit time yet.
   if (elapsed_s <= 0.0) return 0.0;
   return busy_seconds() / elapsed_s;
 }

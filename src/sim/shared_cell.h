@@ -6,47 +6,67 @@
 // WiFi time but replies were free and nobody contended for the medium.
 // SharedCell closes both gaps. Several sessions attach to one cell;
 // every transfer — an offload payload going up, its answer coming down —
-// is charged airtime at the cell's *fair share* throughput (the full
-// rate divided by the number of attached stations, the same congestion
-// model WifiModel::congested exposes for a single link), plus the base
-// round-trip floor and a seeded jitter draw.
+// costs airtime, plus the base round-trip floor and a seeded jitter
+// draw. Two sharing models:
 //
-// Determinism: a transfer's delay is a pure function of
-// (cell seed, station id, transfer key, byte size, direction, attached
-// stations) — the jitter comes from hashing, not from a shared RNG
-// stream — so concurrent sessions cannot perturb each other's timings
-// through call interleaving. Two runs with the same seed, the same
-// attach order, and the same per-station transfer keys see bit-identical
-// delays, at any worker count. Station 0 with the cell to itself
-// reproduces a standalone SimulatedLink with the same parameters
-// exactly (runtime/transport.cpp builds a private single-station cell
-// from every plain TransportConfig, so the parity is structural).
+//  * Static share (default): a transfer is charged the full rate
+//    divided by the number of *attached* stations (the congestion
+//    model WifiModel::congested exposes for a single link), computed
+//    once at reservation. Delays are a pure function of (cell seed,
+//    station id, transfer key, byte size, direction, attached
+//    stations) — the jitter comes from hashing, not a shared RNG
+//    stream — so same-seed runs see bit-identical delays at any worker
+//    count, and station 0 alone on a cell reproduces a standalone
+//    SimulatedLink exactly (runtime/transport.cpp builds a private
+//    single-station cell from every plain TransportConfig, so the
+//    parity is structural).
 //
-// Airtime accounting: every charged transfer adds its duration (minus
-// the base-latency floor, which models propagation + cloud compute, not
-// medium occupancy) to busy_seconds(). The charge lands when the delay
-// is computed — i.e. at reservation — so a transfer the sender later
-// abandons mid-flight still counts in full: busy_seconds() measures
-// *offered* airtime load, not carried traffic (crediting the unused
-// remainder back would need the abandonment's wall-clock time and make
-// the figure nondeterministic). utilization() divides by the
-// wall-clock age of the cell: 1.0 means one full second of airtime was
-// charged per second of wall time; values above 1.0 mean the attached
-// stations together asked for more airtime than the medium has — a
-// saturated cell.
+//  * Activity-dependent share (SharedCellConfig::
+//    activity_dependent_sharing, the model PR 5 deferred): each
+//    direction is a processor-sharing lane over the transfers
+//    *instantaneously in flight* — a transfer alone on the lane moves
+//    at the full rate no matter how many idle stations are attached,
+//    and N concurrent transfers each progress at rate/N, re-settled on
+//    every join/leave. Durations then depend on the overlap
+//    trajectory: deterministic under a VirtualClock-driven seeded
+//    scenario, approximate under WallClock. Jitter and the base floor
+//    are appended after the shared phase, drawn from the same hash as
+//    the static model.
+//
+// Timing: the cell blocks transferring callers on its clock
+// (SharedCellConfig::clock; null = the process WallClock) for the
+// transfer's duration — scheduled events under a VirtualClock, real
+// waits under WallClock — and a `cancel` predicate cuts an occupancy
+// short (the sender abandoned mid-flight). Cancellation signals from
+// outside the clock's wait/notify discipline must call poke().
+//
+// Airtime accounting: every static-share transfer adds its duration
+// (minus the base-latency floor, which models propagation + cloud
+// compute, not medium occupancy) to busy_seconds() at reservation —
+// *offered* airtime, an abandoned transfer still counts in full.
+// Activity-dependent transfers charge the lane time they actually
+// occupied (plus jitter on completion) — carried airtime. Either way
+// utilization() divides by the cell's age on its own clock: above ~1.0
+// the attached stations jointly demand more airtime than the medium
+// has — a saturated cell.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 
+#include "sim/clock.h"
 #include "sim/wifi_model.h"
 
 namespace meanet::sim {
 
 struct SharedCellConfig {
   /// Uplink throughput/power model of the whole cell; each attached
-  /// station transfers at throughput / attached_stations.
+  /// station transfers at throughput / attached_stations (static
+  /// share) or throughput / concurrent transfers (activity-dependent).
   WifiModel uplink;
   /// Downlink model (answers coming back). Defaults to the same cell
   /// geometry as the uplink; responses are small, so with default
@@ -61,6 +81,25 @@ struct SharedCellConfig {
   /// Seed of the jitter hash. Station 0's draws with this seed equal a
   /// standalone SimulatedLink's draws with the same seed.
   std::uint64_t seed = 0x1f1ULL;
+  /// Fair-share over *instantaneously transmitting* stations instead of
+  /// the static attached-station split — see the header comment. Off by
+  /// default: the static model stays the oracle the existing suites
+  /// pin down.
+  bool activity_dependent_sharing = false;
+  /// Clock the cell times its transfers and utilization window on; null
+  /// = the process WallClock. Every session transferring on the cell
+  /// must share this clock (SimulatedLink enforces it by pointer).
+  std::shared_ptr<Clock> clock;
+};
+
+/// One completed (or cut-short) timed occupancy of the cell.
+struct TransferOutcome {
+  /// The transfer's nominal simulated delay, seconds: share phase +
+  /// jitter + base floor. For a cancelled activity-dependent transfer
+  /// this is the time actually occupied before the abandonment.
+  double delay_s = 0.0;
+  /// True when `cancel` fired before the transfer finished.
+  bool cancelled = false;
 };
 
 class SharedCell {
@@ -74,38 +113,86 @@ class SharedCell {
   /// Deregisters a station; later transfers of the remaining stations
   /// see the smaller contention factor.
   void detach(int station);
-  /// Stations currently sharing the cell (the contention factor).
+  /// Stations currently sharing the cell (the static contention
+  /// factor).
   int stations() const;
 
   /// Seconds station `station` occupies the uplink shipping `bytes`
-  /// (fair-share transfer time + base RTT + one jitter draw keyed by
-  /// `key`). Deterministic: see the header comment.
+  /// under the *static* model (fair-share transfer time + base RTT +
+  /// one jitter draw keyed by `key`), charged at reservation.
+  /// Deterministic: see the header comment.
   double uplink_delay_s(int station, std::uint64_t key, std::int64_t bytes);
   /// Same for a response of `bytes` coming down to `station`. The jitter
   /// draw is salted by direction, so an uplink and a downlink transfer
   /// with the same key do not share one.
   double downlink_delay_s(int station, std::uint64_t key, std::int64_t bytes);
 
+  /// Performs a full timed uplink transfer on the cell's clock: blocks
+  /// the caller for the transfer's simulated duration (static share,
+  /// or the processor-sharing lane when activity_dependent_sharing is
+  /// set). `cancel` — checked at every wake — cuts the occupancy
+  /// short; pair an out-of-band cancellation signal with poke().
+  TransferOutcome uplink_transfer(int station, std::uint64_t key, std::int64_t bytes,
+                                  const std::function<bool()>& cancel = nullptr);
+  /// The downlink counterpart.
+  TransferOutcome downlink_transfer(int station, std::uint64_t key, std::int64_t bytes,
+                                    const std::function<bool()>& cancel = nullptr);
+
+  /// Wakes every in-flight transfer to re-check its cancel predicate
+  /// (for cancellation state guarded by mutexes the cell cannot see).
+  void poke();
+
   /// Total airtime charged so far (upload + downlink transfer time and
   /// jitter, excluding the base-latency floor), seconds.
   double busy_seconds() const;
-  /// busy_seconds() per wall-clock second since the cell was created.
+  /// busy_seconds() per second of the cell's age on its own clock.
   /// Above ~1.0 the stations jointly demand more airtime than one
-  /// medium has: the cell is saturated.
+  /// medium has: the cell is saturated. 0 when no time has elapsed yet
+  /// (a cell created and polled within one virtual instant).
   double utilization() const;
 
   const SharedCellConfig& config() const { return config_; }
+  /// The resolved clock every attached session must share.
+  const std::shared_ptr<Clock>& clock() const { return clock_; }
 
  private:
+  /// One direction's processor-sharing state: in-flight transfers and
+  /// the solo-seconds each still needs. Guarded by transfer_mutex_.
+  struct Lane {
+    std::map<std::uint64_t, double> remaining_s;  // flow id -> solo-seconds left
+    Clock::TimePoint last_settle{};
+    std::uint64_t next_flow = 0;
+    std::uint64_t epoch = 0;  // bumped on every join/leave
+  };
+
   double delay_s(const WifiModel& model, int station, std::uint64_t key, std::int64_t bytes,
                  std::uint64_t direction_salt);
+  /// The per-transfer jitter draw both sharing models use.
+  double jitter_for(int station, std::uint64_t key, std::uint64_t direction_salt) const;
+  TransferOutcome transfer(Lane& lane, const WifiModel& model, int station, std::uint64_t key,
+                           std::int64_t bytes, std::uint64_t direction_salt,
+                           const std::function<bool()>& cancel);
+  /// Occupies the caller for `delay_s` on the clock; false when cancel
+  /// fired first. Takes transfer_mutex_.
+  bool hold(double delay_s, const std::function<bool()>& cancel);
+  /// Accrues lane progress up to `now` (each in-flight transfer
+  /// advanced by dt / concurrency). Caller holds transfer_mutex_.
+  static void settle_lane(Lane& lane, Clock::TimePoint now);
 
   SharedCellConfig config_;
+  std::shared_ptr<Clock> clock_;
   mutable std::mutex mutex_;
   int next_station_ = 0;   // guarded by mutex_
   int attached_ = 0;       // guarded by mutex_
   double busy_s_ = 0.0;    // guarded by mutex_
-  std::chrono::steady_clock::time_point created_;
+  Clock::TimePoint created_;
+
+  // Blocking-transfer state. transfer_mutex_ may acquire mutex_ (to
+  // charge airtime) but never the reverse.
+  std::mutex transfer_mutex_;
+  std::condition_variable transfer_cv_;
+  std::uint64_t poke_epoch_ = 0;  // guarded by transfer_mutex_
+  Lane uplink_lane_, downlink_lane_;
 };
 
 namespace detail {

@@ -42,6 +42,7 @@ SystemReport DistributedSystem::run(const data::Dataset& dataset, int batch_size
   config.route_deadline_s = route_deadline_s_;
   config.route_priority = route_priority_;
   config.starvation_bound = starvation_bound_;
+  config.clock = clock_;
   runtime::InferenceSession session(std::move(config));
   const std::vector<runtime::InferenceResult> results = session.run(dataset);
 

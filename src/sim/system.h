@@ -15,6 +15,7 @@
 #include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
 #include "runtime/transport.h"
+#include "sim/clock.h"
 #include "sim/cloud_node.h"
 #include "sim/edge_node.h"
 
@@ -84,6 +85,11 @@ class DistributedSystem {
   /// runtime::EngineConfig::starvation_bound); 0 disables aging.
   void set_starvation_bound(int bound) { starvation_bound_ = bound; }
 
+  /// Time source of the serving session run() builds (see
+  /// runtime::EngineConfig::clock). Null (the default) = wall time;
+  /// inject a sim::VirtualClock to run the scenario in virtual time.
+  void set_clock(std::shared_ptr<Clock> clock) { clock_ = std::move(clock); }
+
   /// Runs Alg. 2 over the dataset and aggregates accuracy / energy;
   /// all `worker_threads` serve on the edge's one net.
   SystemReport run(const data::Dataset& dataset, int batch_size = 64, int worker_threads = 1);
@@ -102,6 +108,7 @@ class DistributedSystem {
       std::numeric_limits<double>::infinity()};
   std::array<int, core::kNumRoutes> route_priority_{0, 0, 0};
   int starvation_bound_ = 64;
+  std::shared_ptr<Clock> clock_;
 };
 
 }  // namespace meanet::sim

@@ -432,25 +432,31 @@ TEST(SessionScheduling, HighPriorityStreamOvertakesABulkRun) {
   // run()'s chunks carry the route_priority default (0 here); the
   // streamed frame is submitted above it.
   SettleOrder settle;
-  InferenceSession session(cfg);
-  // Pin the worker, then start a bulk run in another thread; its chunks
-  // queue up behind the gate.
-  session.submit(f.ds.test.instance(0), settle.options(0));
-  gate->wait_engaged();  // the worker holds request 0; the run's chunks will queue
-  data::Dataset bulk;
-  bulk.images = f.ds.test.images.slice_batch(0, 8);
-  bulk.labels.assign(f.ds.test.labels.begin(), f.ds.test.labels.begin() + 8);
-  bulk.num_classes = f.ds.test.num_classes;
-  std::thread runner([&] { session.run(bulk); });
-  // Wait until the run's chunks are actually queued.
-  while (session.metrics().submitted_instances < 9) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::vector<InferenceResult> results;
+  {
+    InferenceSession session(cfg);
+    // Pin the worker, then start a bulk run in another thread; its
+    // chunks queue up behind the gate.
+    session.submit(f.ds.test.instance(0), settle.options(0));
+    gate->wait_engaged();  // the worker holds request 0; the run's chunks will queue
+    data::Dataset bulk;
+    bulk.images = f.ds.test.images.slice_batch(0, 8);
+    bulk.labels.assign(f.ds.test.labels.begin(), f.ds.test.labels.begin() + 8);
+    bulk.num_classes = f.ds.test.num_classes;
+    std::thread runner([&] { session.run(bulk); });
+    // Wait until the run's chunks are actually queued.
+    while (session.metrics().submitted_instances < 9) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ResultHandle urgent = session.submit(f.ds.test.instance(9), settle.options(99, 5));
+    gate->release();
+    results = urgent.wait();
+    runner.join();
+    session.drain();
+    // The session destructor flushes the completion-callback thread;
+    // only then is settle.order safe to read (asserting right after
+    // drain() raced the callback runner and flaked under load).
   }
-  ResultHandle urgent = session.submit(f.ds.test.instance(9), settle.options(99, 5));
-  gate->release();
-  const auto results = urgent.wait();
-  runner.join();
-  session.drain();
   ASSERT_EQ(results.size(), 1u);
   // The urgent frame settled right after the gated request, before any
   // of the run()'s eight chunks.

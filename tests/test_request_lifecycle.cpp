@@ -22,6 +22,7 @@
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "sim/cloud_node.h"
+#include "sim/event_loop.h"
 #include "tiny_models.h"
 
 namespace meanet::runtime {
@@ -424,17 +425,21 @@ TEST(WifiTransport, UploadTimeScalesWithPayloadAndGatesTheAnswer) {
   const double upload_s = transport.wifi.upload_time_s(128);
   ASSERT_NEAR(upload_s, 0.1024, 1e-9);
 
+  auto clock = std::make_shared<sim::VirtualClock>();
   EngineConfig cfg = f.config();
   cfg.policy_config.entropy_threshold = 0.0;  // the frame -> cloud
   cfg.offload_mode = OffloadMode::kRawImage;
   cfg.cloud = &f.cloud;
   cfg.transport = transport;
+  cfg.clock = clock;
   InferenceSession session(cfg);
+  sim::ActorGuard driver(*clock);
 
-  const auto started = std::chrono::steady_clock::now();
+  // Elapsed is measured on the session clock: the ~100ms upload is a
+  // scheduled event, not wall time.
+  const auto started = clock->now();
   const auto results = session.submit(f.ds.test.instance(0)).wait();
-  const double waited_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  const double waited_s = sim::Clock::seconds_between(started, clock->now());
   session.drain();
 
   ASSERT_EQ(results.size(), 1u);
@@ -479,15 +484,20 @@ TEST(WifiTransport, CongestedCellScalesUploadTime) {
 // Deadline-aware queue admission
 // ---------------------------------------------------------------------
 
-/// Holds each routing call for `hold_s`, pinning the serving worker so
-/// the submit queue deterministically backs up behind it.
+/// Holds each routing call for `hold_s` on the given clock, pinning the
+/// serving worker so the submit queue deterministically backs up behind
+/// it. Under a VirtualClock the hold is a scheduled event, so the
+/// backup costs no wall time.
 class SlowPolicy : public core::RoutingPolicy {
  public:
-  SlowPolicy(std::shared_ptr<const core::RoutingPolicy> inner, double hold_s)
-      : inner_(std::move(inner)), hold_s_(hold_s) {}
+  SlowPolicy(std::shared_ptr<const core::RoutingPolicy> inner, double hold_s,
+             std::shared_ptr<sim::Clock> clock = nullptr)
+      : inner_(std::move(inner)),
+        hold_s_(hold_s),
+        clock_(sim::resolve_clock(std::move(clock))) {}
 
   core::Route route(const core::RouteSignals& signals) const override {
-    std::this_thread::sleep_for(std::chrono::duration<double>(hold_s_));
+    clock_->sleep_for(hold_s_);
     return inner_->route(signals);
   }
   unsigned needed_signals() const override { return inner_->needed_signals(); }
@@ -496,17 +506,20 @@ class SlowPolicy : public core::RoutingPolicy {
  private:
   std::shared_ptr<const core::RoutingPolicy> inner_;
   double hold_s_;
+  std::shared_ptr<sim::Clock> clock_;
 };
 
 TEST(Admission, RejectsWhenQueueWaitAloneExceedsTheDeadline) {
   Fixture& f = Fixture::instance();
+  auto clock = std::make_shared<sim::VirtualClock>();
   EngineConfig cfg;
   cfg.net = &f.net;
   cfg.dict = &f.dict;
-  // The worker holds the first request for 400ms, so the next submits
-  // pile up behind it deterministically.
+  cfg.clock = clock;
+  // The worker holds the first request for 400ms of virtual time, so
+  // the next submits pile up behind it deterministically.
   cfg.policy = std::make_shared<SlowPolicy>(
-      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400);
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400, clock);
   cfg.worker_threads = 1;
   cfg.batch_size = 1;
   cfg.set_deadline_s(0.050);
@@ -515,11 +528,14 @@ TEST(Admission, RejectsWhenQueueWaitAloneExceedsTheDeadline) {
   cfg.admission_control = true;
   cfg.admission_service_estimate_s = 10.0;
   InferenceSession session(cfg);
+  sim::ActorGuard driver(*clock);
 
   // First request: picked up by the worker (queue wait 0 — admitted).
   ResultHandle first = session.submit(f.ds.test.instance(0));
-  // Give the worker time to pop it and start the slow routing call.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Virtual sleep in place of the old 100ms wall sleep: it can only
+  // complete once every other actor is parked — i.e. once the worker
+  // has popped the frame and is holding inside the slow routing call.
+  clock->sleep_for(0.100);
   // Second request: nothing queued ahead of it — still admitted.
   ResultHandle second = session.submit(f.ds.test.instance(1));
   // Third request: one instance queued ahead -> estimated wait 10s
@@ -555,16 +571,19 @@ TEST(Admission, BulkRunIsNeverGated) {
 
 TEST(Admission, UnboundedDeadlinesNeverReject) {
   Fixture& f = Fixture::instance();
+  auto clock = std::make_shared<sim::VirtualClock>();
   EngineConfig cfg;
   cfg.net = &f.net;
   cfg.dict = &f.dict;
+  cfg.clock = clock;
   cfg.policy = std::make_shared<SlowPolicy>(
-      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.100);
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.100, clock);
   cfg.worker_threads = 1;
   cfg.batch_size = 1;
   cfg.admission_control = true;
   cfg.admission_service_estimate_s = 10.0;  // estimate alone must not matter
   InferenceSession session(cfg);
+  sim::ActorGuard driver(*clock);
   std::vector<ResultHandle> handles;
   for (int i = 0; i < 4; ++i) handles.push_back(session.submit(f.ds.test.instance(i)));
   for (ResultHandle& h : handles) EXPECT_EQ(h.wait().size(), 1u);
@@ -574,19 +593,24 @@ TEST(Admission, UnboundedDeadlinesNeverReject) {
 
 TEST(Admission, PerSubmitOverrideGatesAdmissionToo) {
   Fixture& f = Fixture::instance();
+  auto clock = std::make_shared<sim::VirtualClock>();
   EngineConfig cfg;
   cfg.net = &f.net;
   cfg.dict = &f.dict;
+  cfg.clock = clock;
   cfg.policy = std::make_shared<SlowPolicy>(
-      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400);
+      std::make_shared<core::EntropyThresholdPolicy>(f.dict, core::PolicyConfig{}), 0.400, clock);
   cfg.worker_threads = 1;
   cfg.batch_size = 1;
   cfg.admission_control = true;
   cfg.admission_service_estimate_s = 10.0;
   InferenceSession session(cfg);  // session deadlines all unbounded
+  sim::ActorGuard driver(*clock);
 
   ResultHandle first = session.submit(f.ds.test.instance(0));
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // See RejectsWhenQueueWaitAloneExceedsTheDeadline: the virtual sleep
+  // completes only with the worker parked inside the slow routing call.
+  clock->sleep_for(0.100);
   ResultHandle second = session.submit(f.ds.test.instance(1));  // queues behind the slow one
   SubmitOptions tight;
   tight.deadline_s = 0.050;  // this request's own bound does the gating

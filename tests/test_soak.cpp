@@ -1,5 +1,7 @@
 // Deterministic soak / property harness for the async serving layer
-// (ctest label: "soak" — excluded from the Debug CI leg).
+// (ctest label: "soak"). Every phase runs under a sim::VirtualClock, so
+// the injected link latencies, deadlines and WiFi uploads are scheduled
+// events instead of wall sleeps — thousands of ops finish in seconds.
 //
 // Three phases:
 //   1. Churn: thousands of mixed submit / cancel / wait / drain ops
@@ -29,6 +31,7 @@
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "sim/cloud_node.h"
+#include "sim/event_loop.h"
 #include "tiny_models.h"
 
 namespace meanet::runtime {
@@ -93,11 +96,13 @@ TEST(Soak, ChurnWithCancelStormKeepsInvariantsAndLeaksNothing) {
   std::int64_t waited_results = 0, drained_results = 0;
   SessionMetrics final_metrics;
   {
+    auto clock = std::make_shared<sim::VirtualClock>();
     EngineConfig cfg = f.config();
+    cfg.clock = clock;
     cfg.backend = std::make_shared<LossyBackend>(
         std::make_shared<LatencyInjectingBackend>(
             std::make_shared<RawImageBackend>(&f.cloud), 0.0005, /*jitter_s=*/0.002,
-            /*seed=*/0xBEEF),
+            /*seed=*/0xBEEF, clock),
         /*loss_rate=*/0.25, /*seed=*/0xFEED);
     cfg.offload_timeout_s = 0.002;
     cfg.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = 0.250;
@@ -106,6 +111,9 @@ TEST(Soak, ChurnWithCancelStormKeepsInvariantsAndLeaksNothing) {
     cfg.queue_capacity = 64;
     cfg.response_cache_capacity = 32;
     InferenceSession session(cfg);
+    // The churn driver registers too: virtual time only moves while it
+    // is blocked in submit (queue full), wait or drain.
+    sim::ActorGuard driver(*clock);
 
     std::vector<ResultHandle> live;     // handles not yet waited
     std::vector<ResultHandle> retired;  // waited (kept for the final audit)
@@ -202,14 +210,17 @@ struct SerialRun {
 };
 
 SerialRun serial_run(Fixture& f, const std::vector<int>& frames) {
+  auto clock = std::make_shared<sim::VirtualClock>();
   EngineConfig cfg = f.config();
+  cfg.clock = clock;
   cfg.backend = std::make_shared<LossyBackend>(
       std::make_shared<LatencyInjectingBackend>(std::make_shared<RawImageBackend>(&f.cloud),
-                                                0.0002, /*jitter_s=*/0.001, /*seed=*/88),
+                                                0.0002, /*jitter_s=*/0.001, /*seed=*/88, clock),
       /*loss_rate=*/0.3, /*seed=*/77);
   cfg.batch_size = 1;
   cfg.response_cache_capacity = 16;
   InferenceSession session(cfg);
+  sim::ActorGuard driver(*clock);
   SerialRun out;
   std::int64_t correct = 0;
   for (const int frame : frames) {
@@ -275,14 +286,17 @@ TEST(Soak, DeadlineBoundsTailLatencyAtEdgeParityOnAWifiTimedLink) {
   constexpr int kFrames = 12;
 
   auto closed_loop = [&](bool with_deadline) {
+    auto clock = std::make_shared<sim::VirtualClock>();
     EngineConfig cfg = f.config();
     cfg.offload_mode = OffloadMode::kRawImage;
     cfg.cloud = &f.cloud;
     cfg.transport = transport;
+    cfg.clock = clock;
     if (with_deadline) {
       cfg.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = kDeadlineS;
     }
     InferenceSession session(cfg);
+    sim::ActorGuard driver(*clock);
     std::vector<InferenceResult> results;
     // Closed loop (submit -> wait) so the tail measures the link and
     // the deadline, not self-inflicted queueing.
