@@ -22,23 +22,47 @@
 // — tallies the frames the deadline saved.
 //
 // Build & run:  ./build/examples/smart_camera
+//
+// Pass --wire PATH_TO_MEANET_CLOUDD to serve the cloud side from a real
+// spawned daemon over a Unix-domain socket instead of the in-process
+// CloudNode: the trained cloud weights are saved to disk, meanet_cloudd
+// is launched with them, and both the camera's and the neighbor's
+// offloads travel the framed wire protocol — coalescing into
+// cross-session batches at the daemon. Default stays in-process.
+//
+//   ./build/examples/smart_camera --wire ./build/tools/meanet_cloudd
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "nn/serialize.h"
 #include "runtime/session.h"
 #include "runtime/transport.h"
 #include "sim/cloud_node.h"
 #include "sim/shared_cell.h"
+#include "wire/process.h"
 
 using namespace meanet;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string cloudd_path;  // empty = in-process cloud
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wire") == 0 && i + 1 < argc) {
+      cloudd_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: smart_camera [--wire PATH_TO_MEANET_CLOUDD]\n");
+      return 2;
+    }
+  }
   // Workload: 10 "scene" classes at 16x16 RGB.
   data::SyntheticSpec spec;
   spec.num_classes = 10;
@@ -77,6 +101,23 @@ int main() {
   cloud_opts.batch_size = 32;
   cloud_opts.milestones = {8, 12};
   core::train_classifier(cloud_net, parts.first, cloud_opts, train_rng);
+
+  // --wire: hand the trained cloud weights to a spawned meanet_cloudd
+  // and dial it over a Unix socket, so every offload below travels the
+  // framed wire protocol instead of calling the in-process CloudNode.
+  std::unique_ptr<wire::ChildProcess> cloudd;
+  std::string socket_path, weights_path;
+  if (!cloudd_path.empty()) {
+    const std::string tag = std::to_string(::getpid());
+    socket_path = "/tmp/smart_camera_" + tag + ".sock";
+    weights_path = "/tmp/smart_camera_" + tag + ".weights";
+    nn::save_model(cloud_net, weights_path);
+    cloudd = std::make_unique<wire::ChildProcess>(std::vector<std::string>{
+        cloudd_path, "--socket", socket_path, "--model", weights_path, "--image-channels", "3",
+        "--classes", std::to_string(spec.num_classes)});
+    std::printf("spawned %s (pid %lld) serving the cloud model on %s\n", cloudd_path.c_str(),
+                static_cast<long long>(cloudd->pid()), socket_path.c_str());
+  }
   sim::CloudNode cloud(std::move(cloud_net));
 
   // Edge node priced like a ~5 W embedded accelerator with WiFi uplink.
@@ -122,8 +163,13 @@ int main() {
   serve.dict = &dict;
   serve.policy_config.cloud_available = true;
   serve.policy_config.entropy_threshold = 0.6;
-  serve.offload_mode = runtime::OffloadMode::kRawImage;
-  serve.cloud = &cloud;
+  if (cloudd != nullptr) {
+    serve.offload_mode = runtime::OffloadMode::kWire;
+    serve.wire_socket_path = socket_path;
+  } else {
+    serve.offload_mode = runtime::OffloadMode::kRawImage;
+    serve.cloud = &cloud;
+  }
   serve.batch_size = 32;
   serve.costs = costs;
   serve.route_deadline_s[static_cast<std::size_t>(core::Route::kCloud)] = 0.060;
@@ -225,6 +271,10 @@ int main() {
     std::printf("%-12s %8lld %10.3f %10.3f %10.3f\n", core::route_name(route),
                 static_cast<long long>(stats.count), 1e3 * stats.p50_s, 1e3 * stats.p95_s,
                 1e3 * stats.p99_s);
+  }
+  if (cloudd != nullptr) {
+    cloudd->terminate();  // daemon prints its own stats and unlinks the socket
+    ::unlink(weights_path.c_str());
   }
   return 0;
 }

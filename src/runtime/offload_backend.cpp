@@ -50,6 +50,8 @@ const char* offload_mode_name(OffloadMode mode) {
       return "raw-image";
     case OffloadMode::kFeature:
       return "feature";
+    case OffloadMode::kWire:
+      return "wire";
   }
   std::abort();  // unreachable: the switch is exhaustive (-Wswitch)
 }
@@ -63,6 +65,10 @@ std::shared_ptr<OffloadBackend> make_backend(OffloadMode mode, sim::CloudNode* c
       return std::make_shared<RawImageBackend>(cloud);
     case OffloadMode::kFeature:
       return std::make_shared<FeatureBackend>(feature_cloud);
+    case OffloadMode::kWire:
+      throw std::invalid_argument(
+          "make_backend: OffloadMode::kWire is configured through "
+          "EngineConfig::wire_socket_path (InferenceSession builds it)");
   }
   std::abort();  // unreachable: the switch is exhaustive (-Wswitch)
 }

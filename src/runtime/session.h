@@ -118,6 +118,16 @@ struct EngineConfig {
   /// Measured from dispatch — the per-route deadlines below are
   /// measured from submit() and bound the same wait from the other end.
   double offload_timeout_s = std::numeric_limits<double>::infinity();
+  /// Wire mode (offload_mode = OffloadMode::kWire): Unix-domain socket
+  /// path of the meanet_cloudd to dial. The session builds a
+  /// WireBackend over it — raw-image payloads framed per wire/frame.h;
+  /// a wire failure falls back to edge predictions exactly like an
+  /// unreachable in-process cloud. Ignored in the other modes.
+  std::string wire_socket_path;
+  /// Wire mode: bound on the initial connect (covers a daemon still
+  /// starting up) and on waiting for each response frame.
+  double wire_connect_timeout_s = 5.0;
+  double wire_response_timeout_s = 30.0;
   /// Simulated link the dispatcher applies to every dispatched payload:
   /// upload time derived from the WiFi model and the payload's byte
   /// size, plus base RTT and seeded jitter (see runtime/transport.h).

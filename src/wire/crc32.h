@@ -1,0 +1,16 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the payload
+// checksum of the offload wire protocol (wire/frame.h). Standard
+// parameters so frames are checkable by any off-the-shelf tool:
+// crc32("123456789") == 0xCBF43926.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace meanet::wire {
+
+/// CRC32 of `size` bytes. Pass a previous result as `seed` to extend a
+/// running checksum over split buffers (seed 0 starts a fresh one).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace meanet::wire

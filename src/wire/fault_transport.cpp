@@ -1,0 +1,73 @@
+#include "wire/fault_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace meanet::wire {
+
+FaultInjectingTransport::FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                                                 FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {}
+
+std::size_t FaultInjectingTransport::read_some(std::uint8_t* buf, std::size_t max,
+                                               double timeout_s) {
+  if (plan_.max_read_chunk > 0) max = std::min(max, plan_.max_read_chunk);
+  const std::size_t n = inner_->read_some(buf, max, timeout_s);
+  if (n > 0 && plan_.read_delay_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(plan_.read_delay_s));
+  }
+  return n;
+}
+
+void FaultInjectingTransport::write_all(const std::uint8_t* data, std::size_t size) {
+  if (truncated_) throw TransportError("fault: stream truncated");
+  std::vector<std::uint8_t> staged(data, data + size);
+  const std::uint64_t start = written_;
+  // Corruption: flip the planned byte if it falls inside this write.
+  if (plan_.corrupt_byte_at != kNoFault && plan_.corrupt_byte_at >= start &&
+      plan_.corrupt_byte_at < start + size) {
+    staged[static_cast<std::size_t>(plan_.corrupt_byte_at - start)] ^= 0x5A;
+  }
+  // Truncation: forward only the bytes before the cut, then close so
+  // the peer sees EOF mid-frame.
+  std::size_t forward = size;
+  bool cut = false;
+  if (plan_.truncate_after_bytes != kNoFault && start + size > plan_.truncate_after_bytes) {
+    forward = plan_.truncate_after_bytes > start
+                  ? static_cast<std::size_t>(plan_.truncate_after_bytes - start)
+                  : 0;
+    cut = true;
+  }
+  // Disconnect: forward the bytes before the cut, then hard-close both
+  // directions (reads die too, unlike truncation).
+  bool drop = false;
+  if (plan_.disconnect_after_bytes != kNoFault &&
+      start + forward >= plan_.disconnect_after_bytes) {
+    forward = plan_.disconnect_after_bytes > start
+                  ? std::min<std::size_t>(
+                        forward, static_cast<std::size_t>(plan_.disconnect_after_bytes - start))
+                  : 0;
+    drop = true;
+  }
+  if (forward > 0) inner_->write_all(staged.data(), forward);
+  written_ += forward;
+  if (cut) {
+    truncated_ = true;
+    inner_->close();
+    return;  // the dropped tail is the fault, not an error on this side
+  }
+  if (drop) {
+    inner_->close();
+    throw TransportError("fault: disconnected mid-frame");
+  }
+}
+
+void FaultInjectingTransport::close() { inner_->close(); }
+
+std::string FaultInjectingTransport::describe() const {
+  return "fault(" + inner_->describe() + ")";
+}
+
+}  // namespace meanet::wire

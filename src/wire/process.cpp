@@ -1,0 +1,64 @@
+#include "wire/process.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace meanet::wire {
+
+ChildProcess::ChildProcess(std::vector<std::string> argv) {
+  if (argv.empty()) throw std::invalid_argument("ChildProcess: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (std::string& arg : argv) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+  pid_ = ::fork();
+  if (pid_ < 0) {
+    throw std::runtime_error(std::string("ChildProcess: fork: ") + std::strerror(errno));
+  }
+  if (pid_ == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Only reached when exec failed; _exit skips atexit/static teardown
+    // of the forked copy.
+    ::_exit(127);
+  }
+}
+
+ChildProcess::~ChildProcess() { terminate(); }
+
+bool ChildProcess::running() {
+  if (pid_ < 0) return false;
+  int status = 0;
+  const pid_t rc = ::waitpid(pid_, &status, WNOHANG);
+  if (rc == pid_) {
+    pid_ = -1;
+    return false;
+  }
+  return rc == 0;
+}
+
+void ChildProcess::terminate(double grace_s) {
+  if (pid_ < 0) return;
+  ::kill(pid_, SIGTERM);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(grace_s);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+      pid_ = -1;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+}  // namespace meanet::wire

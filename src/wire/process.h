@@ -1,0 +1,38 @@
+// Minimal child-process supervisor for the pieces that spawn a real
+// meanet_cloudd (examples, end-to-end checks): fork+exec with argv,
+// SIGTERM + waitpid teardown. Not a general process library — just
+// enough to run a daemon for the lifetime of a scope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace meanet::wire {
+
+class ChildProcess {
+ public:
+  /// Spawns `argv[0]` with the given arguments. Throws std::runtime_error
+  /// when the fork/exec fails outright (a missing binary is only
+  /// detected by the child exiting; call running() to check).
+  explicit ChildProcess(std::vector<std::string> argv);
+  ~ChildProcess();
+
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// True while the child has not been reaped.
+  bool running();
+
+  /// SIGTERM, escalating to SIGKILL after `grace_s`, then reaps.
+  /// Idempotent; the destructor calls it.
+  void terminate(double grace_s = 2.0);
+
+  pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+}  // namespace meanet::wire

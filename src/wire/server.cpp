@@ -1,0 +1,354 @@
+#include "wire/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace meanet::wire {
+
+namespace {
+
+/// Instances a pending payload carries (its dim-0 row count).
+std::int64_t payload_instances(const runtime::OffloadPayload& payload) {
+  if (!payload.images.empty()) return payload.images.shape().dim(0);
+  return payload.features.shape().dim(0);
+}
+
+/// Per-instance geometry of a tensor ("" when absent): batchable
+/// requests must agree on it per modality.
+std::string row_signature(const Tensor& t) {
+  if (t.empty()) return "";
+  std::string sig;
+  for (int i = 1; i < t.shape().rank(); ++i) {
+    sig += std::to_string(t.shape().dim(i));
+    sig += 'x';
+  }
+  return sig;
+}
+
+bool batchable(const runtime::OffloadPayload& a, const runtime::OffloadPayload& b) {
+  return row_signature(a.images) == row_signature(b.images) &&
+         row_signature(a.features) == row_signature(b.features);
+}
+
+/// Concatenates same-row-geometry tensors along dim 0 (empty inputs →
+/// empty output).
+Tensor concat_rows(const std::vector<const Tensor*>& parts) {
+  if (parts.empty() || parts.front()->empty()) return {};
+  std::vector<int> dims = parts.front()->shape().dims();
+  dims[0] = 0;
+  for (const Tensor* t : parts) dims[0] += t->shape().dim(0);
+  Tensor out{Shape(dims)};
+  float* dst = out.data();
+  for (const Tensor* t : parts) {
+    std::memcpy(dst, t->data(), static_cast<std::size_t>(t->numel()) * sizeof(float));
+    dst += t->numel();
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsEntries WireServerStats::to_entries() const {
+  StatsEntries entries = {
+      {"connections_accepted", connections_accepted},
+      {"connections_active", connections_active},
+      {"frames_in", frames_in},
+      {"frames_out", frames_out},
+      {"requests_served", requests_served},
+      {"instances_served", instances_served},
+      {"batches", batches},
+      {"cross_session_batches", cross_session_batches},
+      {"protocol_errors", protocol_errors},
+      {"backend_failures", backend_failures},
+  };
+  for (std::size_t k = 0; k < batch_size_histogram.size(); ++k) {
+    if (batch_size_histogram[k] > 0) {
+      entries.emplace_back("batch_size_" + std::to_string(k), batch_size_histogram[k]);
+    }
+  }
+  return entries;
+}
+
+WireServer::WireServer(std::shared_ptr<runtime::OffloadBackend> backend,
+                       WireServerConfig config)
+    : backend_(std::move(backend)), config_(config) {
+  if (!backend_) throw std::invalid_argument("WireServer: null backend");
+  if (config_.max_batch_instances < 1) config_.max_batch_instances = 1;
+  batch_thread_ = std::thread([this] { batch_loop(); });
+}
+
+WireServer::~WireServer() { stop(); }
+
+void WireServer::listen_unix(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("WireServer: listen after stop");
+    if (listener_) throw std::logic_error("WireServer: already listening");
+  }
+  listener_ = std::make_unique<UnixListener>(path);
+  socket_path_ = path;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void WireServer::accept_loop() {
+  while (true) {
+    std::unique_ptr<Transport> conn = listener_->accept(0.25);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    if (conn) adopt(std::move(conn));
+  }
+}
+
+void WireServer::adopt(std::unique_ptr<Transport> transport) {
+  auto conn = std::make_shared<Connection>();
+  conn->transport = std::move(transport);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      conn->transport->close();
+      return;
+    }
+    conn->id = next_connection_id_++;
+    connections_.push_back(conn);
+    stats_.connections_accepted++;
+    stats_.connections_active++;
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
+  FrameLimits limits = config_.limits;
+  limits.timeout_s = kNoTimeout;  // block until the connection closes
+  while (true) {
+    Frame frame;
+    try {
+      if (!read_frame(*conn->transport, frame, limits)) break;  // orderly goodbye
+    } catch (const ProtocolError& e) {
+      // A malformed frame poisons the stream (framing is lost), so the
+      // connection is told why and dropped.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.protocol_errors++;
+      }
+      send_error(*conn, 0, ErrorCode::kMalformedFrame, e.what());
+      break;
+    } catch (const WireError&) {
+      break;  // connection died (reset / truncated / closed during stop)
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.frames_in++;
+    }
+    switch (frame.command) {
+      case Command::kOffloadRequest: {
+        Pending pending;
+        pending.conn = conn;
+        pending.request_id = frame.request_id;
+        try {
+          pending.payload = decode_offload_request(frame.payload);
+        } catch (const WireError& e) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.protocol_errors++;
+          }
+          send_error(*conn, frame.request_id, ErrorCode::kMalformedFrame, e.what());
+          continue;  // payload was framed correctly; the stream is still good
+        }
+        pending.instances = payload_instances(pending.payload);
+        pending.arrived = std::chrono::steady_clock::now();
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          pending_.push_back(std::move(pending));
+        }
+        pending_cv_.notify_all();
+        break;
+      }
+      case Command::kPing:
+        send_frame(*conn, Frame{Command::kPong, frame.request_id, {}});
+        break;
+      case Command::kStatsRequest: {
+        const WireServerStats snapshot = stats();
+        send_frame(*conn, Frame{Command::kStatsResponse, frame.request_id,
+                                encode_stats(snapshot.to_entries())});
+        break;
+      }
+      default:
+        send_error(*conn, frame.request_id, ErrorCode::kUnknownCommand,
+                   std::string("unexpected command: ") + command_name(frame.command));
+        break;
+    }
+  }
+  conn->transport->close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.connections_active--;
+    connections_.erase(std::remove(connections_.begin(), connections_.end(), conn),
+                       connections_.end());
+  }
+}
+
+void WireServer::batch_loop() {
+  const auto window = std::chrono::duration<double>(config_.batch_window_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    pending_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    if (stopping_) return;
+    // Fire when enough instances are pending or the oldest request's
+    // window has closed; otherwise sleep until one becomes true.
+    while (!stopping_ && !pending_.empty()) {
+      std::int64_t total = 0;
+      for (const Pending& p : pending_) total += p.instances;
+      const auto deadline =
+          pending_.front().arrived + std::chrono::duration_cast<std::chrono::steady_clock::duration>(window);
+      if (total < config_.max_batch_instances &&
+          std::chrono::steady_clock::now() < deadline) {
+        pending_cv_.wait_until(lock, deadline);
+        continue;
+      }
+      // Pop the oldest request plus every batchable peer, capped at
+      // max_batch_instances (the front request always goes, even alone
+      // or oversized).
+      std::vector<Pending> group;
+      group.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      std::int64_t taken = group.front().instances;
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (taken + it->instances <= config_.max_batch_instances &&
+            batchable(group.front().payload, it->payload)) {
+          taken += it->instances;
+          group.push_back(std::move(*it));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      lock.unlock();
+      serve_group(group);
+      lock.lock();
+    }
+  }
+}
+
+void WireServer::serve_group(std::vector<Pending>& group) {
+  // Coalesce the group into one backend call (single-request groups
+  // pass through without a copy).
+  std::vector<int> predictions;
+  bool failed = false;
+  std::string failure;
+  try {
+    if (group.size() == 1) {
+      predictions = backend_->classify(group.front().payload);
+    } else {
+      runtime::OffloadPayload combined;
+      std::vector<const Tensor*> images, features;
+      for (const Pending& p : group) {
+        if (!p.payload.images.empty()) images.push_back(&p.payload.images);
+        if (!p.payload.features.empty()) features.push_back(&p.payload.features);
+      }
+      combined.images = concat_rows(images);
+      combined.features = concat_rows(features);
+      predictions = backend_->classify(combined);
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    failure = e.what();
+  }
+  std::int64_t total = 0;
+  for (const Pending& p : group) total += p.instances;
+  // An empty result is the backend's "unavailable" contract; a wrong
+  // size would misroute labels across requests — both fail the group.
+  if (!failed && static_cast<std::int64_t>(predictions.size()) != total) {
+    failed = true;
+    failure = predictions.empty() ? "backend unavailable" : "backend answered wrong count";
+  }
+
+  std::uint64_t distinct_conns = 0;
+  std::uint64_t last_conn = 0;
+  for (const Pending& p : group) {
+    if (p.conn->id != last_conn) {
+      distinct_conns++;
+      last_conn = p.conn->id;
+    }
+  }
+  // Counters commit BEFORE the replies go out: a client that has its
+  // answer in hand must find the request already counted in any stats
+  // snapshot it asks for next.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.batches++;
+    if (distinct_conns > 1) stats_.cross_session_batches++;
+    const std::size_t bucket =
+        std::min(group.size(), stats_.batch_size_histogram.size() - 1);
+    stats_.batch_size_histogram[bucket]++;
+    if (failed) {
+      stats_.backend_failures++;
+    } else {
+      stats_.requests_served += group.size();
+      stats_.instances_served += static_cast<std::uint64_t>(total);
+    }
+  }
+
+  std::size_t offset = 0;
+  for (Pending& p : group) {
+    if (failed) {
+      send_error(*p.conn, p.request_id, ErrorCode::kBackendFailed, failure);
+      continue;
+    }
+    const std::vector<int> slice(predictions.begin() + static_cast<std::ptrdiff_t>(offset),
+                                 predictions.begin() +
+                                     static_cast<std::ptrdiff_t>(offset + p.instances));
+    offset += static_cast<std::size_t>(p.instances);
+    send_frame(*p.conn,
+               Frame{Command::kOffloadResponse, p.request_id, encode_offload_response(slice)});
+  }
+}
+
+void WireServer::send_frame(Connection& conn, const Frame& frame) {
+  try {
+    std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+    write_frame(*conn.transport, frame);
+  } catch (const WireError&) {
+    return;  // the client vanished; its reader thread handles teardown
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.frames_out++;
+}
+
+void WireServer::send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                            const std::string& message) {
+  send_frame(conn, Frame{Command::kError, request_id, encode_error(code, message)});
+}
+
+WireServerStats WireServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WireServer::stop() {
+  std::vector<std::shared_ptr<Connection>> to_close;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    to_close = connections_;
+  }
+  pending_cv_.notify_all();
+  if (listener_) listener_->close();
+  for (const auto& conn : to_close) conn->transport->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (batch_thread_.joinable()) batch_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace meanet::wire

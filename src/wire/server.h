@@ -1,0 +1,136 @@
+// Multi-tenant wire server: the in-process engine behind meanet_cloudd.
+//
+// Many client connections (edge sessions) are served concurrently; every
+// connection's offload requests funnel into ONE shared pending queue,
+// and a single batch worker coalesces whatever is waiting — across
+// connections — into one backend classify() call per compatible group.
+// That is the cloud-side dual of the paper's edge batching: a request
+// that arrives while another session's offload is being gathered rides
+// the same GPU-sized forward instead of paying its own. Responses are
+// demultiplexed back to each request's own connection by request id.
+//
+// Batching policy: the batch worker fires when the pending instance
+// count reaches `max_batch_instances` or the oldest pending request has
+// waited `batch_window_s`, whichever comes first. Tests exploit the
+// first edge: with max_batch_instances=2 and a wide window, two
+// single-instance clients deterministically coalesce into one
+// cross-session batch (no timing flake).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/offload_backend.h"
+#include "wire/frame.h"
+#include "wire/socket_transport.h"
+
+namespace meanet::wire {
+
+struct WireServerConfig {
+  /// Pending instances that trigger an immediate batch.
+  int max_batch_instances = 32;
+  /// Max wait of the oldest pending request before its batch fires
+  /// regardless of size.
+  double batch_window_s = 0.002;
+  /// Frame limits applied to every connection (timeout_s is ignored:
+  /// reader threads block until their connection closes).
+  FrameLimits limits;
+};
+
+/// Monotonic counters + batch-size histogram; a consistent snapshot is
+/// returned by WireServer::stats() and served over kStatsRequest.
+struct WireServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t instances_served = 0;
+  std::uint64_t batches = 0;
+  /// Batches whose requests came from more than one connection.
+  std::uint64_t cross_session_batches = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t backend_failures = 0;
+  /// histogram[k] = batches that carried k requests (index clamped to
+  /// the vector's top bucket).
+  std::vector<std::uint64_t> batch_size_histogram = std::vector<std::uint64_t>(17, 0);
+
+  StatsEntries to_entries() const;
+};
+
+class WireServer {
+ public:
+  /// `backend` answers the coalesced batches (typically a
+  /// RawImageBackend over the daemon's CloudNode).
+  WireServer(std::shared_ptr<runtime::OffloadBackend> backend, WireServerConfig config);
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Binds a Unix-domain socket and starts the accept loop.
+  void listen_unix(const std::string& path);
+
+  /// Adopts an already-connected transport as one client connection
+  /// (test seam: serve one end of make_pipe(), no sockets involved).
+  void adopt(std::unique_ptr<Transport> conn);
+
+  /// Stops accepting, closes every connection, joins all threads and
+  /// flushes nothing — pending requests die with their connections.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  WireServerStats stats() const;
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  struct Connection {
+    std::unique_ptr<Transport> transport;
+    std::mutex write_mutex;  // reader thread (errors/pong) vs batch worker (responses)
+    std::uint64_t id = 0;
+  };
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t request_id = 0;
+    runtime::OffloadPayload payload;
+    std::int64_t instances = 0;
+    std::chrono::steady_clock::time_point arrived;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void batch_loop();
+  /// Serves one compatible group with a single backend call and demuxes
+  /// the predictions back per request.
+  void serve_group(std::vector<Pending>& group);
+  void send_frame(Connection& conn, const Frame& frame);
+  void send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+
+  std::shared_ptr<runtime::OffloadBackend> backend_;
+  WireServerConfig config_;
+
+  std::unique_ptr<UnixListener> listener_;
+  std::string socket_path_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;  // connections, pending queue, stats, stopping flag
+  std::condition_variable pending_cv_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::deque<Pending> pending_;
+  WireServerStats stats_;
+  bool stopping_ = false;
+  std::uint64_t next_connection_id_ = 1;
+
+  std::thread batch_thread_;
+};
+
+}  // namespace meanet::wire

@@ -1,0 +1,166 @@
+#include "wire/socket_transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace meanet::wire {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+int make_unix_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  return fd;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// poll() for readability; true = ready, false = timeout.
+bool wait_readable(int fd, double timeout_s) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int timeout_ms = -1;
+  if (timeout_s != kNoTimeout) {
+    timeout_ms = timeout_s <= 0.0 ? 0 : static_cast<int>(timeout_s * 1000.0) + 1;
+  }
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {}
+
+SocketTransport::~SocketTransport() {
+  close();
+  ::close(fd_);
+}
+
+std::size_t SocketTransport::read_some(std::uint8_t* buf, std::size_t max, double timeout_s) {
+  while (true) {
+    if (closed_.load()) return 0;  // shutdown() makes recv return 0 anyway
+    if (!wait_readable(fd_, timeout_s)) {
+      throw TransportTimeout("socket read timed out after " + std::to_string(timeout_s) +
+                             "s (" + peer_ + ")");
+    }
+    const ssize_t n = ::recv(fd_, buf, max, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return 0;  // peer vanished: treat as EOF, framing decides
+    throw_errno("recv(" + peer_ + ")");
+  }
+}
+
+void SocketTransport::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (closed_.load()) throw TransportError("write on closed socket (" + peer_ + ")");
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send(" + peer_ + ")");
+  }
+}
+
+void SocketTransport::close() {
+  if (closed_.exchange(true)) return;
+  // shutdown (not close) so a reader blocked in poll() wakes with EOF
+  // while the fd number stays valid until the destructor reclaims it.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::unique_ptr<Transport> connect_unix(const std::string& path, double timeout_s) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (true) {
+    const int fd = make_unix_socket();
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return std::make_unique<SocketTransport>(fd, "unix:" + path);
+    }
+    const int err = errno;
+    ::close(fd);
+    // ENOENT / ECONNREFUSED: the daemon has not bound the path yet.
+    if ((err == ENOENT || err == ECONNREFUSED) &&
+        std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    throw TransportError("connect_unix(" + path + "): " + std::strerror(err));
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  ::unlink(path.c_str());  // a stale path from a crashed run blocks bind
+  fd_ = make_unix_socket();
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw TransportError("bind(" + path + "): " + std::strerror(err));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw TransportError("listen(" + path + "): " + std::strerror(err));
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> UnixListener::accept(double timeout_s) {
+  while (true) {
+    if (closed_.load()) return nullptr;
+    if (!wait_readable(fd_, timeout_s)) return nullptr;
+    if (closed_.load()) return nullptr;  // woken by close()'s shutdown
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      return std::make_unique<SocketTransport>(client, "unix-peer:" + path_);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (closed_.load()) return nullptr;
+    throw_errno("accept(" + path_ + ")");
+  }
+}
+
+void UnixListener::close() {
+  if (closed_.exchange(true)) return;
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace meanet::wire

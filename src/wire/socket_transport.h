@@ -1,0 +1,65 @@
+// Real-socket Transport: Unix-domain stream sockets, the wire
+// meanet_cloudd serves on and WireBackend dials. POSIX-only (the CI
+// targets are Linux); everything above the Transport seam stays
+// portable and deterministic via the in-memory pipe.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "wire/transport.h"
+
+namespace meanet::wire {
+
+/// A connected stream-socket endpoint. Reads poll() with the caller's
+/// timeout; close() shuts the socket down (waking a blocked peer or a
+/// local reader) and is safe to call from another thread.
+class SocketTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit SocketTransport(int fd, std::string peer = "socket");
+  ~SocketTransport() override;
+
+  std::size_t read_some(std::uint8_t* buf, std::size_t max, double timeout_s) override;
+  void write_all(const std::uint8_t* data, std::size_t size) override;
+  void close() override;
+  std::string describe() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::string peer_;
+};
+
+/// Connects to a Unix-domain socket, retrying ECONNREFUSED / missing
+/// path until `timeout_s` (covers the window while a just-spawned
+/// meanet_cloudd is still binding). Throws TransportError on failure.
+std::unique_ptr<Transport> connect_unix(const std::string& path, double timeout_s = 5.0);
+
+/// Bound + listening Unix-domain server socket. Unlinks a stale path on
+/// bind and the live one on destruction.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accepts one connection; nullptr when `timeout_s` elapses or the
+  /// listener was closed (poll the result in the accept loop).
+  std::unique_ptr<Transport> accept(double timeout_s);
+
+  /// Wakes a blocked accept() and makes further accepts return nullptr.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace meanet::wire

@@ -1,0 +1,126 @@
+#include "wire/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace meanet::wire {
+
+bool read_exact(Transport& transport, std::uint8_t* buf, std::size_t size, double timeout_s,
+                const char* context, bool eof_ok) {
+  using WallClock = std::chrono::steady_clock;
+  const bool bounded = timeout_s != kNoTimeout;
+  const WallClock::time_point deadline =
+      bounded ? WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                       std::chrono::duration<double>(std::max(0.0, timeout_s)))
+              : WallClock::time_point{};
+  std::size_t got = 0;
+  while (got < size) {
+    double remaining_s = kNoTimeout;
+    if (bounded) {
+      remaining_s = std::chrono::duration<double>(deadline - WallClock::now()).count();
+      if (remaining_s <= 0.0) {
+        throw TransportTimeout(std::string(context) + ": timed out after " +
+                               std::to_string(got) + "/" + std::to_string(size) + " bytes");
+      }
+    }
+    const std::size_t n = transport.read_some(buf + got, size - got, remaining_s);
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw TransportError(std::string(context) + ": stream closed after " +
+                           std::to_string(got) + "/" + std::to_string(size) + " bytes");
+    }
+    got += n;
+  }
+  return true;
+}
+
+namespace {
+
+/// One direction of a pipe: a bounded byte queue with close semantics.
+struct PipeChannel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> bytes;
+  std::size_t capacity;
+  bool closed = false;
+
+  explicit PipeChannel(std::size_t cap) : capacity(std::max<std::size_t>(1, cap)) {}
+
+  std::size_t read_some(std::uint8_t* buf, std::size_t max, double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex);
+    auto ready = [this] { return !bytes.empty() || closed; };
+    if (timeout_s == kNoTimeout) {
+      cv.wait(lock, ready);
+    } else if (!cv.wait_for(lock, std::chrono::duration<double>(std::max(0.0, timeout_s)),
+                            ready)) {
+      throw TransportTimeout("pipe read timed out");
+    }
+    if (bytes.empty()) return 0;  // closed and drained: orderly EOF
+    const std::size_t n = std::min(max, bytes.size());
+    std::copy_n(bytes.begin(), n, buf);
+    bytes.erase(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    cv.notify_all();  // wake writers waiting for capacity
+    return n;
+  }
+
+  void write_all(const std::uint8_t* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return bytes.size() < capacity || closed; });
+      if (closed) throw TransportError("pipe write on closed channel");
+      const std::size_t room = capacity - bytes.size();
+      const std::size_t n = std::min(room, size - sent);
+      bytes.insert(bytes.end(), data + sent, data + sent + n);
+      sent += n;
+      cv.notify_all();
+    }
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+/// One endpoint: reads from `in`, writes to `out`. close() closes both
+/// directions (the peer sees EOF once the buffered bytes drain).
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport(std::shared_ptr<PipeChannel> in, std::shared_ptr<PipeChannel> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~PipeTransport() override { close(); }
+
+  std::size_t read_some(std::uint8_t* buf, std::size_t max, double timeout_s) override {
+    return in_->read_some(buf, max, timeout_s);
+  }
+  void write_all(const std::uint8_t* data, std::size_t size) override {
+    out_->write_all(data, size);
+  }
+  void close() override {
+    in_->close();
+    out_->close();
+  }
+  std::string describe() const override { return "pipe"; }
+
+ private:
+  std::shared_ptr<PipeChannel> in_;
+  std::shared_ptr<PipeChannel> out_;
+};
+
+}  // namespace
+
+PipePair make_pipe(std::size_t capacity_bytes) {
+  auto a_to_b = std::make_shared<PipeChannel>(capacity_bytes);
+  auto b_to_a = std::make_shared<PipeChannel>(capacity_bytes);
+  PipePair pair;
+  pair.first = std::make_unique<PipeTransport>(b_to_a, a_to_b);
+  pair.second = std::make_unique<PipeTransport>(a_to_b, b_to_a);
+  return pair;
+}
+
+}  // namespace meanet::wire

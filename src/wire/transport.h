@@ -1,0 +1,102 @@
+// Byte-stream transport seam of the offload wire protocol (ROADMAP "a
+// real wire" item).
+//
+// Everything above this interface — framing (wire/frame.h), the client
+// backend (wire/wire_backend.h), the cloud server (wire/server.h) — is
+// written against an ordered, reliable, bidirectional byte stream with
+// explicit close and per-read timeouts. Two implementations ship:
+//
+//  * SocketTransport (wire/socket_transport.h): a real Unix-domain /
+//    loopback socket — what meanet_cloudd serves on.
+//  * PipeTransport (here, via make_pipe()): an in-memory cross-wired
+//    byte pipe for deterministic protocol tests — no file descriptors,
+//    no kernel buffering quirks, and reads drain at most what is
+//    buffered, so partial-frame reassembly is exercised naturally.
+//
+// Fault injection wraps any of them (wire/fault_transport.h) the same
+// way backend decorators wrap an OffloadBackend.
+//
+// Error model: readers distinguish *orderly* close (read_some returns
+// 0 — the peer finished) from timeouts (TransportTimeout) and hard
+// transport failures (TransportError). Frame-level parsing errors are
+// ProtocolError (wire/frame.h); all four derive from WireError so "any
+// wire failure" is one catch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace meanet::wire {
+
+/// Root of every wire-layer failure (transport or protocol).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The byte stream broke: peer reset, write on a closed pipe, I/O error.
+class TransportError : public WireError {
+ public:
+  explicit TransportError(const std::string& what) : WireError(what) {}
+};
+
+/// A read's time bound expired before any byte arrived.
+class TransportTimeout : public WireError {
+ public:
+  explicit TransportTimeout(const std::string& what) : WireError(what) {}
+};
+
+/// No bound on a read — block until bytes, close, or failure.
+constexpr double kNoTimeout = std::numeric_limits<double>::infinity();
+
+/// An ordered, reliable, bidirectional byte stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks until at least one byte is available, then reads up to
+  /// `max` bytes into `buf` and returns how many. Returns 0 on orderly
+  /// close by the peer (EOF). Throws TransportTimeout when `timeout_s`
+  /// elapses first (kNoTimeout = no bound) and TransportError on a hard
+  /// failure. Callers needing exactly N bytes loop (see read_exact).
+  virtual std::size_t read_some(std::uint8_t* buf, std::size_t max,
+                                double timeout_s = kNoTimeout) = 0;
+
+  /// Writes all `size` bytes or throws TransportError (a byte stream
+  /// that cannot accept the rest of a frame is broken — there is no
+  /// partial-success contract on the write side).
+  virtual void write_all(const std::uint8_t* data, std::size_t size) = 0;
+
+  /// Closes both directions: the peer's reads see EOF, local blocked
+  /// reads wake and see EOF, subsequent writes throw. Idempotent and
+  /// safe to call from another thread (that is how a server unblocks a
+  /// connection's reader).
+  virtual void close() = 0;
+
+  /// Human-readable endpoint description for logs.
+  virtual std::string describe() const = 0;
+};
+
+/// Reads exactly `size` bytes, looping over short reads (the
+/// partial-frame reassembly primitive). Throws TransportError when the
+/// stream closes mid-way with `context` in the message, TransportTimeout
+/// when the deadline hits. Returns false — without consuming anything —
+/// only when `eof_ok` is true and the stream is cleanly closed before
+/// the FIRST byte (the idle point between frames).
+bool read_exact(Transport& transport, std::uint8_t* buf, std::size_t size, double timeout_s,
+                const char* context, bool eof_ok = false);
+
+/// Two cross-wired in-memory endpoints: bytes written to `first` are
+/// read from `second` and vice versa. Deterministic (no kernel
+/// buffering), thread-safe, timeout-capable — the unit-test transport.
+struct PipePair {
+  std::unique_ptr<Transport> first;
+  std::unique_ptr<Transport> second;
+};
+PipePair make_pipe(std::size_t capacity_bytes = 1 << 20);
+
+}  // namespace meanet::wire

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/builders.h"
 #include "core/trainer.h"
@@ -157,6 +160,138 @@ TEST(Serialize, SerializedSizeMatchesFile) {
   std::ifstream is(path, std::ios::binary | std::ios::ate);
   EXPECT_EQ(static_cast<std::int64_t>(is.tellg()), serialized_size(net));
   std::remove(path.c_str());
+}
+
+// ---- Hostile-input hardening (these bytes may arrive off a socket) ----
+
+/// Reads a saved model file into memory for byte-surgery.
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  std::vector<char> bytes(static_cast<std::size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SerializeHardening, AllocationBombNameLengthRejected) {
+  util::Rng rng(20);
+  Linear fc(4, 2, rng, "fc");
+  const std::string path = temp_path("bomb_name");
+  save_model(fc, path);
+  std::vector<char> bytes = slurp(path);
+  // First entry's name length lives right after magic+version+count.
+  const std::uint32_t bomb = 0xFFFFFFF0u;  // ~4 GiB name in a tiny file
+  std::memcpy(bytes.data() + 16, &bomb, 4);
+  spit(path, bytes);
+  EXPECT_THROW(load_model(fc, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeHardening, HostileRankRejected) {
+  util::Rng rng(21);
+  Linear fc(4, 2, rng, "fc");
+  const std::string path = temp_path("bomb_rank");
+  save_model(fc, path);
+  std::vector<char> bytes = slurp(path);
+  // rank field of the first entry: after header(16) + name_len(4) + name.
+  std::uint32_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + 16, 4);
+  const std::size_t rank_at = 16 + 4 + name_len;
+  const std::uint32_t bomb = 0x10000u;  // rank 65536
+  std::memcpy(bytes.data() + rank_at, &bomb, 4);
+  spit(path, bytes);
+  EXPECT_THROW(load_model(fc, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeHardening, OverflowingDimProductRejected) {
+  util::Rng rng(22);
+  Linear fc(4, 2, rng, "fc");
+  const std::string path = temp_path("bomb_dims");
+  save_model(fc, path);
+  std::vector<char> bytes = slurp(path);
+  std::uint32_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + 16, 4);
+  const std::size_t rank_at = 16 + 4 + name_len;
+  // Keep the true rank (2) but claim dims whose product overflows any
+  // naive int64 accumulator while each dim stays under the per-dim cap.
+  const std::int32_t big = (1 << 24) - 1;
+  std::memcpy(bytes.data() + rank_at + 4, &big, 4);
+  std::memcpy(bytes.data() + rank_at + 8, &big, 4);
+  spit(path, bytes);
+  EXPECT_THROW(load_model(fc, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeHardening, EveryTruncationPointRejectsCleanly) {
+  // Fuzz-ish sweep: a file cut at ANY byte boundary must throw (never
+  // crash, never silently succeed).
+  util::Rng rng(23);
+  Linear fc(3, 2, rng, "fc");
+  const std::string full_path = temp_path("cuts_full");
+  save_model(fc, full_path);
+  const std::vector<char> bytes = slurp(full_path);
+  const std::string cut_path = temp_path("cuts");
+  for (std::size_t cut = 0; cut + 1 < bytes.size(); cut += 3) {
+    spit(cut_path, std::vector<char>(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)));
+    EXPECT_THROW(load_model(fc, cut_path), std::runtime_error) << "cut at " << cut;
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(SerializeHardening, RandomByteFlipsNeverCrash) {
+  // Flip one byte at a time across the whole file: every variant must
+  // either load (flips inside float data are legal) or throw — no
+  // crashes, no unbounded allocation.
+  util::Rng rng(24);
+  Linear fc(3, 2, rng, "fc");
+  const std::string path = temp_path("flips");
+  save_model(fc, path);
+  const std::vector<char> original = slurp(path);
+  for (std::size_t at = 0; at < original.size(); ++at) {
+    std::vector<char> mutated = original;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x5A);
+    spit(path, mutated);
+    try {
+      load_model(fc, path);
+    } catch (const std::exception&) {
+      // rejected: fine
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeHardening, WireTensorRoundTripAndTruncation) {
+  util::Rng rng(25);
+  const Tensor t = Tensor::normal(Shape{2, 3, 4, 4}, rng);
+  std::vector<std::uint8_t> bytes;
+  append_tensor(bytes, t);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), tensor_wire_bytes(t.shape()));
+
+  ByteReader reader(bytes.data(), bytes.size());
+  const Tensor back = read_tensor(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_TRUE(allclose(back, t, 0.0f));
+
+  // Any truncation of the encoding must throw, never over-read.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    ByteReader short_reader(bytes.data(), cut);
+    EXPECT_THROW(read_tensor(short_reader), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeHardening, ByteReaderRefusesOverread) {
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  ByteReader reader(bytes, sizeof(bytes));
+  EXPECT_EQ(reader.read<std::uint32_t>(), 0x04030201u);
+  EXPECT_TRUE(reader.done());
+  EXPECT_THROW(reader.read<std::uint8_t>(), std::runtime_error);
 }
 
 TEST(Serialize, BatchNormStateIncluded) {

@@ -1,0 +1,416 @@
+// Wire server + WireBackend integration: parity of a full
+// InferenceSession over a real Unix socket vs the in-process backend,
+// cross-session batch coalescing, frame-fault fallbacks, reconnect
+// after a daemon restart, and connection-churn hygiene.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/builders.h"
+#include "core/trainer.h"
+#include "runtime/session.h"
+#include "sim/cloud_node.h"
+#include "tiny_models.h"
+#include "util/rng.h"
+#include "wire/fault_transport.h"
+#include "wire/process.h"
+#include "wire/server.h"
+#include "wire/socket_transport.h"
+#include "wire/wire_backend.h"
+
+namespace meanet::wire {
+namespace {
+
+using meanet::testing::tiny_data_spec;
+using meanet::testing::tiny_meanet_b;
+
+std::string test_socket_path(const char* tag) {
+  return ::testing::TempDir() + "/meanet_" + tag + std::to_string(::getpid()) + ".sock";
+}
+
+/// Deterministic modelless backend: each instance's label is its first
+/// pixel, rounded — lets integrity tests assert exactly which client's
+/// rows produced which answers without training anything.
+class PixelLabelBackend : public runtime::OffloadBackend {
+ public:
+  std::vector<int> classify(const runtime::OffloadPayload& payload) override {
+    calls_.fetch_add(1);
+    const Tensor& images = payload.images;
+    const std::int64_t rows = images.shape().dim(0);
+    const std::int64_t row_elems = images.numel() / rows;
+    std::vector<int> labels;
+    labels.reserve(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      labels.push_back(static_cast<int>(std::lround(images.data()[r * row_elems])));
+    }
+    return labels;
+  }
+  bool needs_images() const override { return true; }
+  std::int64_t payload_bytes(const Shape&, const Shape&) const override { return 0; }
+  std::string describe() const override { return "pixel-label"; }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+class ThrowingBackend : public runtime::OffloadBackend {
+ public:
+  std::vector<int> classify(const runtime::OffloadPayload&) override {
+    throw std::runtime_error("cloud model exploded");
+  }
+  bool needs_images() const override { return true; }
+  std::int64_t payload_bytes(const Shape&, const Shape&) const override { return 0; }
+  std::string describe() const override { return "throwing"; }
+};
+
+Tensor instance_with_pixel(float value) {
+  Tensor t{Shape{1, 2, 4, 4}, 0.0f};
+  t.data()[0] = value;
+  return t;
+}
+
+/// Polls `predicate` until it holds or ~2s pass.
+template <typename Fn>
+bool eventually(Fn&& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+// ---- Direct WireBackend <-> WireServer over pipes and sockets ----
+
+TEST(WireServer, ServesPingStatsAndClassifyOverPipe) {
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireServerConfig config;
+  config.max_batch_instances = 1;  // serve immediately
+  WireServer server(backend, config);
+
+  WireBackendConfig client_config;
+  client_config.transport_factory = [&server] {
+    PipePair pipe = make_pipe();
+    server.adopt(std::move(pipe.second));
+    return std::move(pipe.first);
+  };
+  WireBackend client(client_config);
+  client.ping();
+
+  runtime::OffloadPayload payload;
+  payload.images = instance_with_pixel(3.0f);
+  EXPECT_EQ(client.classify(payload), std::vector<int>{3});
+
+  const StatsEntries stats = client.fetch_stats();
+  bool saw_frames_in = false;
+  for (const auto& [name, value] : stats) {
+    if (name == "frames_in") {
+      saw_frames_in = true;
+      EXPECT_GE(value, 2u);  // ping + classify at least
+    }
+  }
+  EXPECT_TRUE(saw_frames_in);
+  server.stop();
+}
+
+TEST(WireServer, CoalescesTwoClientsIntoOneCrossSessionBatch) {
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireServerConfig config;
+  // The batch worker fires exactly when 2 instances are pending and the
+  // window is far away: two single-instance clients MUST coalesce.
+  config.max_batch_instances = 2;
+  config.batch_window_s = 30.0;
+  WireServer server(backend, config);
+  const std::string path = test_socket_path("xsession");
+  server.listen_unix(path);
+
+  auto run_client = [&path](float pixel, std::vector<int>& out) {
+    WireBackendConfig cfg;
+    cfg.socket_path = path;
+    WireBackend client(cfg);
+    runtime::OffloadPayload payload;
+    payload.images = instance_with_pixel(pixel);
+    out = client.classify(payload);
+  };
+  std::vector<int> got_a, got_b;
+  std::thread a([&] { run_client(1.0f, got_a); });
+  std::thread b([&] { run_client(2.0f, got_b); });
+  a.join();
+  b.join();
+
+  // Per-client integrity: each client gets the label of ITS pixel back,
+  // even though both rode one backend call.
+  EXPECT_EQ(got_a, std::vector<int>{1});
+  EXPECT_EQ(got_b, std::vector<int>{2});
+  EXPECT_EQ(backend->calls(), 1);
+
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.cross_session_batches, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  ASSERT_GT(stats.batch_size_histogram.size(), 2u);
+  EXPECT_EQ(stats.batch_size_histogram[2], 1u);  // one batch of 2 requests
+  EXPECT_EQ(stats.instances_served, 2u);
+  server.stop();
+}
+
+TEST(WireServer, RemoteBackendFailureSurfacesAsWireError) {
+  WireServer server(std::make_shared<ThrowingBackend>(), WireServerConfig{});
+  const std::string path = test_socket_path("throw");
+  server.listen_unix(path);
+
+  WireBackendConfig cfg;
+  cfg.socket_path = path;
+  WireBackend client(cfg);
+  runtime::OffloadPayload payload;
+  payload.images = instance_with_pixel(1.0f);
+  EXPECT_THROW(client.classify(payload), WireError);
+  EXPECT_TRUE(eventually([&] { return server.stats().backend_failures >= 1u; }));
+  server.stop();
+}
+
+TEST(WireServer, GarbageStreamGetsErrorAndDisconnect) {
+  WireServer server(std::make_shared<PixelLabelBackend>(), WireServerConfig{});
+  const std::string path = test_socket_path("garbage");
+  server.listen_unix(path);
+
+  std::unique_ptr<Transport> raw = connect_unix(path);
+  const std::string garbage = "this is definitely not a MWIR frame....";
+  raw->write_all(reinterpret_cast<const std::uint8_t*>(garbage.data()), garbage.size());
+  Frame reply;
+  ASSERT_TRUE(read_frame(*raw, reply));
+  EXPECT_EQ(reply.command, Command::kError);
+  EXPECT_EQ(decode_error(reply.payload).first, ErrorCode::kMalformedFrame);
+  // The poisoned connection is then closed from the server side.
+  EXPECT_FALSE(read_frame(*raw, reply));
+  EXPECT_TRUE(eventually([&] { return server.stats().connections_active == 0u; }));
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(WireServer, ReconnectsAfterServerRestart) {
+  const std::string path = test_socket_path("restart");
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireBackendConfig cfg;
+  cfg.socket_path = path;
+  cfg.connect_timeout_s = 2.0;
+  WireBackend client(cfg);
+  runtime::OffloadPayload payload;
+  payload.images = instance_with_pixel(4.0f);
+
+  auto server1 = std::make_unique<WireServer>(backend, WireServerConfig{});
+  server1->listen_unix(path);
+  EXPECT_EQ(client.classify(payload), std::vector<int>{4});
+  server1.reset();  // daemon "crashes"; the client's connection is stale
+
+  auto server2 = std::make_unique<WireServer>(backend, WireServerConfig{});
+  server2->listen_unix(path);
+  // The stale connection fails on use; WireBackend redials transparently.
+  EXPECT_EQ(client.classify(payload), std::vector<int>{4});
+  server2.reset();
+}
+
+TEST(WireServer, ConnectionChurnLeavesNothingBehind) {
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireServer server(backend, WireServerConfig{});
+  const std::string path = test_socket_path("churn");
+  server.listen_unix(path);
+
+  constexpr int kRounds = 12;
+  for (int i = 0; i < kRounds; ++i) {
+    WireBackendConfig cfg;
+    cfg.socket_path = path;
+    WireBackend client(cfg);
+    if (i % 2 == 0) {
+      client.ping();
+    } else {
+      runtime::OffloadPayload payload;
+      payload.images = instance_with_pixel(static_cast<float>(i));
+      EXPECT_EQ(client.classify(payload), std::vector<int>{i});
+    }
+  }
+  EXPECT_TRUE(eventually([&] { return server.stats().connections_active == 0u; }));
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kRounds));
+  server.stop();
+  EXPECT_EQ(server.stats().connections_active, 0u);
+}
+
+// ---- Full InferenceSession over the wire ----
+
+/// Trained tiny system + cloud model shared by the session-level tests.
+struct Fixture {
+  data::SyntheticDataset ds;
+  core::MEANet net;
+  data::ClassDict dict;
+  sim::CloudNode cloud;
+
+  static Fixture& instance() {
+    static Fixture fixture = make();
+    return fixture;
+  }
+
+  static Fixture make() {
+    util::Rng rng(1);
+    data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 21);
+    core::MEANet net = tiny_meanet_b(rng, 2);
+    core::DistributedTrainer trainer(net);
+    core::TrainOptions options;
+    options.epochs = 5;
+    options.batch_size = 16;
+    util::Rng train_rng(2);
+    trainer.train_main(ds.train, options, train_rng);
+    data::ClassDict dict = trainer.select_hard_classes_from_validation(ds.test, 2);
+    trainer.train_edge_blocks(ds.train, dict, options, train_rng);
+
+    nn::Sequential cloud_model = core::build_cloud_classifier(2, 4, rng);
+    core::TrainOptions cloud_options;
+    cloud_options.epochs = 6;
+    cloud_options.batch_size = 16;
+    core::train_classifier(cloud_model, ds.train, cloud_options, train_rng);
+
+    return Fixture{std::move(ds), std::move(net), std::move(dict),
+                   sim::CloudNode(std::move(cloud_model))};
+  }
+
+  runtime::EngineConfig config() {
+    runtime::EngineConfig cfg;
+    cfg.net = &net;
+    cfg.dict = &dict;
+    cfg.policy_config.cloud_available = true;
+    cfg.policy_config.entropy_threshold = 0.3;
+    cfg.batch_size = 16;
+    return cfg;
+  }
+};
+
+TEST(WireSession, SocketPredictionsMatchInProcessBackend) {
+  Fixture& f = Fixture::instance();
+
+  // In-process reference: the cloud model answers directly.
+  runtime::EngineConfig in_proc = f.config();
+  in_proc.offload_mode = runtime::OffloadMode::kRawImage;
+  in_proc.cloud = &f.cloud;
+  const auto reference = runtime::InferenceSession(in_proc).run(f.ds.test);
+
+  // Same cloud model behind a WireServer on a real Unix socket.
+  WireServer server(std::make_shared<runtime::RawImageBackend>(&f.cloud),
+                    WireServerConfig{});
+  const std::string path = test_socket_path("parity");
+  server.listen_unix(path);
+  runtime::EngineConfig wired = f.config();
+  wired.offload_mode = runtime::OffloadMode::kWire;
+  wired.wire_socket_path = path;
+  const auto over_wire = runtime::InferenceSession(wired).run(f.ds.test);
+  server.stop();
+
+  ASSERT_EQ(reference.size(), over_wire.size());
+  int offloaded = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].prediction, over_wire[i].prediction) << "instance " << i;
+    EXPECT_EQ(reference[i].route, over_wire[i].route) << "instance " << i;
+    EXPECT_EQ(reference[i].offloaded, over_wire[i].offloaded) << "instance " << i;
+    offloaded += over_wire[i].offloaded ? 1 : 0;
+  }
+  // The parity is only meaningful if the cloud actually answered.
+  EXPECT_GT(offloaded, 0);
+}
+
+TEST(WireSession, FrameFaultsFallBackToEdgePredictions) {
+  Fixture& f = Fixture::instance();
+
+  // Reference: no cloud at all — pure edge predictions.
+  runtime::EngineConfig none = f.config();
+  const auto edge_only = runtime::InferenceSession(none).run(f.ds.test);
+
+  WireServer server(std::make_shared<runtime::RawImageBackend>(&f.cloud),
+                    WireServerConfig{});
+
+  auto run_with_fault = [&](const FaultPlan& plan) {
+    runtime::EngineConfig cfg = f.config();
+    cfg.offload_mode = runtime::OffloadMode::kNone;  // overridden by backend below
+    WireBackendConfig wire_cfg;
+    wire_cfg.response_timeout_s = 0.25;  // a swallowed frame must not hang
+    wire_cfg.transport_factory = [&server, plan] {
+      PipePair pipe = make_pipe();
+      server.adopt(std::move(pipe.second));
+      return std::unique_ptr<Transport>(
+          std::make_unique<FaultInjectingTransport>(std::move(pipe.first), plan));
+    };
+    cfg.backend = std::make_shared<WireBackend>(std::move(wire_cfg));
+    return runtime::InferenceSession(cfg).run(f.ds.test);
+  };
+
+  // Truncated request frame / corrupted CRC / mid-frame disconnect: all
+  // must surface as clean offload failures — every instance keeps its
+  // edge prediction, nothing hangs, the session drains normally.
+  FaultPlan truncate;
+  truncate.truncate_after_bytes = 40;
+  FaultPlan corrupt;
+  corrupt.corrupt_byte_at = kFrameHeaderBytes + 10;
+  FaultPlan disconnect;
+  disconnect.disconnect_after_bytes = 40;
+  for (const FaultPlan& plan : {truncate, corrupt, disconnect}) {
+    const auto results = run_with_fault(plan);
+    ASSERT_EQ(results.size(), edge_only.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].prediction, edge_only[i].prediction) << "instance " << i;
+      EXPECT_FALSE(results[i].offloaded) << "instance " << i;
+    }
+  }
+  server.stop();
+}
+
+// ---- End-to-end against the real meanet_cloudd binary ----
+
+// Runs only when MEANET_CLOUDD names the built daemon (CI sets it; run
+// locally with MEANET_CLOUDD=./build/tools/meanet_cloudd). The daemon
+// builds its classifier deterministically from --seed, so this process
+// can reproduce the exact weights and demand byte-identical answers
+// across the process boundary.
+TEST(ClouddEndToEnd, SpawnedDaemonMatchesInProcessModel) {
+  const char* binary = std::getenv("MEANET_CLOUDD");
+  if (binary == nullptr || binary[0] == '\0') {
+    GTEST_SKIP() << "set MEANET_CLOUDD to the meanet_cloudd binary to run";
+  }
+  const std::string path = test_socket_path("cloudd");
+  ChildProcess daemon(std::vector<std::string>{binary, "--socket", path, "--seed", "77",
+                                               "--image-channels", "2", "--classes", "4"});
+
+  util::Rng rng(77);
+  sim::CloudNode local(core::build_cloud_classifier(2, 4, rng));
+  runtime::RawImageBackend reference(&local);
+
+  WireBackendConfig cfg;
+  cfg.socket_path = path;
+  cfg.connect_timeout_s = 10.0;  // covers the daemon's startup window
+  WireBackend client(cfg);
+  util::Rng data_rng(5);
+  for (int round = 0; round < 4; ++round) {
+    runtime::OffloadPayload payload;
+    payload.images = Tensor::normal(Shape{3, 2, 4, 4}, data_rng);
+    EXPECT_EQ(client.classify(payload), reference.classify(payload)) << "round " << round;
+  }
+  const StatsEntries stats = client.fetch_stats();
+  bool saw_requests = false;
+  for (const auto& [name, value] : stats) {
+    if (name == "requests_served") {
+      saw_requests = true;
+      EXPECT_GE(value, 4u);
+    }
+  }
+  EXPECT_TRUE(saw_requests);
+  daemon.terminate();
+  EXPECT_FALSE(daemon.running());
+}
+
+}  // namespace
+}  // namespace meanet::wire

@@ -1,0 +1,148 @@
+// meanet_cloudd — the standalone cloud daemon of the wire offload path.
+//
+// Listens on a Unix-domain socket, speaks the MWIR framed protocol
+// (src/wire/frame.h), and serves every connected edge session's offload
+// requests through ONE shared WireServer batch queue, so concurrent
+// sessions' uploads coalesce into cross-session cloud batches.
+//
+//   meanet_cloudd --socket /tmp/meanet.sock --seed 7 \
+//       --image-channels 3 --classes 10 [--model weights.bin] \
+//       [--max-batch 32] [--batch-window-ms 2] [--stats-every-s 10]
+//
+// The cloud classifier is built deterministically from --seed (same
+// architecture + seed on the edge side reproduces the exact weights,
+// which is how the parity tests share a model across processes); pass
+// --model to overwrite the random init with trained weights saved by
+// nn::save_model.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <signal.h>
+
+#include "core/builders.h"
+#include "nn/serialize.h"
+#include "runtime/offload_backend.h"
+#include "sim/cloud_node.h"
+#include "util/rng.h"
+#include "wire/server.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) { g_shutdown.store(true); }
+
+struct Options {
+  std::string socket_path;
+  std::string model_path;
+  std::uint64_t seed = 0x5eedULL;
+  int image_channels = 3;
+  int classes = 10;
+  int max_batch = 32;
+  double batch_window_ms = 2.0;
+  double stats_every_s = 0.0;  // 0 = only on exit
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--seed N] [--image-channels N] [--classes N]\n"
+               "          [--model WEIGHTS] [--max-batch N] [--batch-window-ms X]\n"
+               "          [--stats-every-s X]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      opts.socket_path = value(i);
+    } else if (arg == "--model") {
+      opts.model_path = value(i);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--image-channels") {
+      opts.image_channels = std::atoi(value(i));
+    } else if (arg == "--classes") {
+      opts.classes = std::atoi(value(i));
+    } else if (arg == "--max-batch") {
+      opts.max_batch = std::atoi(value(i));
+    } else if (arg == "--batch-window-ms") {
+      opts.batch_window_ms = std::atof(value(i));
+    } else if (arg == "--stats-every-s") {
+      opts.stats_every_s = std::atof(value(i));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opts.socket_path.empty()) usage(argv[0]);
+  if (opts.image_channels < 1 || opts.classes < 2) usage(argv[0]);
+  return opts;
+}
+
+void print_stats(const meanet::wire::WireServerStats& stats) {
+  std::printf("[meanet_cloudd]");
+  for (const auto& [name, val] : stats.to_entries()) {
+    std::printf(" %s=%llu", name.c_str(), static_cast<unsigned long long>(val));
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meanet;
+  const Options opts = parse_args(argc, argv);
+
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  util::Rng rng(opts.seed);
+  sim::CloudNode cloud(core::build_cloud_classifier(opts.image_channels, opts.classes, rng));
+  if (!opts.model_path.empty()) {
+    nn::load_model(cloud.model(), opts.model_path);
+    std::printf("[meanet_cloudd] loaded weights from %s\n", opts.model_path.c_str());
+  }
+
+  wire::WireServerConfig config;
+  config.max_batch_instances = opts.max_batch;
+  config.batch_window_s = opts.batch_window_ms / 1000.0;
+  wire::WireServer server(std::make_shared<runtime::RawImageBackend>(&cloud), config);
+  server.listen_unix(opts.socket_path);
+  std::printf("[meanet_cloudd] serving on %s (seed=%llu channels=%d classes=%d "
+              "max_batch=%d window=%.3fms)\n",
+              opts.socket_path.c_str(), static_cast<unsigned long long>(opts.seed),
+              opts.image_channels, opts.classes, opts.max_batch, opts.batch_window_ms);
+  std::fflush(stdout);
+
+  auto last_stats = std::chrono::steady_clock::now();
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (opts.stats_every_s > 0.0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_stats).count() >= opts.stats_every_s) {
+        print_stats(server.stats());
+        last_stats = now;
+      }
+    }
+  }
+  server.stop();
+  print_stats(server.stats());
+  return 0;
+}
