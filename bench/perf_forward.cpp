@@ -11,9 +11,15 @@
 // and emits BENCH_forward.json so every future perf PR is judged
 // against a measured trajectory, not vibes.
 //
+// The model-forward rows additionally time the portable 4x16
+// microkernel (SIMD dispatch forced off) and the int8 quantized path
+// (ops::QuantizedScope), so the JSON tracks all three serving tiers.
+//
 // Usage: perf_forward [--quick] [--out PATH]
-// Exit status is nonzero when the GEMM path is *slower* than the naive
-// path on any single-image forward — the CI perf smoke gate.
+// Exit status is nonzero when, on any single-image forward, the GEMM
+// path is *slower* than the naive path, the dispatched SIMD kernel is
+// slower than the portable one, or (with a vectorized int8 tier) the
+// int8 path is slower than float — the CI perf smoke gates.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +30,8 @@
 #include "common.h"
 #include "runtime/session.h"
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
+#include "tensor/simd.h"
 
 using namespace meanet;
 
@@ -54,7 +62,11 @@ struct Row {
   std::string name;
   double gemm_ms = 0.0;
   double naive_ms = 0.0;
+  double portable_ms = 0.0;  // SIMD dispatch forced to the portable kernel
+  double int8_ms = 0.0;      // quantized serving path; 0 = not measured
   double speedup() const { return gemm_ms > 0.0 ? naive_ms / gemm_ms : 0.0; }
+  double simd_speedup() const { return gemm_ms > 0.0 ? portable_ms / gemm_ms : 0.0; }
+  double int8_speedup() const { return int8_ms > 0.0 ? gemm_ms / int8_ms : 0.0; }
 };
 
 /// Runs `fn` under both kernel selections.
@@ -69,6 +81,25 @@ Row measure(const std::string& name, int reps, Fn fn) {
   ops::set_naive_kernels(false);
   std::printf("  %-38s gemm %9.3f ms   naive %9.3f ms   speedup %5.2fx\n", name.c_str(),
               row.gemm_ms, row.naive_ms, row.speedup());
+  return row;
+}
+
+/// measure() plus the portable-microkernel and int8 tiers — for the
+/// model-forward rows where those paths actually engage.
+template <typename Fn>
+Row measure_tiers(const std::string& name, int reps, Fn fn) {
+  Row row = measure(name, reps, fn);
+  const ops::SimdLevel level = ops::simd_level();
+  ops::set_simd_level(ops::SimdLevel::kPortable);
+  row.portable_ms = median_ms(reps, fn);
+  ops::set_simd_level(level);
+  {
+    ops::QuantizedScope quantized(true);
+    row.int8_ms = median_ms(reps, fn);
+  }
+  std::printf("  %-38s portable %5.3f ms  int8 %9.3f ms (%s)    int8 %5.2fx\n", "",
+              row.portable_ms, row.int8_ms, ops::int8_kernel_name(ops::int8_kernel()),
+              row.int8_speedup());
   return row;
 }
 
@@ -116,12 +147,12 @@ int main(int argc, char** argv) {
                                          data_rng);
     const Tensor batch = Tensor::normal(Shape{32, spec.channels, spec.height, spec.width},
                                         data_rng);
-    Row one = measure(m.name + "_single_image", reps,
-                      [&] { (void)net.forward_main(single, nn::Mode::kEval); });
+    Row one = measure_tiers(m.name + "_single_image", reps,
+                            [&] { (void)net.forward_main(single, nn::Mode::kEval); });
     rows.push_back(one);
     gated.push_back(one);
-    rows.push_back(measure(m.name + "_batch32", std::max(3, reps / 3),
-                           [&] { (void)net.forward_main(batch, nn::Mode::kEval); }));
+    rows.push_back(measure_tiers(m.name + "_batch32", std::max(3, reps / 3),
+                                 [&] { (void)net.forward_main(batch, nn::Mode::kEval); }));
   }
 
   {
@@ -178,12 +209,17 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"bench\": \"perf_forward\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
-  std::fprintf(out, "  \"gemm_threads\": %d,\n  \"results\": [\n", ops::gemm_threads());
+  std::fprintf(out, "  \"gemm_threads\": %d,\n  \"simd\": \"%s\",\n  \"int8_kernel\": \"%s\",\n",
+               ops::gemm_threads(), ops::simd_level_name(ops::simd_level()),
+               ops::int8_kernel_name(ops::int8_kernel()));
+  std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"gemm_ms\": %.4f, \"naive_ms\": %.4f, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"speedup\": %.2f, \"portable_ms\": %.4f, \"int8_ms\": %.4f, "
+                 "\"int8_speedup\": %.2f}%s\n",
                  rows[i].name.c_str(), rows[i].gemm_ms, rows[i].naive_ms, rows[i].speedup(),
+                 rows[i].portable_ms, rows[i].int8_ms, rows[i].int8_speedup(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -199,6 +235,24 @@ int main(int argc, char** argv) {
     } else if (row.speedup() < 3.0) {
       std::printf("note: %s speedup %.2fx is below the 3x target\n", row.name.c_str(),
                   row.speedup());
+    }
+    // The dispatched microkernel must never lose to the portable one
+    // it replaced at startup.
+    if (ops::simd_level() != ops::SimdLevel::kPortable && row.portable_ms > 0.0 &&
+        row.gemm_ms > row.portable_ms) {
+      std::fprintf(stderr,
+                   "PERF REGRESSION: %s %s kernel (%.3f ms) slower than portable (%.3f ms)\n",
+                   row.name.c_str(), ops::simd_level_name(ops::simd_level()), row.gemm_ms,
+                   row.portable_ms);
+      regressed = true;
+    }
+    // With a VNNI tier the int8 path must beat float; the scalar
+    // fallback is a correctness tier, not a speed claim.
+    if (ops::int8_kernel_vectorized() && row.int8_ms > 0.0 && row.int8_ms > row.gemm_ms) {
+      std::fprintf(stderr,
+                   "PERF REGRESSION: %s int8 path (%.3f ms) slower than float (%.3f ms)\n",
+                   row.name.c_str(), row.int8_ms, row.gemm_ms);
+      regressed = true;
     }
   }
   return regressed ? 1 : 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "tensor/qgemm.h"
 #include "tensor/workspace.h"
 
 namespace meanet::nn {
@@ -160,10 +162,44 @@ Tensor Conv2d::forward_with(const Tensor& input, const float* weight, const floa
     naive_conv_forward(input, g, out_channels_, weight, bias, output);
     return output;
   }
-  float* columns = ops::Workspace::tls().buffer(
-      ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * out_hw);
+  ops::Workspace& workspace = ops::Workspace::tls();
   const std::int64_t in_stride = static_cast<std::int64_t>(in_channels_) * g.in_height * g.in_width;
   const std::int64_t out_stride = static_cast<std::int64_t>(out_channels_) * out_hw;
+  if (ops::quantized_inference()) {
+    // int8 serving path: quantize the (possibly BN-folded) weights per
+    // row once per call; per image quantize the input tile per-tensor
+    // and expand it with the byte-domain im2col (quantization is
+    // pointwise and im2col only replicates pixels / pads zero-point
+    // bytes, so the byte matrix is exactly what quantizing a float
+    // im2col would give — for C*H*W instead of patch*out_hw quantize
+    // work and a quarter of the copy traffic). The bias lands in the
+    // requantization epilogue. All scratch is per-thread workspace —
+    // this path stays const-safe and cache-free like the float path.
+    const int k_padded = ops::quantized_k_padded(patch);
+    auto* wq = reinterpret_cast<std::int8_t*>(workspace.byte_buffer(
+        ops::Workspace::kQuantWeights, static_cast<std::size_t>(out_channels_) * k_padded));
+    float* scales =
+        workspace.buffer(ops::Workspace::kQuantScales, static_cast<std::size_t>(out_channels_));
+    auto* row_sums = reinterpret_cast<std::int32_t*>(workspace.byte_buffer(
+        ops::Workspace::kQuantRowSums,
+        static_cast<std::size_t>(out_channels_) * sizeof(std::int32_t)));
+    ops::quantize_weight_rows(weight, out_channels_, patch, wq, scales, row_sums);
+    std::uint8_t* tile = workspace.byte_buffer(
+        ops::Workspace::kQuantTile, static_cast<std::size_t>(in_stride));
+    std::uint8_t* act = workspace.byte_buffer(
+        ops::Workspace::kQuantAct, static_cast<std::size_t>(patch) * out_hw);
+    for (int n = 0; n < batch; ++n) {
+      const float* image = input.data() + n * in_stride;
+      const float a_scale = ops::activation_scale(image, static_cast<std::size_t>(in_stride));
+      ops::quantize_activations_u8(image, static_cast<std::size_t>(in_stride), a_scale, tile);
+      ops::im2col_u8(tile, g, act);
+      ops::qgemm_u8s8(out_channels_, out_hw, patch, k_padded, wq, scales, row_sums, act, a_scale,
+                      bias, output.data() + n * out_stride, out_hw);
+    }
+    return output;
+  }
+  float* columns = workspace.buffer(
+      ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * out_hw);
   for (int n = 0; n < batch; ++n) {
     ops::im2col(input.data() + n * in_stride, g, columns);
     // output[n] = W [out_c, patch] * columns [patch, out_hw]

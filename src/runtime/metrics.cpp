@@ -5,15 +5,39 @@
 
 namespace meanet::runtime {
 
-double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
   const double clamped = std::min(1.0, std::max(0.0, p));
   // Nearest-rank: the smallest sample with at least p of the mass at or
   // below it; rank 1-based.
   const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped * static_cast<double>(samples.size())));
-  return samples[rank == 0 ? 0 : rank - 1];
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, p);
+}
+
+void SampleReservoir::add(double value) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Algorithm R: replace a uniformly drawn slot with probability
+  // capacity / seen, keeping the held set a uniform sample.
+  const std::uint64_t j = next_random() % static_cast<std::uint64_t>(seen_);
+  if (j < capacity_) samples_[static_cast<std::size_t>(j)] = value;
+}
+
+std::uint64_t SampleReservoir::next_random() {
+  // splitmix64: tiny, seedable, and plenty for replacement draws.
+  std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
 
 void MetricsCollector::record_submitted(std::int64_t instances) {
@@ -26,12 +50,19 @@ void MetricsCollector::record_completion(core::Route route, double seconds) {
   ++counters_.completed_instances;
   auto& stats = counters_.per_route[static_cast<std::size_t>(route)];
   ++stats.count;
-  samples_[static_cast<std::size_t>(route)].push_back(seconds);
+  samples_[static_cast<std::size_t>(route)].add(seconds);
 }
 
 void MetricsCollector::record_queue_wait(int priority, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  wait_samples_[priority].push_back(seconds);
+  auto it = wait_samples_.find(priority);
+  if (it == wait_samples_.end()) {
+    it = wait_samples_
+             .emplace(priority, SampleReservoir(SampleReservoir::kDefaultCapacity,
+                                                static_cast<std::uint64_t>(priority) + 17))
+             .first;
+  }
+  it->second.add(seconds);
 }
 
 void MetricsCollector::record_cancelled(std::int64_t instances) {
@@ -77,19 +108,27 @@ void MetricsCollector::record_cache_hits(std::int64_t hits) {
 SessionMetrics MetricsCollector::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   SessionMetrics out = counters_;
+  // One sorted copy per held set (bounded by the reservoir capacity),
+  // three rank reads — the old code copied and re-sorted every set
+  // once per percentile while holding the lock.
+  std::vector<double> sorted;
   for (std::size_t r = 0; r < samples_.size(); ++r) {
-    out.per_route[r].p50_s = percentile(samples_[r], 0.50);
-    out.per_route[r].p95_s = percentile(samples_[r], 0.95);
-    out.per_route[r].p99_s = percentile(samples_[r], 0.99);
+    sorted = samples_[r].samples();
+    std::sort(sorted.begin(), sorted.end());
+    out.per_route[r].p50_s = sorted_percentile(sorted, 0.50);
+    out.per_route[r].p95_s = sorted_percentile(sorted, 0.95);
+    out.per_route[r].p99_s = sorted_percentile(sorted, 0.99);
   }
   out.queue_wait_by_priority.reserve(wait_samples_.size());
   for (const auto& [priority, waits] : wait_samples_) {
+    sorted = waits.samples();
+    std::sort(sorted.begin(), sorted.end());
     PriorityWaitStats stats;
     stats.priority = priority;
-    stats.requests = static_cast<std::int64_t>(waits.size());
-    stats.p50_s = percentile(waits, 0.50);
-    stats.p95_s = percentile(waits, 0.95);
-    stats.p99_s = percentile(waits, 0.99);
+    stats.requests = waits.count();
+    stats.p50_s = sorted_percentile(sorted, 0.50);
+    stats.p95_s = sorted_percentile(sorted, 0.95);
+    stats.p99_s = sorted_percentile(sorted, 0.99);
     out.queue_wait_by_priority.push_back(stats);
   }
   return out;

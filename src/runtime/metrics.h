@@ -122,9 +122,45 @@ struct SessionMetrics {
   }
 };
 
+/// Bounded, deterministic uniform sample of an unbounded stream
+/// (Vitter's Algorithm R with a seeded splitmix64 replacement draw).
+/// The first `capacity` values are kept verbatim; afterwards each new
+/// value replaces a random held sample with probability capacity/seen,
+/// so the held set stays a uniform sample of everything observed.
+/// Memory is O(capacity) forever — the fix for the collector storing
+/// every latency sample of a long-running serving process — and the
+/// seeded draw makes percentile estimates reproducible for a given
+/// record order.
+class SampleReservoir {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SampleReservoir(std::size_t capacity = kDefaultCapacity, std::uint64_t seed = 0)
+      : capacity_(capacity == 0 ? 1 : capacity), rng_state_(seed * 0x9E3779B97F4A7C15ULL + 1) {}
+
+  void add(double value);
+
+  /// Values observed (not held) so far.
+  std::int64_t count() const { return seen_; }
+  /// Values currently held — never exceeds capacity().
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::uint64_t next_random();
+
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::int64_t seen_ = 0;
+  std::vector<double> samples_;
+};
+
 /// Thread-safe accumulator behind SessionMetrics. Workers record raw
-/// samples; snapshot() sorts and reduces them to percentiles so the hot
-/// path never pays for order maintenance.
+/// samples into bounded reservoirs; snapshot() sorts each held set
+/// once and reads the three percentile ranks, so the hot path never
+/// pays for order maintenance and a long-lived session's memory stays
+/// O(routes + priorities), not O(requests).
 class MetricsCollector {
  public:
   void record_submitted(std::int64_t instances);
@@ -152,14 +188,22 @@ class MetricsCollector {
  private:
   mutable std::mutex mutex_;
   SessionMetrics counters_;  // percentiles stay empty until snapshot()
-  std::array<std::vector<double>, core::kNumRoutes> samples_;
+  std::array<SampleReservoir, core::kNumRoutes> samples_;
   // Queue-wait samples keyed by priority, highest first (the snapshot
-  // order of queue_wait_by_priority).
-  std::map<int, std::vector<double>, std::greater<int>> wait_samples_;
+  // order of queue_wait_by_priority). Reservoirs are seeded from the
+  // priority so a rebuilt collector reproduces the same estimates.
+  std::map<int, SampleReservoir, std::greater<int>> wait_samples_;
 };
 
 /// Nearest-rank percentile (p in [0,1]) of an unsorted sample set; 0 for
-/// an empty set. Exposed for the metrics tests.
+/// an empty set. Exposed for the metrics tests. Copies and sorts —
+/// fine for tests; snapshot paths sort once and use sorted_percentile.
 double percentile(std::vector<double> samples, double p);
+
+/// Nearest-rank percentile of an ALREADY ASCENDING-SORTED sample set;
+/// 0 for an empty set. The O(1) read snapshot() uses after its single
+/// per-set sort (the old code copied + re-sorted each set once per
+/// percentile).
+double sorted_percentile(const std::vector<double>& sorted, double p);
 
 }  // namespace meanet::runtime

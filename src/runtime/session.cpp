@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
 #include "wire/wire_backend.h"
 
 namespace meanet::runtime {
@@ -125,6 +126,7 @@ InferenceSession::InferenceSession(EngineConfig config)
   // admission may only reject when the queue wait blows the loosest of
   // the configured deadlines — i.e. when no route could still make it.
   admission_control_ = config.admission_control;
+  quantized_inference_ = config.quantized_inference;
   admission_deadline_s_ =
       *std::max_element(route_deadline_s_.begin(), route_deadline_s_.end());
   service_estimate_s_ = std::max(0.0, config.admission_service_estimate_s);
@@ -476,6 +478,10 @@ void InferenceSession::worker_loop(int worker_index) {
   // advances while every worker is parked in a queue pop or a timed
   // wait, never while one is mid-batch.
   sim::ActorGuard actor(*clock_);
+  // Per-thread precision selection: every eval forward this worker runs
+  // uses the session's configured compute path (the flag is
+  // thread-local, so co-resident sessions can differ).
+  ops::QuantizedScope quantized(quantized_inference_);
   mark_started();
   core::EdgeInferenceEngine& engine = *engines_[static_cast<std::size_t>(worker_index)];
   // A request cancelled while it sat in the queue is discarded here,

@@ -173,6 +173,18 @@ struct EngineConfig {
   /// Convenience: one deadline for every route.
   void set_deadline_s(double seconds) { route_deadline_s.fill(seconds); }
 
+  // ----- Edge compute precision -----
+  /// Serve the edge model through the int8 quantized inference path
+  /// (tensor/qgemm.h): eval conv forwards quantize their BN-folded
+  /// weights per output channel and their im2col activations
+  /// per-tensor, and run the integer GEMM with a folded-scale float
+  /// epilogue. Typically an integer-factor latency win on VNNI
+  /// hardware for a small accuracy delta (the parity suite bounds it;
+  /// bench/ablation_quantization measures the accuracy side). The
+  /// flag is applied per worker thread, so sessions with different
+  /// settings can share one process and one net.
+  bool quantized_inference = false;
+
   // ----- Batching -----
   /// Max instances coalesced into one edge forward pass.
   int batch_size = 64;
@@ -449,6 +461,9 @@ class InferenceSession {
   /// clear. Derived once at construction.
   double admission_deadline_s_;
   bool admission_control_ = false;
+  /// Workers install this on their thread (ops::QuantizedScope) before
+  /// serving — see EngineConfig::quantized_inference.
+  bool quantized_inference_ = false;
 
   // Deadline-aware admission state: instances sitting in the queue (by
   // scheduling priority, so the wait estimate only counts traffic the

@@ -1,0 +1,100 @@
+// Vector float microkernels. Compiled into every build; the x86 kernel
+// carries a per-function target attribute so the rest of the binary
+// keeps the baseline ISA, and gemm.cpp only calls it after runtime
+// dispatch (tensor/simd.h) confirmed AVX2+FMA.
+#include "tensor/gemm_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+#include <cstddef>
+
+namespace meanet::ops::detail {
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2_6x16(int kc, const float* apanel,
+                                                                const float* bpanel, float* c,
+                                                                int ldc, int mr, int nr) {
+  __m256 acc[6][2];
+  for (int i = 0; i < 6; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p, apanel += 6, bpanel += 16) {
+    const __m256 b0 = _mm256_loadu_ps(bpanel);
+    const __m256 b1 = _mm256_loadu_ps(bpanel + 8);
+    for (int i = 0; i < 6; ++i) {
+      const __m256 a = _mm256_broadcast_ss(apanel + i);
+      acc[i][0] = _mm256_fmadd_ps(a, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(a, b1, acc[i][1]);
+    }
+  }
+  if (mr == 6 && nr == 16) {
+    for (int i = 0; i < 6; ++i) {
+      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      _mm256_storeu_ps(c_row, _mm256_add_ps(_mm256_loadu_ps(c_row), acc[i][0]));
+      _mm256_storeu_ps(c_row + 8, _mm256_add_ps(_mm256_loadu_ps(c_row + 8), acc[i][1]));
+    }
+    return;
+  }
+  alignas(32) float tile[6][16];
+  for (int i = 0; i < 6; ++i) {
+    _mm256_store_ps(tile[i], acc[i][0]);
+    _mm256_store_ps(tile[i] + 8, acc[i][1]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    for (int j = 0; j < nr; ++j) c_row[j] += tile[i][j];
+  }
+}
+
+#endif  // x86-64
+
+#if defined(__aarch64__)
+
+void micro_kernel_neon_6x16(int kc, const float* apanel, const float* bpanel, float* c, int ldc,
+                            int mr, int nr) {
+  float32x4_t acc[6][4];
+  for (int i = 0; i < 6; ++i) {
+    for (int q = 0; q < 4; ++q) acc[i][q] = vdupq_n_f32(0.0f);
+  }
+  for (int p = 0; p < kc; ++p, apanel += 6, bpanel += 16) {
+    const float32x4_t b0 = vld1q_f32(bpanel);
+    const float32x4_t b1 = vld1q_f32(bpanel + 4);
+    const float32x4_t b2 = vld1q_f32(bpanel + 8);
+    const float32x4_t b3 = vld1q_f32(bpanel + 12);
+    for (int i = 0; i < 6; ++i) {
+      const float32x4_t a = vdupq_n_f32(apanel[i]);
+      acc[i][0] = vfmaq_f32(acc[i][0], a, b0);
+      acc[i][1] = vfmaq_f32(acc[i][1], a, b1);
+      acc[i][2] = vfmaq_f32(acc[i][2], a, b2);
+      acc[i][3] = vfmaq_f32(acc[i][3], a, b3);
+    }
+  }
+  if (mr == 6 && nr == 16) {
+    for (int i = 0; i < 6; ++i) {
+      float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      for (int q = 0; q < 4; ++q) {
+        vst1q_f32(c_row + 4 * q, vaddq_f32(vld1q_f32(c_row + 4 * q), acc[i][q]));
+      }
+    }
+    return;
+  }
+  float tile[6][16];
+  for (int i = 0; i < 6; ++i) {
+    for (int q = 0; q < 4; ++q) vst1q_f32(tile[i] + 4 * q, acc[i][q]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* c_row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    for (int j = 0; j < nr; ++j) c_row[j] += tile[i][j];
+  }
+}
+
+#endif  // aarch64
+
+}  // namespace meanet::ops::detail

@@ -54,6 +54,56 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
   }
 }
 
+void im2col_u8(const std::uint8_t* image, const ConvGeometry& g, std::uint8_t* columns) {
+  // Mirror of im2col over bytes. Fringe fill is the activation zero
+  // point (qgemm.h kActivationZeroPoint): a float 0 quantizes to code
+  // round(0 * inv) + 128 = 128, so padding bytes match what quantizing
+  // a zero-padded float matrix would have produced.
+  constexpr std::uint8_t kZeroPoint = 128;
+  const int out_h = g.out_height();
+  const int out_w = g.out_width();
+  const int out_hw = out_h * out_w;
+  for (int c = 0; c < g.in_channels; ++c) {
+    const std::uint8_t* channel =
+        image + static_cast<std::ptrdiff_t>(c) * g.in_height * g.in_width;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        std::uint8_t* out_row =
+            columns + static_cast<std::ptrdiff_t>((c * g.kernel + kh) * g.kernel + kw) * out_hw;
+        for (int oh = 0; oh < out_h; ++oh) {
+          const int ih = oh * g.stride - g.padding + kh;
+          if (ih < 0 || ih >= g.in_height) {
+            std::memset(out_row + static_cast<std::ptrdiff_t>(oh) * out_w, kZeroPoint,
+                        static_cast<std::size_t>(out_w));
+            continue;
+          }
+          const std::uint8_t* in_row = channel + static_cast<std::ptrdiff_t>(ih) * g.in_width;
+          std::uint8_t* dst = out_row + static_cast<std::ptrdiff_t>(oh) * out_w;
+          if (g.stride == 1) {
+            const int shift = kw - g.padding;
+            const int begin = std::max(0, -shift);
+            const int end = std::min(out_w, g.in_width - shift);
+            if (begin > 0) std::memset(dst, kZeroPoint, static_cast<std::size_t>(begin));
+            if (end > begin) {
+              std::memcpy(dst + begin, in_row + begin + shift,
+                          static_cast<std::size_t>(end - begin));
+            }
+            if (end < out_w) {
+              std::memset(dst + std::max(begin, end), kZeroPoint,
+                          static_cast<std::size_t>(out_w - std::max(begin, end)));
+            }
+            continue;
+          }
+          for (int ow = 0; ow < out_w; ++ow) {
+            const int iw = ow * g.stride - g.padding + kw;
+            dst[ow] = (iw >= 0 && iw < g.in_width) ? in_row[iw] : kZeroPoint;
+          }
+        }
+      }
+    }
+  }
+}
+
 void col2im(const float* columns, const ConvGeometry& g, float* image) {
   const int out_h = g.out_height();
   const int out_w = g.out_width();

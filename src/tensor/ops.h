@@ -2,10 +2,14 @@
 //
 // All convolution in the library is im2col + GEMM. The GEMM is a
 // blocked, register-tiled kernel with packed operands (scratch from the
-// per-thread ops::Workspace, reused across calls) and can fan the row
-// range out over ops::gemm_threads() worker threads; the partition is
-// by output rows, so results are bit-identical for every thread count.
-// Backward passes use the transposed variants.
+// per-thread ops::Workspace, reused across calls), a runtime-dispatched
+// microkernel (tensor/simd.h: AVX2/NEON 6x16 or the portable 4x16),
+// and can fan the row range out over ops::gemm_threads() slots of the
+// persistent ops::GemmPool; the partition is by output rows and the
+// accumulation order is fixed, so results are bit-identical for every
+// thread count under a fixed kernel. Backward passes use the
+// transposed variants. The int8 quantized serving path lives in
+// tensor/qgemm.h.
 //
 // The pre-GEMM reference kernels (simple triple loops, per-pixel direct
 // convolution) stay available behind the runtime naive-kernels flag —
@@ -14,6 +18,7 @@
 // the comparison column in bench/perf_forward.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -28,11 +33,14 @@ namespace meanet::ops {
 bool naive_kernels();
 void set_naive_kernels(bool naive);
 
-/// Threads the blocked GEMM may fan out over (1 = run on the calling
-/// thread). Initialized from MEANET_GEMM_THREADS, defaulting to 1 —
-/// serving already parallelizes over session workers, so per-call GEMM
-/// threading is an opt-in for single-stream callers. Small problems
-/// always stay on the calling thread regardless.
+/// GemmPool slots the blocked GEMM may fan out over (1 = run on the
+/// calling thread). Initialized from MEANET_GEMM_THREADS — parsed
+/// strictly; 0 means "auto" (hardware concurrency); invalid or
+/// out-of-range values warn on stderr and are clamped — defaulting to
+/// 1: serving already parallelizes over session workers, so per-call
+/// GEMM threading is an opt-in for single-stream callers.
+/// set_gemm_threads(0) is the same "auto". Small problems always stay
+/// on the calling thread regardless.
 int gemm_threads();
 void set_gemm_threads(int threads);
 
@@ -67,6 +75,13 @@ struct ConvGeometry {
 /// [C*k*k, out_h*out_w] (column-major over output positions).
 /// `columns` must have patch_size() * out_h * out_w elements.
 void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+/// im2col over a u8-quantized image for the int8 serving path. Padding
+/// positions are filled with qgemm.h's activation zero point (the code
+/// a float 0 quantizes to), so quantize-then-im2col produces exactly
+/// the byte matrix im2col-then-quantize would — at a quarter of the
+/// memory traffic and without the float scratch.
+void im2col_u8(const std::uint8_t* image, const ConvGeometry& g, std::uint8_t* columns);
 
 /// Inverse scatter-add of im2col: accumulates patch-matrix gradients back
 /// into an image gradient buffer of size C*H*W (which must be zeroed by

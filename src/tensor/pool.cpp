@@ -1,0 +1,74 @@
+#include "tensor/pool.h"
+
+namespace meanet::ops {
+
+GemmPool& GemmPool::instance() {
+  // Function-local static: constructed on first use, destroyed at
+  // process exit after main() returns — the workers are joined there,
+  // so no thread outlives static destruction.
+  static GemmPool pool;
+  return pool;
+}
+
+GemmPool::~GemmPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int GemmPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void GemmPool::ensure_workers(int workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < workers) {
+    const int index = static_cast<int>(workers_.size());
+    // A worker born mid-life starts at the current generation so it can
+    // never pick up a job that finished before it existed.
+    seen_generation_.push_back(generation_);
+    workers_.emplace_back([this, index] { worker_loop(index); });
+  }
+}
+
+void GemmPool::run(int threads, const std::function<void(int)>& fn) {
+  if (threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  ensure_workers(threads - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_threads_ = threads;
+    pending_ = threads - 1;
+    ++generation_;
+    work_cv_.notify_all();
+  }
+  fn(0);  // the caller serves slot 0 — no self-deadlock, no idle caller
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void GemmPool::worker_loop(int index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation_[index]; });
+    if (stop_) return;
+    seen_generation_[index] = generation_;
+    if (index + 1 >= job_threads_) continue;  // this job is narrower than the pool
+    const std::function<void(int)>* job = job_;
+    lock.unlock();
+    (*job)(index + 1);
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace meanet::ops

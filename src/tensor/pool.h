@@ -1,0 +1,97 @@
+// Persistent worker pool for the striped GEMM (and a small reusable
+// barrier for its shared-packed-panel handoff).
+//
+// The first GEMM rewrite spawned and joined std::threads per call —
+// which meant every call paid thread creation, every worker's
+// thread-local ops::Workspace died with it (so the packing scratch was
+// re-allocated each call), and every worker re-packed the same B
+// panel. GemmPool keeps the workers alive for the process: their TLS
+// workspaces survive across calls, and gemm.cpp has the caller pack
+// each B panel once into its own workspace while the workers barrier,
+// then everyone consumes the shared panel.
+//
+// Concurrency contract: run() executes fn(0) on the calling thread and
+// fn(1..threads-1) on pool workers, returning after all complete.
+// Concurrent run() calls from different threads serialize on an
+// internal mutex (serving workers each call gemm with threads == 1, so
+// this lock is uncontended in practice; it exists so explicit
+// multi-thread callers compose safely). Everything is mutex+condvar —
+// no atomics-as-synchronization — so the pool is clean under TSAN.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace meanet::ops {
+
+/// Reusable rendezvous for a fixed party count: every generation, all
+/// `parties` threads block in arrive_and_wait() until the last one
+/// arrives. Used by the striped GEMM to fence "B panel packed" before
+/// use and "B panel consumed" before repack.
+class SpinlessBarrier {
+ public:
+  explicit SpinlessBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Lazily-started, process-lifetime worker pool. Workers are created on
+/// first demand and grow monotonically to the largest `threads` ever
+/// requested; they park on a condvar between jobs.
+class GemmPool {
+ public:
+  /// The process-wide pool.
+  static GemmPool& instance();
+
+  /// Runs fn(slot) for slot in [0, threads): slot 0 on the calling
+  /// thread, the rest on pool workers. Blocks until every slot
+  /// returned. threads <= 1 runs fn(0) inline with no locking.
+  void run(int threads, const std::function<void(int)>& fn);
+
+  /// Workers currently alive (high-water of past run() widths).
+  int worker_count() const;
+
+  ~GemmPool();
+
+ private:
+  GemmPool() = default;
+  void ensure_workers(int workers);
+  void worker_loop(int index);
+
+  /// Serializes whole jobs: one run() owns the pool at a time.
+  std::mutex run_mutex_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::vector<std::uint64_t> seen_generation_;  // per worker, guarded by mutex_
+  const std::function<void(int)>* job_ = nullptr;
+  int job_threads_ = 0;   // fn(1..job_threads_-1) run on workers
+  int pending_ = 0;       // participating workers not yet finished
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace meanet::ops

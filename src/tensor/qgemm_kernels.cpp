@@ -1,0 +1,247 @@
+// VNNI int8 microkernels. Per-function target attributes keep the rest
+// of the binary on the baseline ISA; qgemm.cpp calls these only after
+// runtime dispatch (tensor/simd.h) confirmed the extension. The
+// AVX512-VNNI and AVX-VNNI bodies are the same 256-bit algorithm — only
+// the instruction encoding differs — so the body is shared via a macro
+// rather than maintained twice.
+#include "tensor/qgemm_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+// gcc 12's _mm512_cvtepi32_ps expands to a masked builtin whose
+// passthrough operand is _mm512_undefined_ps(); -Wmaybe-uninitialized
+// then flags that header-internal undefined value on every use. The
+// full-mask call never reads the passthrough — silence just this
+// diagnostic for this translation unit.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace meanet::ops::detail {
+
+// Weight rows are int8 storage read 4 bytes at a time as one i32 dot
+// operand; a may_alias load lets the compiler fold it straight into
+// vpdpbusd's {1to16} embedded memory broadcast instead of bouncing
+// through a GPR + vpbroadcastd pair.
+using aliased_i32 __attribute__((may_alias, aligned(1))) = std::int32_t;
+
+// acc[i][0] covers output columns jb..jb+7, acc[i][1] columns
+// jb+8..jb+15; each vpdpbusd consumes 4 k values for 8 columns. The
+// signed operand is the 4 consecutive weight bytes wq[r, 4g .. 4g+3]
+// broadcast to every 32-bit lane (via memcpy — the weight rows have no
+// alignment guarantee).
+#define MEANET_QGEMM_BODY(DPBUSD)                                                              \
+  const int k_padded = 4 * args.kgroups;                                                       \
+  for (int jb = 0; jb < args.n; jb += 16) {                                                    \
+    const int nr = args.n - jb < 16 ? args.n - jb : 16;                                        \
+    const std::uint8_t* panel =                                                                \
+        args.pack + static_cast<std::ptrdiff_t>(jb / 16) * args.kgroups * 64;                  \
+    for (int r0 = 0; r0 < args.rows; r0 += 4) {                                                \
+      const int rt = args.rows - r0 < 4 ? args.rows - r0 : 4;                                  \
+      __m256i acc[4][2];                                                                       \
+      for (int i = 0; i < rt; ++i) {                                                           \
+        acc[i][0] = _mm256_setzero_si256();                                                    \
+        acc[i][1] = _mm256_setzero_si256();                                                    \
+      }                                                                                        \
+      for (int g = 0; g < args.kgroups; ++g) {                                                 \
+        const __m256i lo = _mm256_loadu_si256(                                                 \
+            reinterpret_cast<const __m256i*>(panel + static_cast<std::ptrdiff_t>(g) * 64));    \
+        const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(                \
+            panel + static_cast<std::ptrdiff_t>(g) * 64 + 32));                                \
+        for (int i = 0; i < rt; ++i) {                                                         \
+          std::int32_t w4;                                                                     \
+          std::memcpy(&w4, args.wq + static_cast<std::ptrdiff_t>(r0 + i) * k_padded + 4 * g,   \
+                      sizeof(w4));                                                             \
+          const __m256i w = _mm256_set1_epi32(w4);                                             \
+          acc[i][0] = DPBUSD(acc[i][0], lo, w);                                                \
+          acc[i][1] = DPBUSD(acc[i][1], hi, w);                                                \
+        }                                                                                      \
+      }                                                                                        \
+      for (int i = 0; i < rt; ++i) {                                                           \
+        const int r = r0 + i;                                                                  \
+        const float cs = args.scales[r] * args.a_scale;                                        \
+        const std::int32_t zpc = 128 * args.row_sums[r];                                       \
+        const float b = args.bias != nullptr ? args.bias[r] : 0.0f;                            \
+        const __m256 f0 =                                                                      \
+            _mm256_cvtepi32_ps(_mm256_sub_epi32(acc[i][0], _mm256_set1_epi32(zpc)));           \
+        const __m256 f1 =                                                                      \
+            _mm256_cvtepi32_ps(_mm256_sub_epi32(acc[i][1], _mm256_set1_epi32(zpc)));           \
+        const __m256 r0v = _mm256_fmadd_ps(f0, _mm256_set1_ps(cs), _mm256_set1_ps(b));         \
+        const __m256 r1v = _mm256_fmadd_ps(f1, _mm256_set1_ps(cs), _mm256_set1_ps(b));         \
+        float* c_row = args.c + static_cast<std::ptrdiff_t>(r) * args.ldc + jb;                \
+        if (nr == 16) {                                                                        \
+          _mm256_storeu_ps(c_row, r0v);                                                        \
+          _mm256_storeu_ps(c_row + 8, r1v);                                                    \
+        } else {                                                                               \
+          alignas(32) float tile[16];                                                          \
+          _mm256_store_ps(tile, r0v);                                                          \
+          _mm256_store_ps(tile + 8, r1v);                                                      \
+          for (int j = 0; j < nr; ++j) c_row[j] = tile[j];                                     \
+        }                                                                                      \
+      }                                                                                        \
+    }                                                                                          \
+  }
+
+// The AVX512 tier works in full ZMM: one 64-byte load IS an entire
+// packed (panel, k-group) block — 16 columns x 4 k — so each group
+// costs one load + rt broadcasts + rt vpdpbusd instead of the YMM
+// tier's two loads + rt broadcasts + 2*rt vpdpbusd. The epilogue is
+// the same per-lane sub/convert/fma, so results stay bit-identical
+// with every other tier; ragged column tails use a mask store.
+__attribute__((target("avx512vnni,avx512f,avx512vl,avx2,fma"))) void qgemm_avx512vnni(
+    const QgemmArgs& args) {
+  const int k_padded = 4 * args.kgroups;
+  int jb0 = 0;
+  // Paired-panel main loop: two 16-column panels share each weight
+  // broadcast, so the inner group costs 2 panel loads + 8 broadcasts
+  // for 16 vpdpbusd — the kernel becomes dot-product-throughput bound
+  // instead of load bound. Accumulation per (row, panel) is the same
+  // g-ordered integer sum as the single-panel loop, so pairing cannot
+  // change results.
+  for (; jb0 + 32 <= args.n; jb0 += 32) {
+    const std::uint8_t* panel0 =
+        args.pack + static_cast<std::ptrdiff_t>(jb0 / 16) * args.kgroups * 64;
+    const std::uint8_t* panel1 = panel0 + static_cast<std::ptrdiff_t>(args.kgroups) * 64;
+    for (int r0 = 0; r0 < args.rows; r0 += 8) {
+      const int rt = args.rows - r0 < 8 ? args.rows - r0 : 8;
+      __m512i acc0[8], acc1[8];
+      const aliased_i32* wrow[8];
+      // All eight slots are initialized even for a short tail block
+      // (tail slots alias the last real row; nothing reads them) so
+      // the rt == 8 specialization below is provably fully defined.
+      for (int i = 0; i < 8; ++i) {
+        acc0[i] = _mm512_setzero_si512();
+        acc1[i] = _mm512_setzero_si512();
+        wrow[i] = reinterpret_cast<const aliased_i32*>(
+            args.wq + static_cast<std::ptrdiff_t>(r0 + (i < rt ? i : rt - 1)) * k_padded);
+      }
+      if (rt == 8) {
+        // Named accumulators, manually unrolled: gcc spills __m512i
+        // arrays to the stack even at constant trip count, so the 16
+        // accumulators are scalars here and live in ZMM registers for
+        // the whole k loop (16 of 32, plus the two activation panels).
+        __m512i b00 = acc0[0], b10 = acc0[1], b20 = acc0[2], b30 = acc0[3];
+        __m512i b40 = acc0[4], b50 = acc0[5], b60 = acc0[6], b70 = acc0[7];
+        __m512i b01 = acc1[0], b11 = acc1[1], b21 = acc1[2], b31 = acc1[3];
+        __m512i b41 = acc1[4], b51 = acc1[5], b61 = acc1[6], b71 = acc1[7];
+        const aliased_i32* w0 = wrow[0];
+        const aliased_i32* w1 = wrow[1];
+        const aliased_i32* w2 = wrow[2];
+        const aliased_i32* w3 = wrow[3];
+        const aliased_i32* w4 = wrow[4];
+        const aliased_i32* w5 = wrow[5];
+        const aliased_i32* w6 = wrow[6];
+        const aliased_i32* w7 = wrow[7];
+        for (int g = 0; g < args.kgroups; ++g) {
+          const __m512i a0 = _mm512_loadu_si512(panel0 + static_cast<std::ptrdiff_t>(g) * 64);
+          const __m512i a1 = _mm512_loadu_si512(panel1 + static_cast<std::ptrdiff_t>(g) * 64);
+          __m512i w;
+          w = _mm512_set1_epi32(w0[g]);
+          b00 = _mm512_dpbusd_epi32(b00, a0, w);
+          b01 = _mm512_dpbusd_epi32(b01, a1, w);
+          w = _mm512_set1_epi32(w1[g]);
+          b10 = _mm512_dpbusd_epi32(b10, a0, w);
+          b11 = _mm512_dpbusd_epi32(b11, a1, w);
+          w = _mm512_set1_epi32(w2[g]);
+          b20 = _mm512_dpbusd_epi32(b20, a0, w);
+          b21 = _mm512_dpbusd_epi32(b21, a1, w);
+          w = _mm512_set1_epi32(w3[g]);
+          b30 = _mm512_dpbusd_epi32(b30, a0, w);
+          b31 = _mm512_dpbusd_epi32(b31, a1, w);
+          w = _mm512_set1_epi32(w4[g]);
+          b40 = _mm512_dpbusd_epi32(b40, a0, w);
+          b41 = _mm512_dpbusd_epi32(b41, a1, w);
+          w = _mm512_set1_epi32(w5[g]);
+          b50 = _mm512_dpbusd_epi32(b50, a0, w);
+          b51 = _mm512_dpbusd_epi32(b51, a1, w);
+          w = _mm512_set1_epi32(w6[g]);
+          b60 = _mm512_dpbusd_epi32(b60, a0, w);
+          b61 = _mm512_dpbusd_epi32(b61, a1, w);
+          w = _mm512_set1_epi32(w7[g]);
+          b70 = _mm512_dpbusd_epi32(b70, a0, w);
+          b71 = _mm512_dpbusd_epi32(b71, a1, w);
+        }
+        acc0[0] = b00; acc0[1] = b10; acc0[2] = b20; acc0[3] = b30;
+        acc0[4] = b40; acc0[5] = b50; acc0[6] = b60; acc0[7] = b70;
+        acc1[0] = b01; acc1[1] = b11; acc1[2] = b21; acc1[3] = b31;
+        acc1[4] = b41; acc1[5] = b51; acc1[6] = b61; acc1[7] = b71;
+      } else {
+        for (int g = 0; g < args.kgroups; ++g) {
+          const __m512i a0 = _mm512_loadu_si512(panel0 + static_cast<std::ptrdiff_t>(g) * 64);
+          const __m512i a1 = _mm512_loadu_si512(panel1 + static_cast<std::ptrdiff_t>(g) * 64);
+          for (int i = 0; i < rt; ++i) {
+            const __m512i w = _mm512_set1_epi32(wrow[i][g]);
+            acc0[i] = _mm512_dpbusd_epi32(acc0[i], a0, w);
+            acc1[i] = _mm512_dpbusd_epi32(acc1[i], a1, w);
+          }
+        }
+      }
+      for (int i = 0; i < rt; ++i) {
+        const int r = r0 + i;
+        const float cs = args.scales[r] * args.a_scale;
+        const std::int32_t zpc = 128 * args.row_sums[r];
+        const float b = args.bias != nullptr ? args.bias[r] : 0.0f;
+        float* c_row = args.c + static_cast<std::ptrdiff_t>(r) * args.ldc + jb0;
+        const __m512 f0 =
+            _mm512_cvtepi32_ps(_mm512_sub_epi32(acc0[i], _mm512_set1_epi32(zpc)));
+        const __m512 f1 =
+            _mm512_cvtepi32_ps(_mm512_sub_epi32(acc1[i], _mm512_set1_epi32(zpc)));
+        _mm512_storeu_ps(c_row, _mm512_fmadd_ps(f0, _mm512_set1_ps(cs), _mm512_set1_ps(b)));
+        _mm512_storeu_ps(c_row + 16,
+                         _mm512_fmadd_ps(f1, _mm512_set1_ps(cs), _mm512_set1_ps(b)));
+      }
+    }
+  }
+  for (int jb = jb0; jb < args.n; jb += 16) {
+    const int nr = args.n - jb < 16 ? args.n - jb : 16;
+    const __mmask16 tail = static_cast<__mmask16>((1u << nr) - 1u);
+    const std::uint8_t* panel =
+        args.pack + static_cast<std::ptrdiff_t>(jb / 16) * args.kgroups * 64;
+    // Eight rows per block: vpdpbusd has ~4-cycle latency, so eight
+    // independent accumulator chains keep the unit saturated (four
+    // chains leave it half idle); 32 ZMM registers make this free.
+    for (int r0 = 0; r0 < args.rows; r0 += 8) {
+      const int rt = args.rows - r0 < 8 ? args.rows - r0 : 8;
+      __m512i acc[8];
+      for (int i = 0; i < rt; ++i) acc[i] = _mm512_setzero_si512();
+      const aliased_i32* wrow[8];
+      for (int i = 0; i < rt; ++i) {
+        wrow[i] = reinterpret_cast<const aliased_i32*>(
+            args.wq + static_cast<std::ptrdiff_t>(r0 + i) * k_padded);
+      }
+      for (int g = 0; g < args.kgroups; ++g) {
+        const __m512i a = _mm512_loadu_si512(panel + static_cast<std::ptrdiff_t>(g) * 64);
+        for (int i = 0; i < rt; ++i) {
+          acc[i] = _mm512_dpbusd_epi32(acc[i], a, _mm512_set1_epi32(wrow[i][g]));
+        }
+      }
+      for (int i = 0; i < rt; ++i) {
+        const int r = r0 + i;
+        const float cs = args.scales[r] * args.a_scale;
+        const std::int32_t zpc = 128 * args.row_sums[r];
+        const float b = args.bias != nullptr ? args.bias[r] : 0.0f;
+        const __m512 f =
+            _mm512_cvtepi32_ps(_mm512_sub_epi32(acc[i], _mm512_set1_epi32(zpc)));
+        const __m512 v = _mm512_fmadd_ps(f, _mm512_set1_ps(cs), _mm512_set1_ps(b));
+        float* c_row = args.c + static_cast<std::ptrdiff_t>(r) * args.ldc + jb;
+        if (nr == 16) {
+          _mm512_storeu_ps(c_row, v);
+        } else {
+          _mm512_mask_storeu_ps(c_row, tail, v);
+        }
+      }
+    }
+  }
+}
+
+__attribute__((target("avxvnni,avx2,fma"))) void qgemm_avxvnni(const QgemmArgs& args) {
+  MEANET_QGEMM_BODY(_mm256_dpbusd_avx_epi32)
+}
+
+#undef MEANET_QGEMM_BODY
+
+}  // namespace meanet::ops::detail
+
+#endif  // x86-64

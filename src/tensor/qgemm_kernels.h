@@ -1,0 +1,37 @@
+// Internal interface between the int8 GEMM driver (qgemm.cpp) and the
+// VNNI kernel translation unit. Not part of the public ops API.
+#pragma once
+
+#include <cstdint>
+
+namespace meanet::ops::detail {
+
+/// One whole qgemm call, with the activations already packed into
+/// 16-column panels of 4-deep k groups: pack[(jb/16) * kgroups * 64 +
+/// g * 64 + j * 4 + kk] = act[4g + kk, jb + j] (zero-filled past n and
+/// k). 64 bytes per (panel, group) = exactly the two 256-bit vpdpbusd
+/// operands covering 16 output columns.
+struct QgemmArgs {
+  int rows = 0;
+  int n = 0;
+  int kgroups = 0;               // k_padded / 4
+  const std::int8_t* wq = nullptr;       // [rows, 4 * kgroups]
+  const float* scales = nullptr;         // per-row weight scale
+  const std::int32_t* row_sums = nullptr;
+  const std::uint8_t* pack = nullptr;
+  float a_scale = 0.0f;
+  const float* bias = nullptr;           // null = 0
+  float* c = nullptr;
+  int ldc = 0;
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// 4-row x 16-column tiles over vpdpbusd; the two entry points differ
+/// only in which ISA extension encodes the instruction. Identical
+/// arithmetic — and identical results to the scalar tier, since s32
+/// accumulation is exact and the epilogue FMA matches std::fma.
+void qgemm_avx512vnni(const QgemmArgs& args);
+void qgemm_avxvnni(const QgemmArgs& args);
+#endif
+
+}  // namespace meanet::ops::detail

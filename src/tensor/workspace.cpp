@@ -10,6 +10,12 @@ float* Workspace::buffer(Slot slot, std::size_t elems) {
   return t.data();
 }
 
+unsigned char* Workspace::byte_buffer(ByteSlot slot, std::size_t bytes) {
+  std::vector<unsigned char>& b = byte_buffers_[static_cast<std::size_t>(slot)];
+  if (b.size() < bytes) b.resize(bytes);
+  return b.data();
+}
+
 std::size_t Workspace::capacity(Slot slot) const {
   return static_cast<std::size_t>(buffers_[static_cast<std::size_t>(slot)].numel());
 }

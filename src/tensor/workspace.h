@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstddef>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -29,13 +30,31 @@ class Workspace {
     kIm2col,
     kFoldedWeights,
     kFoldedBias,
+    kQuantScales,  // int8 path: per-row weight scales + fused epilogue scales
     kNumSlots,
+  };
+
+  /// Raw (non-float) scratch of the int8 quantized path: int8 weight
+  /// storage, s32 row sums, u8 quantized activations, and the packed
+  /// activation panels the VNNI kernel consumes.
+  enum ByteSlot {
+    kQuantWeights,
+    kQuantRowSums,
+    kQuantTile,  // u8-quantized input image, fed to the byte-domain im2col
+    kQuantAct,
+    kQuantPack,
+    kNumByteSlots,
   };
 
   /// A buffer of at least `elems` floats for `slot`; contents are
   /// undefined. The buffer stays valid until the next request for the
   /// same slot on the same thread.
   float* buffer(Slot slot, std::size_t elems);
+
+  /// A buffer of at least `bytes` bytes for `slot`, aligned for any
+  /// fundamental type; contents are undefined. Same lifetime contract
+  /// as buffer().
+  unsigned char* byte_buffer(ByteSlot slot, std::size_t bytes);
 
   /// Elements currently held by `slot` (capacity, not a fill level).
   std::size_t capacity(Slot slot) const;
@@ -45,6 +64,7 @@ class Workspace {
 
  private:
   std::array<Tensor, kNumSlots> buffers_;
+  std::array<std::vector<unsigned char>, kNumByteSlots> byte_buffers_;
 };
 
 }  // namespace meanet::ops

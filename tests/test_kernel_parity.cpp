@@ -10,11 +10,20 @@
 //    and thread-safe: four workers share ONE net and reproduce the
 //    single-threaded logits bit-identically (run this binary under
 //    TSAN to verify the absence of data races mechanically);
-//  - the row-striped GEMM threading is bit-identical to single-thread.
+//  - the row-striped GemmPool threading is bit-identical to
+//    single-thread at every pool width;
+//  - the runtime-dispatched SIMD microkernel matches the portable
+//    4x16 within float-rounding tolerance, and each fixed kernel is
+//    bit-identical across thread counts;
+//  - the int8 quantized path (tensor/qgemm.h) round-trips weights
+//    within half a quantization step, tracks the float forward within
+//    the documented tolerance at 1/2/4 pool threads, and its scalar
+//    and VNNI kernels produce bit-identical results.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -22,8 +31,11 @@
 #include "nn/batchnorm2d.h"
 #include "nn/conv2d.h"
 #include "nn/fuse.h"
+#include "nn/quantize.h"
 #include "nn/sequential.h"
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
+#include "tensor/simd.h"
 #include "tiny_models.h"
 
 namespace meanet {
@@ -100,6 +112,283 @@ TEST(GemmParity, RowStripedThreadingIsBitIdentical) {
   const Tensor threaded = ops::matmul(a, b);
   ops::set_gemm_threads(before);
   EXPECT_TRUE(allclose(single, threaded, 0.0f));  // same row, same k-order
+}
+
+TEST(GemmParity, PoolThreadingIsBitIdenticalAtOneTwoAndFourThreads) {
+  util::Rng rng(17);
+  const int m = 192, n = 176, k = 144;  // crosses the small-problem threshold
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  const Tensor single = ops::matmul(a, b);
+  for (const int threads : {2, 4}) {
+    ops::set_gemm_threads(threads);
+    const Tensor pooled = ops::matmul(a, b);
+    EXPECT_TRUE(allclose(single, pooled, 0.0f)) << "threads=" << threads;
+  }
+  ops::set_gemm_threads(before);
+}
+
+TEST(GemmParity, PersistentPoolSurvivesRepeatedWidthChanges) {
+  // The pool's workers live for the process and the pool grows
+  // monotonically; alternate widths across calls to exercise the
+  // generation handshake rather than a fresh spawn/join per call.
+  util::Rng rng(19);
+  const Tensor a = Tensor::normal(Shape{160, 160}, rng);
+  const Tensor b = Tensor::normal(Shape{160, 160}, rng);
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  const Tensor expected = ops::matmul(a, b);
+  for (int i = 0; i < 12; ++i) {
+    ops::set_gemm_threads(1 + i % 4);
+    EXPECT_TRUE(allclose(expected, ops::matmul(a, b), 0.0f)) << "iter=" << i;
+  }
+  ops::set_gemm_threads(before);
+}
+
+/// RAII set/restore of the float microkernel selection.
+class SimdLevelScope {
+ public:
+  explicit SimdLevelScope(ops::SimdLevel level) : previous_(ops::simd_level()) {
+    ops::set_simd_level(level);
+  }
+  ~SimdLevelScope() { ops::set_simd_level(previous_); }
+
+ private:
+  ops::SimdLevel previous_;
+};
+
+TEST(SimdParity, VectorMicrokernelMatchesPortableWithinTolerance) {
+  if (ops::max_simd_level() == ops::SimdLevel::kPortable) {
+    GTEST_SKIP() << "no vector microkernel on this host";
+  }
+  util::Rng rng(43);
+  // Full tiles, ragged tiles, and sizes spanning several KC/NC blocks.
+  const int sizes[][3] = {{6, 16, 32}, {17, 33, 9}, {64, 64, 64}, {130, 130, 130}};
+  for (const auto& s : sizes) {
+    const int m = s[0], n = s[1], k = s[2];
+    const Tensor a = Tensor::normal(Shape{m, k}, rng);
+    const Tensor b = Tensor::normal(Shape{k, n}, rng);
+    Tensor portable;
+    Tensor vectorized;
+    {
+      SimdLevelScope scope(ops::SimdLevel::kPortable);
+      portable = ops::matmul(a, b);
+    }
+    {
+      SimdLevelScope scope(ops::max_simd_level());
+      vectorized = ops::matmul(a, b);
+    }
+    ASSERT_EQ(portable.shape(), vectorized.shape());
+    // The vector kernel contracts multiply-adds into FMAs, so results
+    // differ from the portable kernel only by rounding.
+    for (std::int64_t i = 0; i < portable.numel(); ++i) {
+      ASSERT_NEAR(portable[i], vectorized[i],
+                  1e-4f * std::max(1.0f, std::fabs(portable[i])))
+          << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdParity, PortableKernelIsBitIdenticalAcrossThreadCounts) {
+  // The thread-count bit-identity contract holds per fixed kernel; the
+  // default-kernel case is covered above, so pin the portable tier.
+  util::Rng rng(47);
+  const Tensor a = Tensor::normal(Shape{160, 160}, rng);
+  const Tensor b = Tensor::normal(Shape{160, 160}, rng);
+  SimdLevelScope scope(ops::SimdLevel::kPortable);
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  const Tensor single = ops::matmul(a, b);
+  ops::set_gemm_threads(4);
+  const Tensor pooled = ops::matmul(a, b);
+  ops::set_gemm_threads(before);
+  EXPECT_TRUE(allclose(single, pooled, 0.0f));
+}
+
+TEST(SimdParity, SetLevelClampsToTheHardwareCeiling) {
+  const ops::SimdLevel before = ops::simd_level();
+  ops::set_simd_level(ops::SimdLevel::kPortable);
+  EXPECT_EQ(ops::simd_level(), ops::SimdLevel::kPortable);
+  // A level the host lacks degrades to portable instead of faulting
+  // later; the host's own ceiling is honored.
+  for (const ops::SimdLevel requested : {ops::SimdLevel::kAvx2, ops::SimdLevel::kNeon}) {
+    ops::set_simd_level(requested);
+    EXPECT_TRUE(ops::simd_level() == requested
+                    ? requested == ops::max_simd_level()
+                    : ops::simd_level() == ops::SimdLevel::kPortable);
+  }
+  ops::set_simd_level(before);
+}
+
+TEST(QuantizedParity, DequantizedWeightsRoundTripWithinHalfStep) {
+  util::Rng rng(53);
+  const int rows = 5, cols = 19;
+  const Tensor w = Tensor::normal(Shape{rows, cols}, rng);
+  const ops::QuantizedWeights q = nn::quantize_weights_int8(w, rows);
+  EXPECT_EQ(q.rows, rows);
+  EXPECT_EQ(q.cols, cols);
+  EXPECT_EQ(q.k_padded, ops::quantized_k_padded(cols));
+  const Tensor decoded = nn::dequantize_int8(q);
+  ASSERT_EQ(decoded.shape(), (Shape{rows, cols}));
+  for (int r = 0; r < rows; ++r) {
+    // Symmetric rounding quantization: every element is within half a
+    // step of its code, and the row max hits a code exactly.
+    for (int c = 0; c < cols; ++c) {
+      const std::int64_t i = static_cast<std::int64_t>(r) * cols + c;
+      EXPECT_LE(std::fabs(decoded[i] - w[i]), 0.5f * q.scale[static_cast<std::size_t>(r)] + 1e-7f)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+/// Quantizes W [rows, k] and X [k, n], runs qgemm_u8s8, returns C.
+Tensor run_qgemm(const Tensor& w, const Tensor& x, const Tensor& bias) {
+  const int rows = w.shape().dim(0);
+  const int k = w.shape().dim(1);
+  const int n = x.shape().dim(1);
+  const ops::QuantizedWeights q = ops::quantize_weights_int8(w.data(), rows, k);
+  const float a_scale = ops::activation_scale(x.data(), static_cast<std::size_t>(x.numel()));
+  std::vector<std::uint8_t> act(static_cast<std::size_t>(x.numel()));
+  ops::quantize_activations_u8(x.data(), act.size(), a_scale, act.data());
+  Tensor c(Shape{rows, n});
+  ops::qgemm_u8s8(rows, n, k, q.k_padded, q.data.data(), q.scale.data(), q.row_sum.data(),
+                  act.data(), a_scale, bias.data(), c.data(), n);
+  return c;
+}
+
+TEST(QuantizedParity, QgemmTracksFloatGemmWithinQuantizationError) {
+  util::Rng rng(59);
+  // Ragged and tile-aligned shapes for both kernel tiers (16-wide
+  // column panels, 4-row blocks, k groups of 4).
+  const int sizes[][3] = {{1, 1, 1}, {4, 16, 32}, {13, 37, 29}, {16, 48, 64}, {7, 130, 75}};
+  for (const auto& s : sizes) {
+    const int rows = s[0], n = s[2], k = s[1];
+    const Tensor w = Tensor::normal(Shape{rows, k}, rng);
+    const Tensor x = Tensor::normal(Shape{k, n}, rng);
+    const Tensor bias = Tensor::normal(Shape{rows}, rng);
+    Tensor ref(Shape{rows, n});
+    ops::gemm(false, false, rows, n, k, 1.0f, w.data(), k, x.data(), n, 0.0f, ref.data(), n);
+    for (int r = 0; r < rows; ++r) {
+      for (int j = 0; j < n; ++j) ref[static_cast<std::int64_t>(r) * n + j] += bias[r];
+    }
+    const Tensor q8 = run_qgemm(w, x, bias);
+    float max_abs = 0.0f;
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(ref[i]));
+    }
+    // ~1% relative error measured for normal operands; 5% of the
+    // dynamic range is a comfortable regression bound.
+    const float tolerance = 0.05f * std::max(1.0f, max_abs);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_NEAR(ref[i], q8[i], tolerance)
+          << "rows=" << rows << " n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(QuantizedParity, ScalarAndVectorInt8KernelsAreBitIdentical) {
+  if (ops::max_int8_kernel() == ops::Int8Kernel::kScalar) {
+    GTEST_SKIP() << "no VNNI tier on this host";
+  }
+  util::Rng rng(61);
+  const int sizes[][3] = {{4, 16, 32}, {13, 37, 29}, {7, 130, 75}};
+  for (const auto& s : sizes) {
+    const int rows = s[0], n = s[2], k = s[1];
+    const Tensor w = Tensor::normal(Shape{rows, k}, rng);
+    const Tensor x = Tensor::normal(Shape{k, n}, rng);
+    const Tensor bias = Tensor::normal(Shape{rows}, rng);
+    const ops::Int8Kernel before = ops::int8_kernel();
+    ops::set_int8_kernel(ops::max_int8_kernel());
+    const Tensor vectorized = run_qgemm(w, x, bias);
+    ops::set_int8_kernel(ops::Int8Kernel::kScalar);
+    const Tensor scalar = run_qgemm(w, x, bias);
+    ops::set_int8_kernel(before);
+    // s32 accumulation is exact and both epilogues use one fused
+    // multiply-add with round-to-nearest int->float conversion, so the
+    // tiers agree to the bit (qgemm.h documents this contract).
+    EXPECT_TRUE(allclose(vectorized, scalar, 0.0f))
+        << "rows=" << rows << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(QuantizedParity, AllZeroActivationsDegenerateToBias) {
+  util::Rng rng(67);
+  const Tensor w = Tensor::normal(Shape{3, 8}, rng);
+  const Tensor x = Tensor::zeros(Shape{8, 5});
+  const Tensor bias = Tensor::normal(Shape{3}, rng);
+  const Tensor q8 = run_qgemm(w, x, bias);
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(q8[static_cast<std::int64_t>(r) * 5 + j], bias[r]);
+    }
+  }
+}
+
+TEST(QuantizedParity, ConvForwardTracksFloatAcrossPoolThreads) {
+  util::Rng rng(71);
+  nn::Conv2d conv(8, 16, 3, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::normal(Shape{2, 8, 12, 12}, rng);
+  const Tensor fp = conv.forward(x, nn::Mode::kEval);
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < fp.numel(); ++i) max_abs = std::max(max_abs, std::fabs(fp[i]));
+  const float tolerance = 0.05f * std::max(1.0f, max_abs);
+  const int before = ops::gemm_threads();
+  Tensor at_one_thread;
+  for (const int threads : {1, 2, 4}) {
+    ops::set_gemm_threads(threads);
+    ops::QuantizedScope quantized(true);
+    const Tensor q8 = conv.forward(x, nn::Mode::kEval);
+    ASSERT_EQ(q8.shape(), fp.shape());
+    for (std::int64_t i = 0; i < fp.numel(); ++i) {
+      ASSERT_NEAR(fp[i], q8[i], tolerance) << "threads=" << threads << " i=" << i;
+    }
+    // The int8 path itself is deterministic regardless of pool width.
+    if (threads == 1) {
+      at_one_thread = q8;
+    } else {
+      EXPECT_TRUE(allclose(at_one_thread, q8, 0.0f)) << "threads=" << threads;
+    }
+  }
+  ops::set_gemm_threads(before);
+}
+
+TEST(QuantizedParity, FoldedConvBnEvalComposesWithInt8) {
+  util::Rng rng(73);
+  nn::Sequential fused("fused");
+  fused.emplace<nn::Conv2d>(3, 6, 3, 1, 1, /*bias=*/true, rng, "c");
+  fused.emplace<nn::BatchNorm2d>(6);
+  for (int i = 0; i < 3; ++i) {
+    fused.forward(Tensor::normal(Shape{4, 3, 9, 9}, rng), nn::Mode::kTrain);
+  }
+  const Tensor x = Tensor::normal(Shape{2, 3, 9, 9}, rng);
+  const Tensor fp = fused.forward(x, nn::Mode::kEval);
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < fp.numel(); ++i) max_abs = std::max(max_abs, std::fabs(fp[i]));
+  ops::QuantizedScope quantized(true);
+  const Tensor q8 = fused.forward(x, nn::Mode::kEval);
+  ASSERT_EQ(q8.shape(), fp.shape());
+  // int8 quantizes the BN-folded weights, so the fused path and the
+  // quantized path compose without extra error terms.
+  const float tolerance = 0.05f * std::max(1.0f, max_abs);
+  for (std::int64_t i = 0; i < fp.numel(); ++i) {
+    ASSERT_NEAR(fp[i], q8[i], tolerance) << "i=" << i;
+  }
+}
+
+TEST(QuantizedParity, ScopeRestoresThePreviousFlag) {
+  EXPECT_FALSE(ops::quantized_inference());
+  {
+    ops::QuantizedScope outer(true);
+    EXPECT_TRUE(ops::quantized_inference());
+    {
+      ops::QuantizedScope inner(false);
+      EXPECT_FALSE(ops::quantized_inference());
+    }
+    EXPECT_TRUE(ops::quantized_inference());
+  }
+  EXPECT_FALSE(ops::quantized_inference());
 }
 
 class ConvParity : public ::testing::TestWithParam<std::tuple<int, int, int, int, int, int>> {};

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -242,6 +243,143 @@ TEST(WireServer, ConnectionChurnLeavesNothingBehind) {
   EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kRounds));
   server.stop();
   EXPECT_EQ(server.stats().connections_active, 0u);
+}
+
+// ---- Stale-connection retry and response demultiplexing ----
+
+/// Wraps a transport so reads turn glacial once `fast_bytes` have been
+/// read: each later read sleeps, then yields at most one byte. The
+/// response still arrives — just slower than any response timeout —
+/// which is exactly the stale-connection shape WireBackend must retry:
+/// the server consumed and answered the request, but the answer cannot
+/// be read in time. Also records the request id of every frame written
+/// through it so the test can assert the retry used a FRESH id.
+class GlacialReadTransport final : public Transport {
+ public:
+  GlacialReadTransport(std::unique_ptr<Transport> inner, std::uint64_t fast_bytes,
+                       double per_read_delay_s, std::shared_ptr<std::vector<std::uint64_t>> ids)
+      : inner_(std::move(inner)),
+        fast_bytes_(fast_bytes),
+        delay_s_(per_read_delay_s),
+        ids_(std::move(ids)) {}
+
+  std::size_t read_some(std::uint8_t* buf, std::size_t max, double timeout_s) override {
+    if (read_ >= fast_bytes_) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s_));
+      max = 1;
+    }
+    const std::size_t n = inner_->read_some(buf, max, timeout_s);
+    read_ += n;
+    return n;
+  }
+
+  void write_all(const std::uint8_t* data, std::size_t size) override {
+    if (size >= kFrameHeaderBytes) {  // frames are written whole
+      std::uint64_t id = 0;
+      std::memcpy(&id, data + 8, sizeof(id));  // magic + version + command
+      ids_->push_back(id);
+    }
+    inner_->write_all(data, size);
+  }
+
+  void close() override { inner_->close(); }
+  std::string describe() const override { return "glacial(" + inner_->describe() + ")"; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::uint64_t fast_bytes_;
+  double delay_s_;
+  std::shared_ptr<std::vector<std::uint64_t>> ids_;
+  std::uint64_t read_ = 0;
+};
+
+TEST(WireRetry, TimedOutResponseIsRetriedOnceWithAFreshRequestId) {
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireServerConfig server_config;
+  server_config.max_batch_instances = 1;  // serve immediately
+  WireServer server(backend, server_config);
+
+  auto ids = std::make_shared<std::vector<std::uint64_t>>();
+  int dials = 0;
+  WireBackendConfig cfg;
+  cfg.response_timeout_s = 0.25;
+  cfg.transport_factory = [&server, &dials, ids]() -> std::unique_ptr<Transport> {
+    PipePair pipe = make_pipe();
+    server.adopt(std::move(pipe.second));
+    if (++dials == 1) {
+      // The ping's header-only pong (kFrameHeaderBytes) reads at full
+      // speed; every later response crawls one byte per read, slower
+      // than the 0.25 s response timeout.
+      return std::make_unique<GlacialReadTransport>(std::move(pipe.first),
+                                                    /*fast_bytes=*/kFrameHeaderBytes,
+                                                    /*per_read_delay_s=*/0.08, ids);
+    }
+    return std::make_unique<GlacialReadTransport>(std::move(pipe.first),
+                                                  /*fast_bytes=*/kNoFault,
+                                                  /*per_read_delay_s=*/0.0, ids);
+  };
+  WireBackend client(cfg);
+  client.ping();  // establishes connection 1, which is then stale-on-use
+  ASSERT_TRUE(client.connected());
+
+  // The server answers the first classify promptly, but the client
+  // cannot read the response before its timeout: WireBackend must
+  // close, redial, and retry — and the caller sees exactly ONE answer.
+  runtime::OffloadPayload payload;
+  payload.images = instance_with_pixel(6.0f);
+  EXPECT_EQ(client.classify(payload), std::vector<int>{6});
+  EXPECT_EQ(dials, 2);
+
+  // ping + timed-out classify on connection 1, retried classify on
+  // connection 2 — and the retry carried a fresh (larger) request id,
+  // so the abandoned exchange can never satisfy it.
+  ASSERT_EQ(ids->size(), 3u);
+  EXPECT_GT((*ids)[2], (*ids)[1]);
+
+  // The daemon served BOTH copies of the request (it cannot know the
+  // first answer was abandoned) as two single-connection batches.
+  EXPECT_TRUE(eventually([&] { return server.stats().requests_served == 2u; }));
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.instances_served, 2u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.cross_session_batches, 0u);
+  EXPECT_EQ(backend->calls(), 2);
+
+  // The fresh connection is healthy: later exchanges are undisturbed.
+  payload.images = instance_with_pixel(9.0f);
+  EXPECT_EQ(client.classify(payload), std::vector<int>{9});
+  server.stop();
+}
+
+TEST(WireRetry, ResponsesAreDemuxedByRequestIdNotArrivalOrder) {
+  PipePair pipe = make_pipe();
+  auto client_end = std::make_shared<std::unique_ptr<Transport>>(std::move(pipe.first));
+  WireBackendConfig cfg;
+  cfg.transport_factory = [client_end] { return std::move(*client_end); };
+  WireBackend client(cfg);
+
+  // Hand-rolled server: answer with a stale response (foreign request
+  // id) FIRST, then the genuine one. A client that trusted arrival
+  // order would hand the caller the stale labels.
+  std::unique_ptr<Transport> server_end = std::move(pipe.second);
+  std::thread impostor([&server_end] {
+    Frame request;
+    if (!read_frame(*server_end, request)) return;
+    Frame stale;
+    stale.command = Command::kOffloadResponse;
+    stale.request_id = request.request_id + 7;
+    stale.payload = encode_offload_response(std::vector<int>{99});
+    write_frame(*server_end, stale);
+    Frame genuine;
+    genuine.command = Command::kOffloadResponse;
+    genuine.request_id = request.request_id;
+    genuine.payload = encode_offload_response(std::vector<int>{5});
+    write_frame(*server_end, genuine);
+  });
+  runtime::OffloadPayload payload;
+  payload.images = instance_with_pixel(5.0f);
+  EXPECT_EQ(client.classify(payload), std::vector<int>{5});  // not {99}
+  impostor.join();
 }
 
 // ---- Full InferenceSession over the wire ----
