@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "tensor/pool.h"
 #include "tensor/qgemm.h"
 #include "tensor/workspace.h"
 
@@ -184,6 +185,37 @@ Tensor Conv2d::forward_with(const Tensor& input, const float* weight, const floa
         ops::Workspace::kQuantRowSums,
         static_cast<std::size_t>(out_channels_) * sizeof(std::int32_t)));
     ops::quantize_weight_rows(weight, out_channels_, patch, wq, scales, row_sums);
+    if (ops::batched_conv() && batch > 1) {
+      // Whole-batch int8: one activation scale for the whole batch
+      // (quantize-once-per-batch) and one qgemm per column chunk. The
+      // scale is max|x|/127 over all images — chunk-invariant, so the
+      // byte-budget chunking below never changes results; it does make
+      // the codes (slightly) coarser than per-image scales for images
+      // quieter than the batch peak, which is the usual per-tensor
+      // batching tradeoff (the parity tests bound it).
+      const float a_scale =
+          ops::activation_scale(input.data(), static_cast<std::size_t>(batch) * in_stride);
+      const std::size_t per_image_bytes = static_cast<std::size_t>(patch) * out_hw;
+      const std::size_t budget_images =
+          std::max<std::size_t>(1, ops::batched_columns_budget() / std::max<std::size_t>(
+                                                                       1, per_image_bytes));
+      const int chunk = static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(batch), budget_images));
+      std::uint8_t* tile = workspace.byte_buffer(
+          ops::Workspace::kQuantTile, static_cast<std::size_t>(chunk) * in_stride);
+      std::uint8_t* act =
+          workspace.byte_buffer(ops::Workspace::kQuantAct, per_image_bytes * chunk);
+      for (int n0 = 0; n0 < batch; n0 += chunk) {
+        const int bc = std::min(chunk, batch - n0);
+        ops::quantize_activations_u8(input.data() + n0 * in_stride,
+                                     static_cast<std::size_t>(bc) * in_stride, a_scale, tile);
+        ops::im2col_u8_batched(tile, in_stride, bc, g, act);
+        ops::qgemm_u8s8_batched_nchw(out_channels_, bc, out_hw, patch, k_padded, wq, scales,
+                                     row_sums, act, a_scale, bias,
+                                     output.data() + n0 * out_stride, out_stride, out_hw);
+      }
+      return output;
+    }
     std::uint8_t* tile = workspace.byte_buffer(
         ops::Workspace::kQuantTile, static_cast<std::size_t>(in_stride));
     std::uint8_t* act = workspace.byte_buffer(
@@ -198,14 +230,60 @@ Tensor Conv2d::forward_with(const Tensor& input, const float* weight, const floa
     }
     return output;
   }
-  float* columns = workspace.buffer(
-      ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * out_hw);
-  for (int n = 0; n < batch; ++n) {
-    ops::im2col(input.data() + n * in_stride, g, columns);
-    // output[n] = W [out_c, patch] * columns [patch, out_hw]
-    ops::gemm(false, false, out_channels_, out_hw, patch, 1.0f, weight, patch, columns, out_hw,
-              0.0f, output.data() + n * out_stride, out_hw);
-    if (bias != nullptr) {
+  // Whole-batch float path: pack every image's patch columns into one
+  // [patch, bc*out_hw] matrix and run ONE striped GEMM per chunk — the
+  // A (weight) panel is packed once per NC block of the whole chunk
+  // instead of once per image, and on a multi-thread pool the one wide
+  // GEMM fans out where the per-image GEMMs sat under the dispatch
+  // threshold. The per-element accumulation order inside an image's
+  // column block is exactly the per-image GEMM's (k-blocking doesn't
+  // depend on the j extent), so this is bit-identical to the loop
+  // below at every GemmPool width and every chunk size.
+  int chunk = 0;
+  if (ops::batched_conv() && batch > 1 && ops::batched_conv_pays(out_hw)) {
+    const std::size_t per_image_bytes =
+        static_cast<std::size_t>(patch) * out_hw * sizeof(float);
+    std::size_t budget = ops::batched_columns_budget();
+    if (ops::gemm_threads() <= 1) {
+      // Single-thread chunks stay L2-sized: the tile is written
+      // (im2col) and immediately re-read (pack_b), so a chunk larger
+      // than the cache turns that round trip into DRAM traffic with no
+      // fan-out win to pay for it. Multi-thread keeps the configured
+      // budget — wide tiles are what feed the stripes.
+      budget = std::min(budget, std::size_t{512} << 10);
+    }
+    chunk = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(batch),
+        std::max<std::size_t>(1, budget / std::max<std::size_t>(1, per_image_bytes))));
+  }
+  if (chunk > 1) {
+    // A chunk of one image would replay the per-image schedule through
+    // the strided machinery — all bookkeeping, zero amortization — so
+    // when the budget can't fit two images' columns the plain loop
+    // below takes over (same results either way).
+    float* columns = workspace.buffer(
+        ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * chunk * out_hw);
+    for (int n0 = 0; n0 < batch; n0 += chunk) {
+      const int bc = std::min(chunk, batch - n0);
+      ops::im2col_batched(input.data() + n0 * in_stride, in_stride, bc, g, columns);
+      ops::gemm_batched_nchw(out_channels_, patch, bc, out_hw, weight, patch, columns,
+                             output.data() + n0 * out_stride, out_stride, out_hw);
+    }
+  } else {
+    float* columns = workspace.buffer(
+        ops::Workspace::kIm2col, static_cast<std::size_t>(patch) * out_hw);
+    for (int n = 0; n < batch; ++n) {
+      ops::im2col(input.data() + n * in_stride, g, columns);
+      // output[n] = W [out_c, patch] * columns [patch, out_hw]
+      ops::gemm(false, false, out_channels_, out_hw, patch, 1.0f, weight, patch, columns, out_hw,
+                0.0f, output.data() + n * out_stride, out_hw);
+    }
+  }
+  if (bias != nullptr) {
+    // Bias is a post-GEMM epilogue in both branches (prefilling C would
+    // change the float addition order and break batched/per-image
+    // bit-identity).
+    for (int n = 0; n < batch; ++n) {
       for (int oc = 0; oc < out_channels_; ++oc) {
         float* dst = output.data() + n * out_stride + static_cast<std::int64_t>(oc) * out_hw;
         const float b = bias[oc];
@@ -307,33 +385,56 @@ Tensor DepthwiseConv2d::forward_with(const Tensor& input, const float* weight,
   const int out_h = out_shape.height(), out_w = out_shape.width();
   const std::int64_t in_hw = static_cast<std::int64_t>(in_h) * in_w;
   const std::int64_t out_hw = static_cast<std::int64_t>(out_h) * out_w;
+  // Per-call invariants, hoisted out of the (n, c) loop: the fast-path
+  // predicate, the filter size, and the base pointers are identical for
+  // every channel of every image.
   const bool fast = !ops::naive_kernels() && kernel_ == 3 && (stride_ == 1 || stride_ == 2);
+  const int kk = kernel_ * kernel_;
   Tensor output(out_shape);
-  for (int n = 0; n < batch; ++n) {
-    for (int c = 0; c < channels_; ++c) {
-      const float* channel =
-          input.data() + (static_cast<std::int64_t>(n) * channels_ + c) * in_hw;
-      const float* filt = weight + static_cast<std::int64_t>(c) * kernel_ * kernel_;
-      float* out = output.data() + (static_cast<std::int64_t>(n) * channels_ + c) * out_hw;
-      if (fast) {
-        if (stride_ == 1) {
-          dw_channel_3x3<1>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
-        } else {
-          dw_channel_3x3<2>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
-        }
+  const float* in_base = input.data();
+  float* out_base = output.data();
+  // One work item per (image, channel) pair — the natural grain: every
+  // item reads and writes disjoint channel planes, so any partition of
+  // the flat domain is race-free and bit-identical to the serial loop.
+  const int jobs = batch * channels_;
+  auto run_item = [&](int item) {
+    const int c = item % channels_;
+    const float* channel = in_base + static_cast<std::int64_t>(item) * in_hw;
+    const float* filt = weight + static_cast<std::int64_t>(c) * kk;
+    float* out = out_base + static_cast<std::int64_t>(item) * out_hw;
+    if (fast) {
+      if (stride_ == 1) {
+        dw_channel_3x3<1>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
       } else {
-        for (int oh = 0; oh < out_h; ++oh) {
-          for (int ow = 0; ow < out_w; ++ow) {
-            out[static_cast<std::ptrdiff_t>(oh) * out_w + ow] =
-                dw_tap_guarded(channel, filt, kernel_, stride_, padding_, in_h, in_w, oh, ow);
-          }
-        }
+        dw_channel_3x3<2>(channel, filt, padding_, in_h, in_w, out_h, out_w, out);
       }
-      if (bias != nullptr) {
-        const float b = bias[c];
-        for (std::int64_t i = 0; i < out_hw; ++i) out[i] += b;
+    } else {
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          out[static_cast<std::ptrdiff_t>(oh) * out_w + ow] =
+              dw_tap_guarded(channel, filt, kernel_, stride_, padding_, in_h, in_w, oh, ow);
+        }
       }
     }
+    if (bias != nullptr) {
+      const float b = bias[c];
+      for (std::int64_t i = 0; i < out_hw; ++i) out[i] += b;
+    }
+  };
+  // Row-striped fan-out on the GemmPool: contiguous fixed-order stripes
+  // of the (channels × batch) domain, same min-work gate philosophy as
+  // the striped GEMM (threading a sub-millisecond layer just buys
+  // wake-up latency).
+  int threads = std::min(ops::gemm_threads(), jobs);
+  if (static_cast<std::int64_t>(jobs) * out_hw * kk < (1 << 20)) threads = 1;
+  if (threads <= 1) {
+    for (int item = 0; item < jobs; ++item) run_item(item);
+  } else {
+    ops::GemmPool::instance().run(threads, [&](int slot) {
+      const int begin = static_cast<int>(static_cast<std::int64_t>(jobs) * slot / threads);
+      const int end = static_cast<int>(static_cast<std::int64_t>(jobs) * (slot + 1) / threads);
+      for (int item = begin; item < end; ++item) run_item(item);
+    });
   }
   return output;
 }

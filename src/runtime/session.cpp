@@ -127,6 +127,9 @@ InferenceSession::InferenceSession(EngineConfig config)
   // the configured deadlines — i.e. when no route could still make it.
   admission_control_ = config.admission_control;
   quantized_inference_ = config.quantized_inference;
+  if (config.batched_columns_budget_bytes != 0) {
+    ops::set_batched_columns_budget(config.batched_columns_budget_bytes);
+  }
   admission_deadline_s_ =
       *std::max_element(route_deadline_s_.begin(), route_deadline_s_.end());
   service_estimate_s_ = std::max(0.0, config.admission_service_estimate_s);

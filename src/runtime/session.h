@@ -188,6 +188,14 @@ struct EngineConfig {
   // ----- Batching -----
   /// Max instances coalesced into one edge forward pass.
   int batch_size = 64;
+
+  /// Byte budget of the whole-batch im2col column tile the batched conv
+  /// path builds per layer (ops::batched_columns_budget). 0 keeps the
+  /// process default (64 MiB, or MEANET_BATCH_COLUMNS_MB); a non-zero
+  /// value is applied process-wide at session construction. Batches
+  /// whose column matrix would exceed it run in per-image chunks that
+  /// fit — bounding workspace growth without changing results.
+  std::size_t batched_columns_budget_bytes = 0;
   /// Worker threads, all serving on the one shared `net` (eval-mode
   /// forwards are cache-free, so no per-worker copy is needed).
   int worker_threads = 1;

@@ -91,8 +91,35 @@ int default_threads() {
   return static_cast<int>(parsed);
 }
 
+// Whole-batch column tile budget: 64 MiB holds a 32-image CIFAR-scale
+// batch (the largest tile the model zoo produces is ~20 MiB) while a
+// batch-256 ImageNet-scale soak falls back to chunks instead of a
+// multi-GiB workspace.
+constexpr std::size_t kDefaultBatchColumnsBudget = 64u << 20;
+
+std::size_t default_batch_columns_budget() {
+  const char* value = std::getenv("MEANET_BATCH_COLUMNS_MB");
+  if (value == nullptr || value[0] == '\0') return kDefaultBatchColumnsBudget;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    std::fprintf(stderr,
+                 "meanet: MEANET_BATCH_COLUMNS_MB=\"%s\" is not a positive integer; "
+                 "using %zu MiB\n",
+                 value, kDefaultBatchColumnsBudget >> 20);
+    return kDefaultBatchColumnsBudget;
+  }
+  return static_cast<std::size_t>(parsed) << 20;
+}
+
 std::atomic<bool> g_naive_kernels{env_flag("MEANET_NAIVE_KERNELS")};
 std::atomic<int> g_gemm_threads{default_threads()};
+std::atomic<bool> g_batched_conv{[] {
+  const char* value = std::getenv("MEANET_BATCHED_CONV");
+  return value == nullptr || value[0] == '\0' || value[0] != '0';
+}()};
+std::atomic<std::size_t> g_batch_columns_budget{default_batch_columns_budget()};
 
 // ----- Reference kernels (the MEANET_NAIVE_KERNELS comparison path) ----
 
@@ -285,6 +312,12 @@ struct StripedJob {
   int ldb = 0;
   float* c = nullptr;
   int ldc = 0;
+  /// Batched-NCHW C layout (gemm_batched_nchw): when cols_per_image
+  /// > 0, C column j belongs to image j / cols_per_image and lands at
+  /// c + image * c_image_stride + i * ldc + (j % cols_per_image).
+  /// 0 = plain dense C.
+  int cols_per_image = 0;
+  std::int64_t c_image_stride = 0;
   detail::FloatKernel kernel;
   /// Row range per slot, MR-aligned except at m.
   std::vector<std::pair<int, int>> stripes;
@@ -325,12 +358,53 @@ void run_stripe(const StripedJob& job, int slot) {
         for (int jb = 0; jb < nc; jb += kNR) {
           const float* bpanel = bpack + static_cast<std::ptrdiff_t>(jb / kNR) * kc * kNR;
           const int nr = std::min(kNR, nc - jb);
+          const int jcol = j0 + jb;
+          // Dense C, or a batched-NCHW tile fully inside one image:
+          // the kernel writes straight through a base pointer + ldc.
+          float* cbase = job.c + static_cast<std::ptrdiff_t>(i0) * job.ldc + jcol;
+          bool direct = true;
+          if (job.cols_per_image > 0) {
+            const int image = jcol / job.cols_per_image;
+            const int jj = jcol - image * job.cols_per_image;
+            direct = jj + nr <= job.cols_per_image;
+            cbase = job.c + image * job.c_image_stride +
+                    static_cast<std::ptrdiff_t>(i0) * job.ldc + jj;
+          }
           for (int ib = 0; ib < mc; ib += mr_tile) {
             const float* apanel =
                 apack + static_cast<std::ptrdiff_t>(ib / mr_tile) * kc * mr_tile;
-            job.kernel.fn(kc, apanel, bpanel,
-                          job.c + static_cast<std::ptrdiff_t>(i0 + ib) * job.ldc + (j0 + jb),
-                          job.ldc, std::min(mr_tile, mc - ib), nr);
+            const int mr = std::min(mr_tile, mc - ib);
+            if (direct) {
+              job.kernel.fn(kc, apanel, bpanel,
+                            cbase + static_cast<std::ptrdiff_t>(ib) * job.ldc, job.ldc, mr, nr);
+              continue;
+            }
+            // The tile straddles an image boundary: bounce through a
+            // register-sized tile holding the mapped C values. The
+            // kernel still performs the one c += acc addition per
+            // element, so this path stays bit-identical to the dense
+            // write (loads and stores move bits, not values).
+            float tile[detail::kMaxMR * kNR];
+            for (int i = 0; i < mr; ++i) {
+              for (int j = 0; j < nr; ++j) {
+                const int col = jcol + j;
+                const int image = col / job.cols_per_image;
+                tile[i * kNR + j] =
+                    job.c[image * job.c_image_stride +
+                          static_cast<std::ptrdiff_t>(i0 + ib + i) * job.ldc +
+                          (col - image * job.cols_per_image)];
+              }
+            }
+            job.kernel.fn(kc, apanel, bpanel, tile, kNR, mr, nr);
+            for (int i = 0; i < mr; ++i) {
+              for (int j = 0; j < nr; ++j) {
+                const int col = jcol + j;
+                const int image = col / job.cols_per_image;
+                job.c[image * job.c_image_stride +
+                      static_cast<std::ptrdiff_t>(i0 + ib + i) * job.ldc +
+                      (col - image * job.cols_per_image)] = tile[i * kNR + j];
+              }
+            }
           }
         }
       }
@@ -339,6 +413,39 @@ void run_stripe(const StripedJob& job, int slot) {
       if (job.barrier != nullptr) job.barrier->arrive_and_wait();
     }
   }
+}
+
+/// Stripe planning + pool dispatch shared by gemm() and
+/// gemm_batched_nchw(): fans contiguous MR-aligned row stripes out
+/// over the persistent pool when the problem amortizes the handoff;
+/// otherwise runs inline on the calling thread.
+void dispatch_striped(StripedJob& job) {
+  const std::int64_t flops = 2ll * job.m * job.n * job.k;
+  const int tiles = (job.m + job.kernel.mr - 1) / job.kernel.mr;
+  int threads = std::min(gemm_threads(), tiles);
+  if (flops < (1 << 22)) threads = 1;
+  if (threads <= 1) {
+    job.stripes.emplace_back(0, job.m);
+    run_stripe(job, 0);
+    return;
+  }
+
+  // Stripe boundaries land on MR multiples so no tile spans two slots.
+  job.stripes.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int row0 = std::min(job.m, (tiles * t / threads) * job.kernel.mr);
+    const int row1 = std::min(job.m, (tiles * (t + 1) / threads) * job.kernel.mr);
+    job.stripes.emplace_back(row0, row1);
+  }
+  // The shared B panel lives in the caller's (slot 0's) workspace,
+  // sized for the largest (KC, NC) block of this call.
+  const int max_kc = std::min(kKC, job.k);
+  const int max_panels = (std::min(kNC, job.n) + kNR - 1) / kNR;
+  job.shared_bpack = Workspace::tls().buffer(
+      Workspace::kPackB, static_cast<std::size_t>(max_panels) * max_kc * kNR);
+  SpinlessBarrier barrier(threads);
+  job.barrier = &barrier;
+  GemmPool::instance().run(threads, [&job](int slot) { run_stripe(job, slot); });
 }
 
 }  // namespace
@@ -391,35 +498,58 @@ void gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha, 
   job.c = c;
   job.ldc = ldc;
   job.kernel = active_kernel();
+  dispatch_striped(job);
+}
 
-  // Fan contiguous MR-aligned row stripes out over the persistent pool
-  // when the problem amortizes the handoff; otherwise run inline.
-  const std::int64_t flops = 2ll * m * n * k;
-  const int tiles = (m + job.kernel.mr - 1) / job.kernel.mr;
-  int threads = std::min(gemm_threads(), tiles);
-  if (flops < (1 << 22)) threads = 1;
-  if (threads <= 1) {
-    job.stripes.emplace_back(0, m);
-    run_stripe(job, 0);
-    return;
+void gemm_batched_nchw(int m, int k, int batch, int cols_per_image, const float* a, int lda,
+                       const float* b, float* c, std::int64_t c_image_stride, int ldc) {
+  if (m < 0 || k < 0 || batch < 0 || cols_per_image < 0) {
+    throw std::invalid_argument("gemm_batched_nchw: negative dimension");
   }
+  // beta = 0 semantics: overwrite every image's [m, cols_per_image]
+  // output block (accumulation across KC blocks goes through memory,
+  // exactly like gemm()).
+  for (int n = 0; n < batch; ++n) {
+    for (int i = 0; i < m; ++i) {
+      std::memset(c + n * c_image_stride + static_cast<std::ptrdiff_t>(i) * ldc, 0,
+                  sizeof(float) * static_cast<std::size_t>(cols_per_image));
+    }
+  }
+  if (m == 0 || k == 0 || batch == 0 || cols_per_image == 0) return;
 
-  // Stripe boundaries land on MR multiples so no tile spans two slots.
-  job.stripes.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    const int row0 = std::min(m, (tiles * t / threads) * job.kernel.mr);
-    const int row1 = std::min(m, (tiles * (t + 1) / threads) * job.kernel.mr);
-    job.stripes.emplace_back(row0, row1);
-  }
-  // The shared B panel lives in the caller's (slot 0's) workspace,
-  // sized for the largest (KC, NC) block of this call.
-  const int max_kc = std::min(kKC, k);
-  const int max_panels = (std::min(kNC, n) + kNR - 1) / kNR;
-  job.shared_bpack = Workspace::tls().buffer(
-      Workspace::kPackB, static_cast<std::size_t>(max_panels) * max_kc * kNR);
-  SpinlessBarrier barrier(threads);
-  job.barrier = &barrier;
-  GemmPool::instance().run(threads, [&job](int slot) { run_stripe(job, slot); });
+  StripedJob job;
+  job.m = m;
+  job.n = batch * cols_per_image;
+  job.k = k;
+  job.a = a;
+  job.lda = lda;
+  job.b = b;
+  job.ldb = job.n;
+  job.c = c;
+  job.ldc = ldc;
+  job.cols_per_image = cols_per_image;
+  job.c_image_stride = c_image_stride;
+  job.kernel = active_kernel();
+  dispatch_striped(job);
+}
+
+bool batched_conv() { return g_batched_conv.load(std::memory_order_relaxed); }
+
+bool batched_conv_pays(int cols_per_image) {
+  return cols_per_image < kNC || gemm_threads() > 1;
+}
+
+void set_batched_conv(bool batched) {
+  g_batched_conv.store(batched, std::memory_order_relaxed);
+}
+
+std::size_t batched_columns_budget() {
+  return g_batch_columns_budget.load(std::memory_order_relaxed);
+}
+
+void set_batched_columns_budget(std::size_t bytes) {
+  g_batch_columns_budget.store(bytes == 0 ? kDefaultBatchColumnsBudget : bytes,
+                               std::memory_order_relaxed);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {

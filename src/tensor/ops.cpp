@@ -8,45 +8,49 @@
 
 namespace meanet::ops {
 
-void im2col(const float* image, const ConvGeometry& g, float* columns) {
+namespace {
+
+/// Shared im2col writer over floats (fill 0) or u8 codes (fill the
+/// activation zero point). `columns` points at the image's own column
+/// block; `col_ld` is the row stride of the enclosing matrix — out_hw
+/// for the single-image entry points, batch*out_hw when a batch of
+/// blocks sits side by side (im2col_batched).
+template <typename T>
+void im2col_into(const T* image, const ConvGeometry& g, T* columns, std::ptrdiff_t col_ld,
+                 T fill) {
   const int out_h = g.out_height();
   const int out_w = g.out_width();
-  const int out_hw = out_h * out_w;
   for (int c = 0; c < g.in_channels; ++c) {
-    const float* channel = image + static_cast<std::ptrdiff_t>(c) * g.in_height * g.in_width;
+    const T* channel = image + static_cast<std::ptrdiff_t>(c) * g.in_height * g.in_width;
     for (int kh = 0; kh < g.kernel; ++kh) {
       for (int kw = 0; kw < g.kernel; ++kw) {
-        float* out_row =
-            columns + static_cast<std::ptrdiff_t>((c * g.kernel + kh) * g.kernel + kw) * out_hw;
+        T* out_row =
+            columns + static_cast<std::ptrdiff_t>((c * g.kernel + kh) * g.kernel + kw) * col_ld;
         for (int oh = 0; oh < out_h; ++oh) {
           const int ih = oh * g.stride - g.padding + kh;
+          T* dst = out_row + static_cast<std::ptrdiff_t>(oh) * out_w;
           if (ih < 0 || ih >= g.in_height) {
-            std::memset(out_row + static_cast<std::ptrdiff_t>(oh) * out_w, 0,
-                        sizeof(float) * static_cast<std::size_t>(out_w));
+            std::fill(dst, dst + out_w, fill);
             continue;
           }
-          const float* in_row = channel + static_cast<std::ptrdiff_t>(ih) * g.in_width;
-          float* dst = out_row + static_cast<std::ptrdiff_t>(oh) * out_w;
+          const T* in_row = channel + static_cast<std::ptrdiff_t>(ih) * g.in_width;
           if (g.stride == 1) {
             // Contiguous tap: dst[ow] = in_row[ow + kw - padding] where
-            // in bounds — one memcpy between two zero-filled fringes.
+            // in bounds — one memcpy between two fill-padded fringes.
             const int shift = kw - g.padding;
             const int begin = std::max(0, -shift);
             const int end = std::min(out_w, g.in_width - shift);
-            if (begin > 0) std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(begin));
+            if (begin > 0) std::fill(dst, dst + begin, fill);
             if (end > begin) {
               std::memcpy(dst + begin, in_row + begin + shift,
-                          sizeof(float) * static_cast<std::size_t>(end - begin));
+                          sizeof(T) * static_cast<std::size_t>(end - begin));
             }
-            if (end < out_w) {
-              std::memset(dst + std::max(begin, end), 0,
-                          sizeof(float) * static_cast<std::size_t>(out_w - std::max(begin, end)));
-            }
+            if (end < out_w) std::fill(dst + std::max(begin, end), dst + out_w, fill);
             continue;
           }
           for (int ow = 0; ow < out_w; ++ow) {
             const int iw = ow * g.stride - g.padding + kw;
-            dst[ow] = (iw >= 0 && iw < g.in_width) ? in_row[iw] : 0.0f;
+            dst[ow] = (iw >= 0 && iw < g.in_width) ? in_row[iw] : fill;
           }
         }
       }
@@ -54,53 +58,40 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) {
   }
 }
 
+/// The zero-point fill of the byte-domain paths (qgemm.h
+/// kActivationZeroPoint): a float 0 quantizes to code
+/// round(0 * inv) + 128 = 128, so padding bytes match what quantizing
+/// a zero-padded float matrix would have produced.
+constexpr std::uint8_t kU8ZeroPoint = 128;
+
+}  // namespace
+
+void im2col(const float* image, const ConvGeometry& g, float* columns) {
+  im2col_into<float>(image, g, columns, g.out_height() * g.out_width(), 0.0f);
+}
+
 void im2col_u8(const std::uint8_t* image, const ConvGeometry& g, std::uint8_t* columns) {
-  // Mirror of im2col over bytes. Fringe fill is the activation zero
-  // point (qgemm.h kActivationZeroPoint): a float 0 quantizes to code
-  // round(0 * inv) + 128 = 128, so padding bytes match what quantizing
-  // a zero-padded float matrix would have produced.
-  constexpr std::uint8_t kZeroPoint = 128;
-  const int out_h = g.out_height();
-  const int out_w = g.out_width();
-  const int out_hw = out_h * out_w;
-  for (int c = 0; c < g.in_channels; ++c) {
-    const std::uint8_t* channel =
-        image + static_cast<std::ptrdiff_t>(c) * g.in_height * g.in_width;
-    for (int kh = 0; kh < g.kernel; ++kh) {
-      for (int kw = 0; kw < g.kernel; ++kw) {
-        std::uint8_t* out_row =
-            columns + static_cast<std::ptrdiff_t>((c * g.kernel + kh) * g.kernel + kw) * out_hw;
-        for (int oh = 0; oh < out_h; ++oh) {
-          const int ih = oh * g.stride - g.padding + kh;
-          if (ih < 0 || ih >= g.in_height) {
-            std::memset(out_row + static_cast<std::ptrdiff_t>(oh) * out_w, kZeroPoint,
-                        static_cast<std::size_t>(out_w));
-            continue;
-          }
-          const std::uint8_t* in_row = channel + static_cast<std::ptrdiff_t>(ih) * g.in_width;
-          std::uint8_t* dst = out_row + static_cast<std::ptrdiff_t>(oh) * out_w;
-          if (g.stride == 1) {
-            const int shift = kw - g.padding;
-            const int begin = std::max(0, -shift);
-            const int end = std::min(out_w, g.in_width - shift);
-            if (begin > 0) std::memset(dst, kZeroPoint, static_cast<std::size_t>(begin));
-            if (end > begin) {
-              std::memcpy(dst + begin, in_row + begin + shift,
-                          static_cast<std::size_t>(end - begin));
-            }
-            if (end < out_w) {
-              std::memset(dst + std::max(begin, end), kZeroPoint,
-                          static_cast<std::size_t>(out_w - std::max(begin, end)));
-            }
-            continue;
-          }
-          for (int ow = 0; ow < out_w; ++ow) {
-            const int iw = ow * g.stride - g.padding + kw;
-            dst[ow] = (iw >= 0 && iw < g.in_width) ? in_row[iw] : kZeroPoint;
-          }
-        }
-      }
-    }
+  im2col_into<std::uint8_t>(image, g, columns, g.out_height() * g.out_width(), kU8ZeroPoint);
+}
+
+void im2col_batched(const float* images, std::int64_t image_stride, int batch,
+                    const ConvGeometry& g, float* columns) {
+  const int out_hw = g.out_height() * g.out_width();
+  const std::ptrdiff_t col_ld = static_cast<std::ptrdiff_t>(batch) * out_hw;
+  for (int n = 0; n < batch; ++n) {
+    im2col_into<float>(images + n * image_stride, g,
+                       columns + static_cast<std::ptrdiff_t>(n) * out_hw, col_ld, 0.0f);
+  }
+}
+
+void im2col_u8_batched(const std::uint8_t* images, std::int64_t image_stride, int batch,
+                       const ConvGeometry& g, std::uint8_t* columns) {
+  const int out_hw = g.out_height() * g.out_width();
+  const std::ptrdiff_t col_ld = static_cast<std::ptrdiff_t>(batch) * out_hw;
+  for (int n = 0; n < batch; ++n) {
+    im2col_into<std::uint8_t>(images + n * image_stride, g,
+                              columns + static_cast<std::ptrdiff_t>(n) * out_hw, col_ld,
+                              kU8ZeroPoint);
   }
 }
 

@@ -18,6 +18,7 @@
 // the comparison column in bench/perf_forward.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,38 @@ void set_naive_kernels(bool naive);
 int gemm_threads();
 void set_gemm_threads(int threads);
 
+/// True while conv forwards fold the whole batch into one im2col +
+/// GEMM (gemm_batched_nchw) instead of issuing one small GEMM per
+/// image. Default on; MEANET_BATCHED_CONV=0 (or set_batched_conv
+/// (false)) restores the per-image loop — the comparison baseline of
+/// bench/perf_forward's batch sweep. The float output is bit-identical
+/// either way; the int8 path's activation scale becomes per-batch
+/// instead of per-image (see conv2d.cpp).
+bool batched_conv();
+void set_batched_conv(bool batched);
+
+/// Cost-model gate of the float whole-batch path for a layer whose
+/// per-image GEMM has `cols_per_image` columns: batching pays when one
+/// image underfills the GEMM's NC panel (then the batched GEMM packs
+/// the A (weight) panel once per NC block instead of once per image)
+/// or when the pool is multi-threaded (one wide GEMM fans out better
+/// than many narrow ones). When neither holds, the batched tile only
+/// adds cache footprint, so conv falls back to the per-image loop —
+/// results are bit-identical either way, this is purely a speed
+/// choice.
+bool batched_conv_pays(int cols_per_image);
+
+/// Byte budget of the whole-batch im2col column tile. A batch whose
+/// column matrix would exceed this is processed in per-image chunks
+/// that fit (always at least one image), bounding workspace growth on
+/// batch-256 soaks; chunking never changes results (each image's
+/// accumulation is independent and the int8 activation scale is
+/// computed over the whole batch before chunking). Default 64 MiB;
+/// MEANET_BATCH_COLUMNS_MB overrides at startup,
+/// set_batched_columns_budget(0) restores the default.
+std::size_t batched_columns_budget();
+void set_batched_columns_budget(std::size_t bytes);
+
 // ----- GEMM ------------------------------------------------------------
 
 /// C = alpha * op(A) * op(B) + beta * C.
@@ -55,6 +88,22 @@ void gemm(bool transpose_a, bool transpose_b, int m, int n, int k, float alpha,
 /// Convenience wrapper on rank-2 tensors: returns op(A)*op(B).
 Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,
               bool transpose_b = false);
+
+/// One GEMM over a whole batch of im2col column blocks, writing
+/// straight into NCHW output. A is [m, k] (lda = row stride), B is the
+/// batched column matrix [k, batch * cols_per_image] (row stride
+/// batch * cols_per_image); the C element (i, j) lands at
+///   c + (j / cols_per_image) * c_image_stride
+///     + i * ldc + (j % cols_per_image)
+/// so image b's [m, cols_per_image] block sits at its own NCHW offset
+/// with no epilogue copy. Overwrites the output region (beta = 0
+/// semantics). Per C element the k-blocking and accumulation order are
+/// exactly those of a per-image gemm() call, so the result is
+/// bit-identical to looping gemm() over the batch at every GemmPool
+/// width (tiles that straddle an image boundary bounce through a
+/// register-sized tile with the same add-into-C arithmetic).
+void gemm_batched_nchw(int m, int k, int batch, int cols_per_image, const float* a, int lda,
+                       const float* b, float* c, std::int64_t c_image_stride, int ldc);
 
 /// Geometry of a convolution; shared by conv layers and the stats counter.
 struct ConvGeometry {
@@ -82,6 +131,18 @@ void im2col(const float* image, const ConvGeometry& g, float* columns);
 /// the byte matrix im2col-then-quantize would — at a quarter of the
 /// memory traffic and without the float scratch.
 void im2col_u8(const std::uint8_t* image, const ConvGeometry& g, std::uint8_t* columns);
+
+/// Whole-batch im2col: image n (NCHW images `image_stride` floats
+/// apart) lands in columns [n*out_hw, (n+1)*out_hw) of one
+/// [patch_size, batch*out_hw] matrix — the B operand of
+/// gemm_batched_nchw. Each image's block holds exactly what a
+/// per-image im2col would have produced.
+void im2col_batched(const float* images, std::int64_t image_stride, int batch,
+                    const ConvGeometry& g, float* columns);
+
+/// Byte-domain twin of im2col_batched for the int8 serving path.
+void im2col_u8_batched(const std::uint8_t* images, std::int64_t image_stride, int batch,
+                       const ConvGeometry& g, std::uint8_t* columns);
 
 /// Inverse scatter-add of im2col: accumulates patch-matrix gradients back
 /// into an image gradient buffer of size C*H*W (which must be zeroed by

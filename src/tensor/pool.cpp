@@ -24,6 +24,18 @@ int GemmPool::worker_count() const {
   return static_cast<int>(workers_.size());
 }
 
+GemmPool::Stats GemmPool::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.workers = static_cast<int>(workers_.size());
+    out.fanout_jobs = jobs_fanout_;
+    out.stripes = stripes_;
+  }
+  out.jobs = out.fanout_jobs + jobs_inline_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void GemmPool::ensure_workers(int workers) {
   std::lock_guard<std::mutex> lock(mutex_);
   while (static_cast<int>(workers_.size()) < workers) {
@@ -37,6 +49,7 @@ void GemmPool::ensure_workers(int workers) {
 
 void GemmPool::run(int threads, const std::function<void(int)>& fn) {
   if (threads <= 1) {
+    jobs_inline_.fetch_add(1, std::memory_order_relaxed);
     fn(0);
     return;
   }
@@ -47,6 +60,8 @@ void GemmPool::run(int threads, const std::function<void(int)>& fn) {
     job_ = &fn;
     job_threads_ = threads;
     pending_ = threads - 1;
+    ++jobs_fanout_;
+    stripes_ += static_cast<std::uint64_t>(threads);
     ++generation_;
     work_cv_.notify_all();
   }
@@ -59,6 +74,9 @@ void GemmPool::run(int threads, const std::function<void(int)>& fn) {
 void GemmPool::worker_loop(int index) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
+    // A finished worker lands straight back in this condvar wait — the
+    // loop has no spin/backoff window, so between stripe sets the pool
+    // costs nothing but parked threads.
     work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation_[index]; });
     if (stop_) return;
     seen_generation_[index] = generation_;

@@ -19,6 +19,7 @@
 // no atomics-as-synchronization — so the pool is clean under TSAN.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,7 +59,10 @@ class SpinlessBarrier {
 
 /// Lazily-started, process-lifetime worker pool. Workers are created on
 /// first demand and grow monotonically to the largest `threads` ever
-/// requested; they park on a condvar between jobs.
+/// requested. A worker that finishes its stripe re-enters the condvar
+/// wait immediately — there is no spin/backoff window between jobs, so
+/// an idle pool costs nothing but parked threads (the benches print
+/// stats() in their headers to prove the pool actually engaged).
 class GemmPool {
  public:
   /// The process-wide pool.
@@ -71,6 +75,15 @@ class GemmPool {
 
   /// Workers currently alive (high-water of past run() widths).
   int worker_count() const;
+
+  /// Lifetime dispatch counters, for bench headers and diagnostics.
+  struct Stats {
+    int workers = 0;                  ///< pool depth (== worker_count())
+    std::uint64_t jobs = 0;           ///< run() calls, including width-1
+    std::uint64_t fanout_jobs = 0;    ///< run() calls that used workers
+    std::uint64_t stripes = 0;        ///< total fn(slot) executions
+  };
+  Stats stats() const;
 
   ~GemmPool();
 
@@ -92,6 +105,12 @@ class GemmPool {
   int pending_ = 0;       // participating workers not yet finished
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  // Dispatch counters (guarded by mutex_ for the worker-side stripe
+  // count; the width-1 fast path uses jobs_inline_ so it stays
+  // lock-free).
+  std::uint64_t jobs_fanout_ = 0;
+  std::uint64_t stripes_ = 0;
+  std::atomic<std::uint64_t> jobs_inline_{0};
 };
 
 }  // namespace meanet::ops

@@ -451,6 +451,239 @@ TEST(DepthwiseParity, NarrowerThanKernelInputsStayInBounds) {
   EXPECT_TRUE(allclose(naive, fast, 1e-6f));
 }
 
+// ----- Whole-batch conv (ops::batched_conv) ----------------------------
+
+/// RAII set/restore of the batched-conv toggle.
+class BatchedConvScope {
+ public:
+  explicit BatchedConvScope(bool on) : previous_(ops::batched_conv()) {
+    ops::set_batched_conv(on);
+  }
+  ~BatchedConvScope() { ops::set_batched_conv(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// RAII set/restore of the batched-column byte budget.
+class ColumnBudgetScope {
+ public:
+  explicit ColumnBudgetScope(std::size_t bytes) : previous_(ops::batched_columns_budget()) {
+    ops::set_batched_columns_budget(bytes);
+  }
+  ~ColumnBudgetScope() { ops::set_batched_columns_budget(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+class BatchedParity : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+// batch, stride, padding
+
+TEST_P(BatchedParity, WholeBatchFloatIsBitIdenticalToPerImage) {
+  const auto [batch, stride, padding] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(batch * 911 + stride * 31 + padding));
+  nn::Conv2d conv(3, 8, 3, stride, padding, /*bias=*/true, rng);
+  const int size = 9;  // odd, so strides hit ragged edges
+  if (conv.output_shape(Shape{1, 3, size, size}).height() <= 0) GTEST_SKIP();
+  const Tensor x = Tensor::normal(Shape{batch, 3, size, size}, rng);
+  Tensor per_image, batched;
+  {
+    BatchedConvScope scope(false);
+    per_image = conv.forward(x, nn::Mode::kEval);
+  }
+  {
+    BatchedConvScope scope(true);
+    batched = conv.forward(x, nn::Mode::kEval);
+  }
+  ASSERT_EQ(per_image.shape(), batched.shape());
+  // Exactly equal, not merely close: the batched GEMM runs each image's
+  // column block through the same k-blocking as the per-image call.
+  EXPECT_TRUE(allclose(per_image, batched, 0.0f))
+      << "b=" << batch << " s=" << stride << " p=" << padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededShapes, BatchedParity,
+                         ::testing::Combine(::testing::Values(1, 3, 32),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(BatchedParity, WholeBatchFloatIsBitIdenticalAtOneTwoAndFourThreads) {
+  util::Rng rng(83);
+  // Big enough that the batched GEMM crosses the multi-thread flops
+  // threshold (the whole point: per-image GEMMs of this layer stay
+  // below it, the batched one fans out).
+  nn::Conv2d conv(8, 32, 3, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::normal(Shape{8, 8, 14, 14}, rng);
+  Tensor per_image;
+  {
+    BatchedConvScope scope(false);
+    per_image = conv.forward(x, nn::Mode::kEval);
+  }
+  BatchedConvScope scope(true);
+  const int before = ops::gemm_threads();
+  for (const int threads : {1, 2, 4}) {
+    ops::set_gemm_threads(threads);
+    const Tensor batched = conv.forward(x, nn::Mode::kEval);
+    EXPECT_TRUE(allclose(per_image, batched, 0.0f)) << "threads=" << threads;
+  }
+  ops::set_gemm_threads(before);
+}
+
+TEST(BatchedParity, ByteBudgetFallbackIsBitIdentical) {
+  util::Rng rng(89);
+  nn::Conv2d conv(3, 8, 3, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::normal(Shape{5, 3, 9, 9}, rng);
+  BatchedConvScope batched_scope(true);
+  Tensor whole_batch;
+  {
+    ColumnBudgetScope budget(1u << 30);  // everything fits in one tile
+    whole_batch = conv.forward(x, nn::Mode::kEval);
+  }
+  // patch=27, out_hw=81 -> one image's columns are 27*81*4 bytes. A
+  // budget of two images forces 2/2/1 chunks; 1 byte forces per-image
+  // chunks through the batched machinery.
+  const std::size_t per_image_bytes = 27u * 81u * sizeof(float);
+  for (const std::size_t budget_bytes : {2 * per_image_bytes, std::size_t{1}}) {
+    ColumnBudgetScope budget(budget_bytes);
+    const Tensor chunked = conv.forward(x, nn::Mode::kEval);
+    EXPECT_TRUE(allclose(whole_batch, chunked, 0.0f)) << "budget=" << budget_bytes;
+  }
+}
+
+TEST(BatchedParity, WholeBatchInt8TracksPerImageScalesWithinTolerance) {
+  util::Rng rng(97);
+  nn::Conv2d conv(8, 16, 3, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::normal(Shape{4, 8, 12, 12}, rng);
+  const Tensor fp = conv.forward(x, nn::Mode::kEval);
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < fp.numel(); ++i) max_abs = std::max(max_abs, std::fabs(fp[i]));
+  const float tolerance = 0.05f * std::max(1.0f, max_abs);
+  ops::QuantizedScope quantized(true);
+  Tensor per_image, batched;
+  {
+    BatchedConvScope scope(false);
+    per_image = conv.forward(x, nn::Mode::kEval);
+  }
+  {
+    BatchedConvScope scope(true);
+    batched = conv.forward(x, nn::Mode::kEval);
+  }
+  // The batch-wide activation scale is coarser than per-image scales,
+  // so the two int8 paths differ by (bounded) quantization error — both
+  // must still track the float forward.
+  for (std::int64_t i = 0; i < fp.numel(); ++i) {
+    ASSERT_NEAR(fp[i], batched[i], tolerance) << "i=" << i;
+    ASSERT_NEAR(per_image[i], batched[i], tolerance) << "i=" << i;
+  }
+}
+
+TEST(BatchedParity, Int8BatchedIsBitIdenticalAcrossThreadsAndChunks) {
+  util::Rng rng(101);
+  nn::Conv2d conv(8, 16, 3, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::normal(Shape{5, 8, 12, 12}, rng);
+  ops::QuantizedScope quantized(true);
+  BatchedConvScope batched_scope(true);
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  Tensor baseline;
+  {
+    ColumnBudgetScope budget(1u << 30);
+    baseline = conv.forward(x, nn::Mode::kEval);
+  }
+  // The activation scale is computed over the whole batch BEFORE
+  // chunking (max-abs is chunk-invariant), so the int8 batched path is
+  // bit-identical at any chunk size and any pool width.
+  const std::size_t per_image_bytes = 8u * 9u * 12u * 12u;  // patch * out_hw u8 bytes
+  for (const int threads : {1, 2, 4}) {
+    ops::set_gemm_threads(threads);
+    for (const std::size_t budget_bytes :
+         {std::size_t{1u << 30}, 2 * per_image_bytes, std::size_t{1}}) {
+      ColumnBudgetScope budget(budget_bytes);
+      const Tensor run = conv.forward(x, nn::Mode::kEval);
+      EXPECT_TRUE(allclose(baseline, run, 0.0f))
+          << "threads=" << threads << " budget=" << budget_bytes;
+    }
+  }
+  ops::set_gemm_threads(before);
+}
+
+TEST(BatchedParity, DepthwiseThreadingIsBitIdenticalAtOneTwoAndFourThreads) {
+  util::Rng rng(103);
+  // 4*32 channel planes of 32x32 — over the depthwise min-work gate, so
+  // widths 2 and 4 actually fan out on the pool.
+  nn::DepthwiseConv2d dw(32, 3, 1, 1, rng);
+  const Tensor x = Tensor::normal(Shape{4, 32, 32, 32}, rng);
+  auto [naive, fast] = both_kernel_paths([&] { return dw.forward(x, nn::Mode::kEval); });
+  EXPECT_TRUE(allclose(naive, fast, 1e-5f));
+  const int before = ops::gemm_threads();
+  ops::set_gemm_threads(1);
+  const Tensor single = dw.forward(x, nn::Mode::kEval);
+  EXPECT_TRUE(allclose(single, fast, 0.0f));  // gemm_threads was restored by the helper
+  for (const int threads : {2, 4}) {
+    ops::set_gemm_threads(threads);
+    const Tensor threaded = dw.forward(x, nn::Mode::kEval);
+    // Channel planes are disjoint, so any stripe partition is exact.
+    EXPECT_TRUE(allclose(single, threaded, 0.0f)) << "threads=" << threads;
+  }
+  ops::set_gemm_threads(before);
+}
+
+TEST(BatchedParity, Im2colBatchedMatchesPerImageBlocks) {
+  util::Rng rng(107);
+  ops::ConvGeometry g;
+  g.in_channels = 3;
+  g.in_height = 9;
+  g.in_width = 7;
+  g.kernel = 3;
+  g.stride = 2;
+  g.padding = 1;
+  const int batch = 3;
+  const int out_hw = g.out_height() * g.out_width();
+  const int patch = g.patch_size();
+  const std::int64_t image_stride = 3 * 9 * 7;
+  const Tensor images = Tensor::normal(Shape{batch, 3, 9, 7}, rng);
+  std::vector<float> batched(static_cast<std::size_t>(patch) * batch * out_hw);
+  ops::im2col_batched(images.data(), image_stride, batch, g, batched.data());
+  std::vector<float> single(static_cast<std::size_t>(patch) * out_hw);
+  for (int n = 0; n < batch; ++n) {
+    ops::im2col(images.data() + n * image_stride, g, single.data());
+    for (int r = 0; r < patch; ++r) {
+      for (int j = 0; j < out_hw; ++j) {
+        ASSERT_EQ(single[static_cast<std::size_t>(r) * out_hw + j],
+                  batched[static_cast<std::size_t>(r) * batch * out_hw + n * out_hw + j])
+            << "n=" << n << " r=" << r << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BatchedParity, GemmBatchedNchwMatchesLoopedGemm) {
+  util::Rng rng(109);
+  const int m = 17, k = 23, batch = 3, cols = 29;
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, batch * cols}, rng);
+  // Per-image C blocks sit one image_stride apart, like NCHW output
+  // planes with extra channels in between.
+  const std::int64_t image_stride = static_cast<std::int64_t>(m) * cols + 11;
+  std::vector<float> expected(static_cast<std::size_t>(batch) * image_stride, -7.0f);
+  std::vector<float> actual = expected;
+  std::vector<float> b_image(static_cast<std::size_t>(k) * cols);
+  for (int n = 0; n < batch; ++n) {
+    for (int r = 0; r < k; ++r) {
+      std::copy_n(b.data() + static_cast<std::size_t>(r) * batch * cols + n * cols, cols,
+                  b_image.data() + static_cast<std::size_t>(r) * cols);
+    }
+    ops::gemm(false, false, m, cols, k, 1.0f, a.data(), k, b_image.data(), cols, 0.0f,
+              expected.data() + n * image_stride, cols);
+  }
+  ops::gemm_batched_nchw(m, k, batch, cols, a.data(), k, b.data(), actual.data(), image_stride,
+                         cols);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << "i=" << i;  // bit-identical, padding untouched
+  }
+}
+
 TEST(BatchNormFolding, FoldedSequentialMatchesUnfusedPair) {
   util::Rng rng(23);
   nn::Sequential fused("fused");
