@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common.h"
+#include "diag/value.h"
 #include "runtime/session.h"
 #include "runtime/transport.h"
 #include "sim/cloud_node.h"
@@ -294,36 +295,44 @@ int main(int argc, char** argv) {
                 simulated, serving_wall, serving_wall > 0.0 ? simulated / serving_wall : 0.0);
   }
 
+  // The tracked baseline renders through the shared diag exporter —
+  // same serializer (and schema tag) as the live registry snapshot.
+  auto run_value = [&](const char* name, const RunOutcome& r) {
+    const runtime::SessionMetrics& m = r.metrics;
+    diag::Value v = diag::Value::object();
+    v.set("scheduler", name);
+    v.set("high_p99_s", r.high.p(0.99));
+    v.set("low_p99_s", r.low.p(0.99));
+    v.set("high_queue_wait_p99_s", m.priority_wait(kHighPriority).p99_s);
+    v.set("low_queue_wait_p99_s", m.priority_wait(0).p99_s);
+    v.set("starvation_promotions", m.starvation_promotions);
+    v.set("cell_airtime_utilization", m.cell_airtime_utilization);
+    v.set("simulated_s", r.simulated_s);
+    v.set("wall_s", r.wall_s);
+    return v;
+  };
+  diag::Value doc = diag::Value::object();
+  doc.set("schema", diag::kSchemaVersion);
+  doc.set("bench", "ablation_cell_contention");
+  doc.set("virtual_clock", use_virtual);
+  doc.set("requests", kRequests);
+  doc.set("high_priority_share", 0.9);
+  diag::Value runs = diag::Value::array();
+  runs.push(run_value("aged_bound_8", aged));
+  runs.push(run_value("pure_priority", pure));
+  runs.push(run_value("aged_bound_8_rerun", repeat));
+  doc.set("runs", std::move(runs));
+  doc.set("deterministic_rerun", aged.settle_order == repeat.settle_order &&
+                                     aged.upload_timings == repeat.upload_timings);
+  doc.set("pass", ok);
+  doc.set("total_wall_s", sw.seconds());
   std::FILE* json = std::fopen(out_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  auto emit_run = [&](const char* name, const RunOutcome& r, bool last) {
-    const runtime::SessionMetrics& m = r.metrics;
-    std::fprintf(json,
-                 "    {\"scheduler\": \"%s\", \"high_p99_s\": %.9f, \"low_p99_s\": %.9f,\n"
-                 "     \"high_queue_wait_p99_s\": %.9f, \"low_queue_wait_p99_s\": %.9f,\n"
-                 "     \"starvation_promotions\": %lld, \"cell_airtime_utilization\": %.6f,\n"
-                 "     \"simulated_s\": %.6f, \"wall_s\": %.6f}%s\n",
-                 name, r.high.p(0.99), r.low.p(0.99), m.priority_wait(kHighPriority).p99_s,
-                 m.priority_wait(0).p99_s, static_cast<long long>(m.starvation_promotions),
-                 m.cell_airtime_utilization, r.simulated_s, r.wall_s, last ? "" : ",");
-  };
-  std::fprintf(json, "{\n  \"bench\": \"ablation_cell_contention\",\n");
-  std::fprintf(json, "  \"virtual_clock\": %s,\n", use_virtual ? "true" : "false");
-  std::fprintf(json, "  \"requests\": %d,\n  \"high_priority_share\": 0.9,\n", kRequests);
-  std::fprintf(json, "  \"runs\": [\n");
-  emit_run("aged_bound_8", aged, false);
-  emit_run("pure_priority", pure, false);
-  emit_run("aged_bound_8_rerun", repeat, true);
-  std::fprintf(json, "  ],\n  \"deterministic_rerun\": %s,\n",
-               (aged.settle_order == repeat.settle_order &&
-                aged.upload_timings == repeat.upload_timings)
-                   ? "true"
-                   : "false");
-  std::fprintf(json, "  \"pass\": %s,\n  \"total_wall_s\": %.3f\n}\n", ok ? "true" : "false",
-               sw.seconds());
+  const std::string rendered = diag::to_json(doc);
+  std::fprintf(json, "%s\n", rendered.c_str());
   std::fclose(json);
   std::printf("\nwrote %s\n", out_path.c_str());
 

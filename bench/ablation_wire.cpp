@@ -26,6 +26,7 @@
 
 #include <unistd.h>
 
+#include "diag/value.h"
 #include "nn/serialize.h"
 #include "runtime/offload_backend.h"
 #include "util/rng.h"
@@ -154,24 +155,31 @@ int main(int argc, char** argv) {
   server.stop();
   ::unlink(socket_path.c_str());
 
+  // Emit through the shared diag JSON exporter so the bench baselines
+  // and the diagnostics registry share one serializer (and schema tag).
+  diag::Value doc = diag::Value::object();
+  doc.set("schema", diag::kSchemaVersion);
+  doc.set("bench", "ablation_wire");
+  doc.set("quick", quick);
+  diag::Value results = diag::Value::array();
+  for (const Row& r : rows) {
+    diag::Value entry = diag::Value::object();
+    entry.set("batch", r.batch);
+    entry.set("wire_bytes", r.wire_bytes);
+    entry.set("in_process_us", r.in_process_us);
+    entry.set("encode_decode_us", r.encode_decode_us);
+    entry.set("pipe_rtt_us", r.pipe_rtt_us);
+    entry.set("socket_rtt_us", r.socket_rtt_us);
+    results.push(std::move(entry));
+  }
+  doc.set("results", std::move(results));
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"ablation_wire\",\n  \"quick\": %s,\n  \"results\": [\n",
-               quick ? "true" : "false");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(out,
-                 "    {\"batch\": %d, \"wire_bytes\": %lld, \"in_process_us\": %.2f, "
-                 "\"encode_decode_us\": %.2f, \"pipe_rtt_us\": %.2f, \"socket_rtt_us\": "
-                 "%.2f}%s\n",
-                 r.batch, static_cast<long long>(r.wire_bytes), r.in_process_us,
-                 r.encode_decode_us, r.pipe_rtt_us, r.socket_rtt_us,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
+  const std::string json = diag::to_json(doc);
+  std::fprintf(out, "%s\n", json.c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common.h"
+#include "diag/value.h"
 #include "nn/conv2d.h"
 #include "runtime/session.h"
 #include "tensor/ops.h"
@@ -332,49 +333,61 @@ int main(int argc, char** argv) {
                            serve_once));
   }
 
+  // The tracked baseline is rendered by the shared diag exporter — the
+  // same serializer (and schema tag) behind the diagnostics registry.
+  diag::Value doc = diag::Value::object();
+  doc.set("schema", diag::kSchemaVersion);
+  doc.set("bench", "perf_forward");
+  doc.set("quick", quick);
+  doc.set("gemm_threads", ops::gemm_threads());
+  doc.set("simd", ops::simd_level_name(ops::simd_level()));
+  doc.set("int8_kernel", ops::int8_kernel_name(ops::int8_kernel()));
+  const ops::GemmPool::Stats pool = ops::GemmPool::instance().stats();
+  diag::Value pool_v = diag::Value::object();
+  pool_v.set("workers", pool.workers);
+  pool_v.set("jobs", static_cast<std::uint64_t>(pool.jobs));
+  pool_v.set("fanout_jobs", static_cast<std::uint64_t>(pool.fanout_jobs));
+  pool_v.set("stripes", static_cast<std::uint64_t>(pool.stripes));
+  doc.set("pool", std::move(pool_v));
+  diag::Value results = diag::Value::array();
+  for (const Row& row : rows) {
+    diag::Value v = diag::Value::object();
+    v.set("name", row.name);
+    v.set("gemm_ms", row.gemm_ms);
+    v.set("naive_ms", row.naive_ms);
+    v.set("speedup", row.speedup());
+    v.set("portable_ms", row.portable_ms);
+    v.set("int8_ms", row.int8_ms);
+    v.set("int8_speedup", row.int8_speedup());
+    results.push(std::move(v));
+  }
+  doc.set("results", std::move(results));
+  diag::Value batch_sweep = diag::Value::array();
+  for (const BatchRow& row : sweep) {
+    diag::Value v = diag::Value::object();
+    v.set("model", row.model);
+    v.set("batch", row.batch);
+    v.set("batched_ms", row.batched_ms);
+    v.set("per_image_ms", row.per_image_ms);
+    v.set("imgs_per_s", row.imgs_per_s());
+    v.set("batched_speedup", row.batched_speedup());
+    v.set("int8_ms", row.int8_ms);
+    v.set("int8_per_image_ms", row.int8_per_image_ms);
+    batch_sweep.push(std::move(v));
+  }
+  doc.set("batch_sweep", std::move(batch_sweep));
+  diag::Value depthwise = diag::Value::object();
+  depthwise.set("single_ms", dw_single_ms);
+  depthwise.set("threaded_ms", dw_threaded_ms);
+  depthwise.set("threads", dw_threads);
+  doc.set("depthwise_batch32", std::move(depthwise));
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 2;
   }
-  std::fprintf(out, "{\n  \"bench\": \"perf_forward\",\n  \"quick\": %s,\n",
-               quick ? "true" : "false");
-  std::fprintf(out, "  \"gemm_threads\": %d,\n  \"simd\": \"%s\",\n  \"int8_kernel\": \"%s\",\n",
-               ops::gemm_threads(), ops::simd_level_name(ops::simd_level()),
-               ops::int8_kernel_name(ops::int8_kernel()));
-  const ops::GemmPool::Stats pool = ops::GemmPool::instance().stats();
-  std::fprintf(out,
-               "  \"pool\": {\"workers\": %d, \"jobs\": %llu, \"fanout_jobs\": %llu, "
-               "\"stripes\": %llu},\n",
-               pool.workers, static_cast<unsigned long long>(pool.jobs),
-               static_cast<unsigned long long>(pool.fanout_jobs),
-               static_cast<unsigned long long>(pool.stripes));
-  std::fprintf(out, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"gemm_ms\": %.4f, \"naive_ms\": %.4f, "
-                 "\"speedup\": %.2f, \"portable_ms\": %.4f, \"int8_ms\": %.4f, "
-                 "\"int8_speedup\": %.2f}%s\n",
-                 rows[i].name.c_str(), rows[i].gemm_ms, rows[i].naive_ms, rows[i].speedup(),
-                 rows[i].portable_ms, rows[i].int8_ms, rows[i].int8_speedup(),
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n  \"batch_sweep\": [\n");
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const BatchRow& row = sweep[i];
-    std::fprintf(out,
-                 "    {\"model\": \"%s\", \"batch\": %d, \"batched_ms\": %.4f, "
-                 "\"per_image_ms\": %.4f, \"imgs_per_s\": %.1f, \"batched_speedup\": %.2f, "
-                 "\"int8_ms\": %.4f, \"int8_per_image_ms\": %.4f}%s\n",
-                 row.model.c_str(), row.batch, row.batched_ms, row.per_image_ms,
-                 row.imgs_per_s(), row.batched_speedup(), row.int8_ms, row.int8_per_image_ms,
-                 i + 1 < sweep.size() ? "," : "");
-  }
-  std::fprintf(out,
-               "  ],\n  \"depthwise_batch32\": {\"single_ms\": %.4f, \"threaded_ms\": %.4f, "
-               "\"threads\": %d}\n",
-               dw_single_ms, dw_threaded_ms, dw_threads);
-  std::fprintf(out, "}\n");
+  const std::string rendered = diag::to_json(doc);
+  std::fprintf(out, "%s\n", rendered.c_str());
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
 

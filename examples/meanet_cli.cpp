@@ -5,31 +5,39 @@
 //       runs Alg. 1 on a synthetic workload and saves the trained blocks
 //       + class dictionary into DIR (the "cloud side" of the story);
 //   meanet_cli eval --model DIR [--threshold T] [--policy entropy|margin]
-//                   [--margin M] [--threads N]
+//                   [--margin M] [--threads N] [--console]
 //       loads the blocks (the "edge downloads the model" step), serves
 //       routed inference on the matching test set through the
 //       meanet::runtime session API (N worker threads sharing the one
 //       loaded net), and reports accuracy, exit distribution and
-//       detection accuracy;
+//       detection accuracy; --console then drops into an interactive
+//       diagnostics loop on the live session (providers / stats /
+//       stats <provider> / watch / serve / quit) over the process
+//       diag::DiagnosticRegistry;
 //   meanet_cli info --model DIR
 //       prints parameter/MAC statistics of the stored model.
 //
 // Example:
 //   ./build/examples/meanet_cli train --out /tmp/meanet_model
 //   ./build/examples/meanet_cli eval  --model /tmp/meanet_model
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/builders.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "diag/registry.h"
 #include "metrics/classification_metrics.h"
 #include "nn/model_stats.h"
 #include "nn/serialize.h"
 #include "runtime/session.h"
+#include "sim/clock.h"
 
 using namespace meanet;
 
@@ -46,13 +54,14 @@ struct Args {
   double margin = 0.0;
   int threads = 1;
   std::uint64_t seed = 7;
+  bool console = false;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: meanet_cli train --out DIR [--classes N] [--hard N] [--epochs N]\n"
                "       meanet_cli eval  --model DIR [--threshold T] [--policy entropy|margin]\n"
-               "                        [--margin M] [--threads N]\n"
+               "                        [--margin M] [--threads N] [--console]\n"
                "       meanet_cli info  --model DIR\n");
   return 2;
 }
@@ -60,9 +69,17 @@ int usage() {
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--console") {
+      args.console = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' needs a value\n", key.c_str());
+      return false;
+    }
+    const std::string value = argv[++i];
     if (key == "--out" || key == "--model") {
       args.dir = value;
     } else if (key == "--classes") {
@@ -189,6 +206,89 @@ bool load_model(const std::string& dir, ModelMeta& meta, core::MEANet& net) {
   return true;
 }
 
+void print_console_help() {
+  std::printf(
+      "diagnostics console commands:\n"
+      "  providers           list registered diagnostic providers\n"
+      "  stats               dump the full registry snapshot (JSON, schema %s)\n"
+      "  stats <provider>    dump one provider's tree\n"
+      "  watch [n] [sec]     print n full snapshots every sec seconds (default 5 x 1.0)\n"
+      "  serve <n>           submit n test frames through the live session\n"
+      "  help                this text\n"
+      "  quit                leave the console\n",
+      diag::kSchemaVersion);
+}
+
+/// Interactive diagnostics loop over the process registry, driven
+/// against the live session (`serve` pushes more traffic through it so
+/// `stats`/`watch` have moving counters to show). Returns at EOF or
+/// `quit`; every command failure is printed, never thrown.
+int run_console(runtime::InferenceSession& session, const data::Dataset& test) {
+  diag::DiagnosticRegistry& registry = diag::DiagnosticRegistry::global();
+  print_console_help();
+  std::string line;
+  int next_frame = 0;
+  while (true) {
+    std::printf("diag> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;  // EOF: scripted stdin ran out
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_console_help();
+    } else if (cmd == "providers") {
+      for (const std::string& name : registry.names()) std::printf("  %s\n", name.c_str());
+    } else if (cmd == "stats") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::printf("%s\n", registry.to_json().c_str());
+      } else {
+        const diag::Value tree = registry.snapshot_of(name);
+        if (tree.is_null()) {
+          std::printf("no provider '%s' (try: providers)\n", name.c_str());
+        } else {
+          std::printf("%s\n", diag::to_json(tree).c_str());
+        }
+      }
+    } else if (cmd == "watch") {
+      int rounds = 5;
+      double period_s = 1.0;
+      in >> rounds >> period_s;
+      rounds = std::max(1, std::min(rounds, 1000));
+      period_s = std::min(60.0, std::max(0.01, period_s));
+      for (int i = 0; i < rounds; ++i) {
+        if (i > 0) sim::wall_clock().sleep_for(period_s);
+        std::printf("-- watch %d/%d --\n%s\n", i + 1, rounds, registry.to_json().c_str());
+        std::fflush(stdout);
+      }
+    } else if (cmd == "serve") {
+      int count = 0;
+      in >> count;
+      if (count <= 0) {
+        std::printf("usage: serve <n>\n");
+        continue;
+      }
+      try {
+        for (int i = 0; i < count; ++i) {
+          session.submit(test.instance(next_frame));
+          next_frame = (next_frame + 1) % test.size();
+        }
+        const auto results = session.drain();
+        std::printf("served %zu instance(s)\n", results.size());
+      } catch (const std::exception& e) {
+        std::printf("serve failed: %s\n", e.what());
+      }
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_eval(const Args& args) {
   ModelMeta meta;
   if (!load_meta(args.dir, meta)) {
@@ -262,6 +362,7 @@ int cmd_eval(const Args& args) {
               static_cast<long long>(m.queue_depth_high_water),
               1e3 * m.route(core::Route::kMainExit).p50_s,
               1e3 * m.route(core::Route::kMainExit).p95_s);
+  if (args.console) return run_console(session, ds.test);
   return 0;
 }
 

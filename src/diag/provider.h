@@ -1,0 +1,41 @@
+// Pull-based diagnostic provider: anything with stats worth exporting
+// implements this and registers with the DiagnosticRegistry (RAII:
+// diag::ScopedRegistration). The registry PULLS — a provider never
+// pushes samples anywhere; it just renders its current counters into a
+// diag::Value tree when a snapshot is taken.
+//
+// Contract (enforced by how DiagnosticRegistry::snapshot() holds its
+// lock across provider calls):
+//  * diag_snapshot() must be safe to call from any thread at any point
+//    in the provider's registered lifetime — take your own stats lock
+//    inside, exactly like your stats() accessor does.
+//  * diag_snapshot() must NOT call back into the registry (register,
+//    unregister, or snapshot) — the registry lock is held around it.
+//  * Unregister (destroy the ScopedRegistration) before the state a
+//    snapshot reads is torn down. Declaring the ScopedRegistration as
+//    the LAST member of the owning class gives that for free for
+//    member state; state torn down in the destructor BODY is still
+//    live during any concurrent snapshot, because member destruction —
+//    and thus unregistration — only runs after the body returns.
+#pragma once
+
+#include <string>
+
+#include "diag/value.h"
+
+namespace meanet::diag {
+
+class DiagnosticProvider {
+ public:
+  virtual ~DiagnosticProvider() = default;
+
+  /// Stable name this provider's tree is keyed by in the registry
+  /// export, conventionally "kind" or "kind/instance" ("session/0",
+  /// "cell/1", "gemm_pool"). Must not change while registered.
+  virtual std::string diag_name() const = 0;
+
+  /// Point-in-time stats as an ordered key/value tree.
+  virtual Value diag_snapshot() const = 0;
+};
+
+}  // namespace meanet::diag

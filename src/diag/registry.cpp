@@ -1,0 +1,75 @@
+#include "diag/registry.h"
+
+#include <algorithm>
+
+namespace meanet::diag {
+
+DiagnosticRegistry& DiagnosticRegistry::global() {
+  // Leaked on purpose — see the header. Static providers (GemmPool)
+  // unregister during static destruction and must find this alive.
+  static DiagnosticRegistry* const registry = new DiagnosticRegistry();
+  return *registry;
+}
+
+void DiagnosticRegistry::add(const DiagnosticProvider* provider) {
+  if (provider == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(providers_.begin(), providers_.end(), provider) != providers_.end()) return;
+  providers_.push_back(provider);
+}
+
+void DiagnosticRegistry::remove(const DiagnosticProvider* provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.erase(std::remove(providers_.begin(), providers_.end(), provider),
+                   providers_.end());
+}
+
+std::vector<std::string> DiagnosticRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(providers_.size());
+  for (const DiagnosticProvider* provider : providers_) {
+    out.push_back(provider->diag_name());
+  }
+  return out;
+}
+
+std::size_t DiagnosticRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return providers_.size();
+}
+
+Value DiagnosticRegistry::snapshot() const {
+  // The lock spans every provider call: unregistration (and therefore
+  // provider destruction) cannot overlap a snapshot in progress.
+  std::lock_guard<std::mutex> lock(mutex_);
+  Value providers = Value::object();
+  for (const DiagnosticProvider* provider : providers_) {
+    std::string key = provider->diag_name();
+    if (providers.find(key) != nullptr) {
+      // Two live providers with one name: suffix instead of dropping.
+      int n = 2;
+      while (providers.find(key + "#" + std::to_string(n)) != nullptr) ++n;
+      key += "#" + std::to_string(n);
+    }
+    providers.set(std::move(key), provider->diag_snapshot());
+  }
+  Value out = Value::object();
+  out.set("schema", kSchemaVersion);
+  out.set("providers", std::move(providers));
+  return out;
+}
+
+Value DiagnosticRegistry::snapshot_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const DiagnosticProvider* provider : providers_) {
+    if (provider->diag_name() == name) return provider->diag_snapshot();
+  }
+  return Value();
+}
+
+std::string DiagnosticRegistry::to_json(int indent) const {
+  return diag::to_json(snapshot(), indent);
+}
+
+}  // namespace meanet::diag

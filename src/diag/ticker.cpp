@@ -1,0 +1,48 @@
+#include "diag/ticker.h"
+
+#include <stdexcept>
+
+namespace meanet::diag {
+
+Ticker::Ticker(std::shared_ptr<sim::Clock> clock, double period_s, std::function<void()> fn)
+    : clock_(sim::resolve_clock(std::move(clock))), period_s_(period_s), fn_(std::move(fn)) {
+  if (!(period_s_ > 0.0)) throw std::invalid_argument("Ticker: period_s must be positive");
+  if (!fn_) throw std::invalid_argument("Ticker: callback must be set");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Ticker::~Ticker() { stop(); }
+
+void Ticker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  clock_->notify(cv_);
+  // join under its own mutex so stop() is idempotent and safe to call
+  // concurrently (mutex_ cannot guard the join: loop() holds it).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Ticker::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+void Ticker::loop() {
+  sim::ActorGuard actor(*clock_);
+  sim::Clock::TimePoint deadline = sim::Clock::after(clock_->now(), period_s_);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      clock_->wait(lock, cv_, deadline, [this] { return stopping_; });
+      if (stopping_) return;
+      ++ticks_;
+    }
+    fn_();
+    deadline = sim::Clock::after(deadline, period_s_);
+  }
+}
+
+}  // namespace meanet::diag

@@ -1,0 +1,59 @@
+// Clock-driven periodic runner for diagnostics consumers: fires a
+// callback every `period_s` on a sim::Clock, which is what lets
+// meanet_cloudd's --stats-every-s dump go through the clock seam — a
+// daemon embedded in a virtual-time test ticks on scheduled events and
+// can never block virtual time from advancing (the ticker thread
+// registers as a clock actor for its whole loop).
+//
+// Schedule: fixed-rate, not fixed-delay — the next deadline is computed
+// as previous_deadline + period before the callback runs, so a slow
+// callback under WallClock skews the phase but not the long-run rate,
+// and under VirtualClock the tick times are exactly t0 + k*period.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "sim/clock.h"
+
+namespace meanet::diag {
+
+class Ticker {
+ public:
+  /// Starts a thread that invokes `fn` every `period_s` seconds on
+  /// `clock` (null = the process WallClock) until stop()/destruction.
+  /// period_s must be positive. The first tick fires one period after
+  /// construction, not immediately.
+  Ticker(std::shared_ptr<sim::Clock> clock, double period_s, std::function<void()> fn);
+  ~Ticker();
+
+  Ticker(const Ticker&) = delete;
+  Ticker& operator=(const Ticker&) = delete;
+
+  /// Stops the ticking thread and joins it; idempotent. A callback in
+  /// flight completes first; no further ticks fire after return.
+  void stop();
+
+  /// Ticks fired so far.
+  std::uint64_t ticks() const;
+
+ private:
+  void loop();
+
+  std::shared_ptr<sim::Clock> clock_;
+  double period_s_;
+  std::function<void()> fn_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;        // guarded by mutex_
+  std::uint64_t ticks_ = 0;      // guarded by mutex_
+  std::mutex join_mutex_;        // serializes the join in stop()
+  std::thread thread_;
+};
+
+}  // namespace meanet::diag

@@ -1,0 +1,335 @@
+#include "diag/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace meanet::diag {
+
+Value& Value::set(std::string key, Value value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [name, held] : fields_) {
+    if (name == key) {
+      held = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Value& Value::push(Value value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, held] : fields_) {
+    if (name == key) return &held;
+  }
+  return nullptr;
+}
+
+std::int64_t Value::as_int() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble:
+      return static_cast<std::int64_t>(double_);
+    case Kind::kBool:
+      return bool_ ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t Value::as_uint() const {
+  switch (kind_) {
+    case Kind::kUint:
+      return uint_;
+    case Kind::kInt:
+      return int_ < 0 ? 0 : static_cast<std::uint64_t>(int_);
+    case Kind::kDouble:
+      return double_ < 0.0 ? 0 : static_cast<std::uint64_t>(double_);
+    case Kind::kBool:
+      return bool_ ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble:
+      return double_;
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kBool:
+      return bool_ ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void append_value(std::string& out, const Value& value, int indent, int depth) {
+  const bool pretty = indent > 0;
+  auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kInt:
+      out += std::to_string(value.as_int());
+      break;
+    case Value::Kind::kUint:
+      out += std::to_string(value.as_uint());
+      break;
+    case Value::Kind::kDouble:
+      append_double(out, value.as_double());
+      break;
+    case Value::Kind::kString:
+      append_escaped(out, value.as_string());
+      break;
+    case Value::Kind::kArray: {
+      if (value.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        append_value(out, item, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      if (value.fields().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, held] : value.fields()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        append_escaped(out, key);
+        out += pretty ? ": " : ":";
+        append_value(out, held, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+// ---- json_well_formed: a strict non-allocating syntax walker ----
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  bool done() const { return p >= end; }
+  char peek() const { return *p; }
+  void skip_ws() {
+    while (!done() && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool consume(char c) {
+    if (done() || *p != c) return false;
+    ++p;
+    return true;
+  }
+  bool consume_literal(const char* lit) {
+    const char* q = p;
+    while (*lit) {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+};
+
+bool parse_value(Cursor& c, int depth);
+
+bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.done()) {
+    const char ch = *c.p++;
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.done()) return false;
+      const char esc = *c.p++;
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+        case 'b':
+        case 'f':
+        case 'n':
+        case 'r':
+        case 't':
+          break;
+        case 'u': {
+          for (int i = 0; i < 4; ++i) {
+            if (c.done() || !std::isxdigit(static_cast<unsigned char>(*c.p))) return false;
+            ++c.p;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c) {
+  const char* start = c.p;
+  c.consume('-');
+  if (c.done() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+  if (*c.p == '0') {
+    ++c.p;
+  } else {
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (!c.done() && *c.p == '.') {
+    ++c.p;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (!c.done() && (*c.p == 'e' || *c.p == 'E')) {
+    ++c.p;
+    if (!c.done() && (*c.p == '+' || *c.p == '-')) ++c.p;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  return c.p > start;
+}
+
+bool parse_value(Cursor& c, int depth) {
+  if (depth > 64) return false;  // bound hostile nesting
+  c.skip_ws();
+  if (c.done()) return false;
+  const char ch = c.peek();
+  if (ch == '"') return parse_string(c);
+  if (ch == '{') {
+    ++c.p;
+    c.skip_ws();
+    if (c.consume('}')) return true;
+    while (true) {
+      c.skip_ws();
+      if (!parse_string(c)) return false;
+      c.skip_ws();
+      if (!c.consume(':')) return false;
+      if (!parse_value(c, depth + 1)) return false;
+      c.skip_ws();
+      if (c.consume(',')) continue;
+      return c.consume('}');
+    }
+  }
+  if (ch == '[') {
+    ++c.p;
+    c.skip_ws();
+    if (c.consume(']')) return true;
+    while (true) {
+      if (!parse_value(c, depth + 1)) return false;
+      c.skip_ws();
+      if (c.consume(',')) continue;
+      return c.consume(']');
+    }
+  }
+  if (ch == 't') return c.consume_literal("true");
+  if (ch == 'f') return c.consume_literal("false");
+  if (ch == 'n') return c.consume_literal("null");
+  return parse_number(c);
+}
+
+}  // namespace
+
+std::string to_json(const Value& value, int indent) {
+  std::string out;
+  append_value(out, value, indent < 0 ? 0 : indent, 0);
+  return out;
+}
+
+bool json_well_formed(const std::string& text) {
+  Cursor c{text.data(), text.data() + text.size()};
+  if (!parse_value(c, 0)) return false;
+  c.skip_ws();
+  return c.done();
+}
+
+}  // namespace meanet::diag

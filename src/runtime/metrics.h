@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/inference_policy.h"
+#include "diag/value.h"
 
 namespace meanet::runtime {
 
@@ -120,6 +121,20 @@ struct SessionMetrics {
     }
     return PriorityWaitStats{priority, 0, 0.0, 0.0, 0.0};
   }
+
+  /// The metrics as a diag::Value tree — the shape an InferenceSession
+  /// exports through the diagnostic registry (schema diag::
+  /// kSchemaVersion). Every scalar in counter_names() appears as a
+  /// top-level key; per-route percentiles live under "routes" keyed by
+  /// core::route_name(), queue waits under "queue_wait_by_priority" as
+  /// an array ordered highest priority first.
+  diag::Value to_value() const;
+
+  /// Names of every documented scalar counter in to_value()'s export,
+  /// in emission order. The diag regression test walks this list, so a
+  /// counter added to the struct without being wired into the export
+  /// (or vice versa) fails loudly.
+  static const std::vector<const char*>& counter_names();
 };
 
 /// Bounded, deterministic uniform sample of an unbounded stream

@@ -101,4 +101,15 @@ std::int64_t ResponseCache::evictions() const {
   return evictions_;
 }
 
+diag::Value ResponseCache::diag_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diag::Value v = diag::Value::object();
+  v.set("capacity", static_cast<std::int64_t>(capacity_));
+  v.set("entries", static_cast<std::int64_t>(mru_.size()));
+  v.set("hits", hits_);
+  v.set("misses", misses_);
+  v.set("evictions", evictions_);
+  return v;
+}
+
 }  // namespace meanet::runtime

@@ -18,14 +18,16 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "diag/provider.h"
 #include "runtime/result_handle.h"
 
 namespace meanet::runtime {
 
-class ResponseCache {
+class ResponseCache : public diag::DiagnosticProvider {
  public:
   using Hasher = std::function<std::uint64_t(const float*, std::int64_t)>;
 
@@ -53,6 +55,13 @@ class ResponseCache {
   /// The default hasher: FNV-1a over the frame's raw bytes.
   static std::uint64_t fnv1a(const float* frame, std::int64_t count);
 
+  // DiagnosticProvider. The cache does NOT register itself — its owner
+  // (the session) holds the ScopedRegistration, so standalone caches in
+  // tests stay out of the process registry.
+  void set_diag_name(std::string name) { diag_name_ = std::move(name); }
+  std::string diag_name() const override { return diag_name_; }
+  diag::Value diag_snapshot() const override;
+
  private:
   struct Entry {
     std::uint64_t hash = 0;
@@ -68,6 +77,8 @@ class ResponseCache {
 
   const std::size_t capacity_;
   Hasher hasher_;
+  /// Set once by the owner before registering (not locked).
+  std::string diag_name_ = "response_cache";
 
   mutable std::mutex mutex_;
   EntryList mru_;  // front = most recently used

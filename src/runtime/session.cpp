@@ -189,6 +189,25 @@ InferenceSession::InferenceSession(EngineConfig config)
     if (offload_worker_.joinable()) offload_worker_.join();
     throw;
   }
+
+  // Register with the process diagnostics registry last: the session is
+  // fully serving, so a concurrent snapshot sees a live object.
+  static std::atomic<std::uint64_t> next_session_id{0};
+  diag_name_ = "session/" + std::to_string(next_session_id.fetch_add(1));
+  if (cache_) {
+    cache_->set_diag_name("response_cache/" + diag_name_);
+    cache_registration_ =
+        diag::ScopedRegistration(diag::DiagnosticRegistry::global(), cache_.get());
+  }
+  diag_registration_ = diag::ScopedRegistration(diag::DiagnosticRegistry::global(), this);
+}
+
+diag::Value InferenceSession::diag_snapshot() const {
+  diag::Value v = diag::Value::object();
+  v.set("workers", worker_count());
+  v.set("backend", backend_->describe());
+  v.set("metrics", metrics().to_value());
+  return v;
 }
 
 InferenceSession::~InferenceSession() {

@@ -68,6 +68,8 @@
 #include <vector>
 
 #include "core/edge_inference.h"
+#include "diag/provider.h"
+#include "diag/registry.h"
 #include "runtime/metrics.h"
 #include "runtime/offload_backend.h"
 #include "runtime/request_queue.h"
@@ -313,7 +315,7 @@ class AdmissionRejected : public std::runtime_error {
   explicit AdmissionRejected(const std::string& what) : std::runtime_error(what) {}
 };
 
-class InferenceSession {
+class InferenceSession : public diag::DiagnosticProvider {
  public:
   explicit InferenceSession(EngineConfig config);
   ~InferenceSession();
@@ -364,6 +366,14 @@ class InferenceSession {
   const core::RoutingPolicy& routing() const { return *routing_; }
   /// Workers actually serving (worker_threads clamped to the replicas).
   int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // DiagnosticProvider: sessions self-register as "session/N" (N
+  // counts up per process in construction order); the snapshot wraps
+  // metrics().to_value() with the session's shape. A configured
+  // response cache is registered alongside as
+  // "response_cache/session/N".
+  std::string diag_name() const override { return diag_name_; }
+  diag::Value diag_snapshot() const override;
 
  private:
   using SteadyClock = std::chrono::steady_clock;
@@ -536,6 +546,15 @@ class InferenceSession {
   std::vector<ResultHandle> round_;
   std::size_t round_prune_threshold_ = 64;  // guarded by round_mutex_
   std::vector<InferenceResult> survivors_;
+
+  // Diagnostics — LAST members, so they are torn down FIRST: an
+  // in-flight registry snapshot blocks the unregister, and only then
+  // does the rest of the session destruct. During the destructor BODY
+  // (joining workers) the session is still snapshot-safe: metrics()
+  // only reads members that outlive the body.
+  std::string diag_name_;
+  diag::ScopedRegistration cache_registration_;
+  diag::ScopedRegistration diag_registration_;
 };
 
 }  // namespace meanet::runtime

@@ -1,6 +1,7 @@
 #include "sim/shared_cell.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace meanet::sim {
@@ -38,6 +39,25 @@ SharedCell::SharedCell(SharedCellConfig config)
     throw std::invalid_argument("SharedCell: negative latency or jitter");
   }
   created_ = clock_->now();
+  static std::atomic<std::uint64_t> next_cell_id{0};
+  diag_name_ = "cell/" + std::to_string(next_cell_id.fetch_add(1));
+  diag_registration_ =
+      diag::ScopedRegistration(diag::DiagnosticRegistry::global(), this);
+}
+
+diag::Value SharedCell::diag_snapshot() const {
+  diag::Value v = diag::Value::object();
+  v.set("stations", stations());
+  v.set("busy_s", busy_seconds());
+  v.set("airtime_utilization", utilization());
+  diag::Value cfg = diag::Value::object();
+  cfg.set("uplink_mbps", config_.uplink.throughput_mbps);
+  cfg.set("downlink_mbps", config_.downlink.throughput_mbps);
+  cfg.set("base_latency_s", config_.base_latency_s);
+  cfg.set("jitter_s", config_.jitter_s);
+  cfg.set("activity_dependent_sharing", config_.activity_dependent_sharing);
+  v.set("config", std::move(cfg));
+  return v;
 }
 
 int SharedCell::attach() {

@@ -58,6 +58,8 @@
 #include <memory>
 #include <mutex>
 
+#include "diag/provider.h"
+#include "diag/registry.h"
 #include "sim/clock.h"
 #include "sim/wifi_model.h"
 
@@ -102,7 +104,7 @@ struct TransferOutcome {
   bool cancelled = false;
 };
 
-class SharedCell {
+class SharedCell : public diag::DiagnosticProvider {
  public:
   explicit SharedCell(SharedCellConfig config);
 
@@ -155,6 +157,11 @@ class SharedCell {
   /// The resolved clock every attached session must share.
   const std::shared_ptr<Clock>& clock() const { return clock_; }
 
+  // DiagnosticProvider: cells self-register as "cell/N" (N counts up
+  // per process in construction order).
+  std::string diag_name() const override { return diag_name_; }
+  diag::Value diag_snapshot() const override;
+
  private:
   /// One direction's processor-sharing state: in-flight transfers and
   /// the solo-seconds each still needs. Guarded by transfer_mutex_.
@@ -193,6 +200,12 @@ class SharedCell {
   std::condition_variable transfer_cv_;
   std::uint64_t poke_epoch_ = 0;  // guarded by transfer_mutex_
   Lane uplink_lane_, downlink_lane_;
+
+  // Diagnostics. The registration is the LAST member, so it is torn
+  // down FIRST: an in-flight registry snapshot blocks the unregister
+  // until it finishes, and only then does the rest of the cell die.
+  std::string diag_name_;
+  diag::ScopedRegistration diag_registration_;
 };
 
 namespace detail {

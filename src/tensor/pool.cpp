@@ -10,6 +10,9 @@ GemmPool& GemmPool::instance() {
   return pool;
 }
 
+GemmPool::GemmPool()
+    : diag_registration_(diag::DiagnosticRegistry::global(), this) {}
+
 GemmPool::~GemmPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -34,6 +37,16 @@ GemmPool::Stats GemmPool::stats() const {
   }
   out.jobs = out.fanout_jobs + jobs_inline_.load(std::memory_order_relaxed);
   return out;
+}
+
+diag::Value GemmPool::diag_snapshot() const {
+  const Stats s = stats();
+  diag::Value v = diag::Value::object();
+  v.set("workers", s.workers);
+  v.set("jobs", s.jobs);
+  v.set("fanout_jobs", s.fanout_jobs);
+  v.set("stripes", s.stripes);
+  return v;
 }
 
 void GemmPool::ensure_workers(int workers) {

@@ -27,6 +27,9 @@
 #include <thread>
 #include <vector>
 
+#include "diag/provider.h"
+#include "diag/registry.h"
+
 namespace meanet::ops {
 
 /// Reusable rendezvous for a fixed party count: every generation, all
@@ -63,7 +66,7 @@ class SpinlessBarrier {
 /// wait immediately — there is no spin/backoff window between jobs, so
 /// an idle pool costs nothing but parked threads (the benches print
 /// stats() in their headers to prove the pool actually engaged).
-class GemmPool {
+class GemmPool : public diag::DiagnosticProvider {
  public:
   /// The process-wide pool.
   static GemmPool& instance();
@@ -85,10 +88,16 @@ class GemmPool {
   };
   Stats stats() const;
 
+  // DiagnosticProvider: the singleton registers itself as "gemm_pool"
+  // on first use (any pooled gemm call constructs it), so a registry
+  // snapshot taken after a forward pass always includes the pool.
+  std::string diag_name() const override { return "gemm_pool"; }
+  diag::Value diag_snapshot() const override;
+
   ~GemmPool();
 
  private:
-  GemmPool() = default;
+  GemmPool();
   void ensure_workers(int workers);
   void worker_loop(int index);
 
@@ -111,6 +120,12 @@ class GemmPool {
   std::uint64_t jobs_fanout_ = 0;
   std::uint64_t stripes_ = 0;
   std::atomic<std::uint64_t> jobs_inline_{0};
+
+  // Last member, so it is the first destroyed once the destructor body
+  // (which joins the workers while the pool is still snapshot-safe)
+  // returns. The global registry is leaked, so this
+  // static-destruction-time unregister is always safe.
+  diag::ScopedRegistration diag_registration_;
 };
 
 }  // namespace meanet::ops

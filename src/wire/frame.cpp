@@ -244,6 +244,22 @@ StatsEntries decode_stats(const std::vector<std::uint8_t>& bytes) {
   });
 }
 
+std::vector<std::uint8_t> encode_stats_request(std::uint32_t flags) {
+  std::vector<std::uint8_t> out;
+  if (flags != 0) append_pod(out, flags);
+  return out;
+}
+
+std::uint32_t decode_stats_request(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return 0;  // pre-flag clients send no payload
+  return decode_guarded("decode_stats_request", [&]() -> std::uint32_t {
+    nn::ByteReader reader(bytes.data(), bytes.size());
+    const auto flags = reader.read<std::uint32_t>();
+    if (!reader.done()) throw ProtocolError("decode_stats_request: trailing bytes");
+    return flags;
+  });
+}
+
 std::int64_t request_wire_bytes(const Shape& image_shape, const Shape& feature_shape,
                                 bool images, bool features) {
   std::int64_t bytes = static_cast<std::int64_t>(kFrameHeaderBytes) + 4;  // header + flags

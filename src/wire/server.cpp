@@ -1,6 +1,7 @@
 #include "wire/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -77,6 +78,33 @@ WireServer::WireServer(std::shared_ptr<runtime::OffloadBackend> backend,
   if (!backend_) throw std::invalid_argument("WireServer: null backend");
   if (config_.max_batch_instances < 1) config_.max_batch_instances = 1;
   batch_thread_ = std::thread([this] { batch_loop(); });
+  static std::atomic<std::uint64_t> next_server_id{0};
+  diag_name_ = "wire_server/" + std::to_string(next_server_id.fetch_add(1));
+  diag_registration_ = diag::ScopedRegistration(diag::DiagnosticRegistry::global(), this);
+}
+
+diag::Value WireServer::diag_snapshot() const {
+  const WireServerStats s = stats();
+  diag::Value v = diag::Value::object();
+  if (!socket_path_.empty()) v.set("socket_path", socket_path_);
+  diag::Value cfg = diag::Value::object();
+  cfg.set("max_batch_instances", config_.max_batch_instances);
+  cfg.set("batch_window_s", config_.batch_window_s);
+  v.set("config", std::move(cfg));
+  v.set("connections_accepted", s.connections_accepted);
+  v.set("connections_active", s.connections_active);
+  v.set("frames_in", s.frames_in);
+  v.set("frames_out", s.frames_out);
+  v.set("requests_served", s.requests_served);
+  v.set("instances_served", s.instances_served);
+  v.set("batches", s.batches);
+  v.set("cross_session_batches", s.cross_session_batches);
+  v.set("protocol_errors", s.protocol_errors);
+  v.set("backend_failures", s.backend_failures);
+  diag::Value histogram = diag::Value::array();
+  for (const std::uint64_t bucket : s.batch_size_histogram) histogram.push(bucket);
+  v.set("batch_size_histogram", std::move(histogram));
+  return v;
 }
 
 WireServer::~WireServer() { stop(); }
@@ -114,8 +142,11 @@ void WireServer::adopt(std::unique_ptr<Transport> transport) {
     }
     conn->id = next_connection_id_++;
     connections_.push_back(conn);
-    stats_.connections_accepted++;
-    stats_.connections_active++;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.connections_accepted++;
+      stats_.connections_active++;
+    }
     readers_.emplace_back([this, conn] { reader_loop(conn); });
   }
 }
@@ -131,7 +162,7 @@ void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
       // A malformed frame poisons the stream (framing is lost), so the
       // connection is told why and dropped.
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         stats_.protocol_errors++;
       }
       send_error(*conn, 0, ErrorCode::kMalformedFrame, e.what());
@@ -140,7 +171,7 @@ void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
       break;  // connection died (reset / truncated / closed during stop)
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       stats_.frames_in++;
     }
     switch (frame.command) {
@@ -152,7 +183,7 @@ void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
           pending.payload = decode_offload_request(frame.payload);
         } catch (const WireError& e) {
           {
-            std::lock_guard<std::mutex> lock(mutex_);
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             stats_.protocol_errors++;
           }
           send_error(*conn, frame.request_id, ErrorCode::kMalformedFrame, e.what());
@@ -171,9 +202,28 @@ void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
         send_frame(*conn, Frame{Command::kPong, frame.request_id, {}});
         break;
       case Command::kStatsRequest: {
-        const WireServerStats snapshot = stats();
-        send_frame(*conn, Frame{Command::kStatsResponse, frame.request_id,
-                                encode_stats(snapshot.to_entries())});
+        std::uint32_t flags = 0;
+        try {
+          flags = decode_stats_request(frame.payload);
+        } catch (const WireError& e) {
+          {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            stats_.protocol_errors++;
+          }
+          send_error(*conn, frame.request_id, ErrorCode::kMalformedFrame, e.what());
+          continue;  // framing is intact; only this request was bad
+        }
+        if ((flags & kStatsFlagDiagSnapshot) != 0) {
+          // The full process diagnostics registry (this server's tree
+          // included) as one versioned JSON document.
+          const std::string json = diag::DiagnosticRegistry::global().to_json();
+          send_frame(*conn, Frame{Command::kStatsResponse, frame.request_id,
+                                  std::vector<std::uint8_t>(json.begin(), json.end())});
+        } else {
+          const WireServerStats snapshot = stats();
+          send_frame(*conn, Frame{Command::kStatsResponse, frame.request_id,
+                                  encode_stats(snapshot.to_entries())});
+        }
         break;
       }
       default:
@@ -185,9 +235,10 @@ void WireServer::reader_loop(std::shared_ptr<Connection> conn) {
   conn->transport->close();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.connections_active--;
     connections_.erase(std::remove(connections_.begin(), connections_.end(), conn),
                        connections_.end());
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.connections_active--;
   }
 }
 
@@ -278,7 +329,7 @@ void WireServer::serve_group(std::vector<Pending>& group) {
   // answer in hand must find the request already counted in any stats
   // snapshot it asks for next.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.batches++;
     if (distinct_conns > 1) stats_.cross_session_batches++;
     const std::size_t bucket =
@@ -314,7 +365,7 @@ void WireServer::send_frame(Connection& conn, const Frame& frame) {
   } catch (const WireError&) {
     return;  // the client vanished; its reader thread handles teardown
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.frames_out++;
 }
 
@@ -324,7 +375,7 @@ void WireServer::send_error(Connection& conn, std::uint64_t request_id, ErrorCod
 }
 
 WireServerStats WireServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
 }
 

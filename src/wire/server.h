@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "diag/provider.h"
+#include "diag/registry.h"
 #include "runtime/offload_backend.h"
 #include "wire/frame.h"
 #include "wire/socket_transport.h"
@@ -65,7 +67,7 @@ struct WireServerStats {
   StatsEntries to_entries() const;
 };
 
-class WireServer {
+class WireServer : public diag::DiagnosticProvider {
  public:
   /// `backend` answers the coalesced batches (typically a
   /// RawImageBackend over the daemon's CloudNode).
@@ -89,6 +91,11 @@ class WireServer {
 
   WireServerStats stats() const;
   const std::string& socket_path() const { return socket_path_; }
+
+  // DiagnosticProvider: servers self-register as "wire_server/N" (N
+  // counts up per process in construction order).
+  std::string diag_name() const override { return diag_name_; }
+  diag::Value diag_snapshot() const override;
 
  private:
   struct Connection {
@@ -121,16 +128,29 @@ class WireServer {
   std::string socket_path_;
   std::thread accept_thread_;
 
-  mutable std::mutex mutex_;  // connections, pending queue, stats, stopping flag
+  mutable std::mutex mutex_;  // connections, pending queue, stopping flag
   std::condition_variable pending_cv_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> readers_;
   std::deque<Pending> pending_;
-  WireServerStats stats_;
   bool stopping_ = false;
   std::uint64_t next_connection_id_ = 1;
 
+  /// Every stats_ access — accept/reader paths, the batch thread's
+  /// commit, stats() — takes THIS lock and only this lock, so a
+  /// concurrent stats() poller never races a mutation and never
+  /// contends with the batch/pending queue either (it used to share
+  /// mutex_ with both). Lock order: stats_mutex_ is a leaf — taken
+  /// with mutex_ held in spots, never the reverse.
+  mutable std::mutex stats_mutex_;
+  WireServerStats stats_;  // guarded by stats_mutex_
+
   std::thread batch_thread_;
+
+  // Last members: unregistered first at destruction (after ~WireServer
+  // ran stop(), which leaves the object snapshot-safe throughout).
+  std::string diag_name_;
+  diag::ScopedRegistration diag_registration_;
 };
 
 }  // namespace meanet::wire

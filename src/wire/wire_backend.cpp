@@ -107,6 +107,13 @@ StatsEntries WireBackend::fetch_stats() {
       roundtrip(Command::kStatsRequest, {}, Command::kStatsResponse).payload);
 }
 
+std::string WireBackend::fetch_diagnostics() {
+  const Frame reply = roundtrip(Command::kStatsRequest,
+                                encode_stats_request(kStatsFlagDiagSnapshot),
+                                Command::kStatsResponse);
+  return std::string(reply.payload.begin(), reply.payload.end());
+}
+
 void WireBackend::ping() { roundtrip(Command::kPing, {}, Command::kPong); }
 
 bool WireBackend::connected() const {

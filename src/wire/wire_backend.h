@@ -67,6 +67,13 @@ class WireBackend : public runtime::OffloadBackend {
   /// connects on demand like classify().
   StatsEntries fetch_stats();
 
+  /// Fetches the daemon process's full diagnostics registry snapshot
+  /// (kStatsRequest with kStatsFlagDiagSnapshot) as a JSON document in
+  /// schema diag::kSchemaVersion. Requires a daemon built with the
+  /// flag — i.e. wire version 1 servers from this tree; connects on
+  /// demand like classify().
+  std::string fetch_diagnostics();
+
   /// Round-trips an empty kPing frame; throws WireError on failure.
   void ping();
 

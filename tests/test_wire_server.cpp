@@ -18,8 +18,13 @@
 
 #include "core/builders.h"
 #include "core/trainer.h"
+#include "diag/registry.h"
+#include "diag/value.h"
 #include "runtime/session.h"
+#include "runtime/transport.h"
 #include "sim/cloud_node.h"
+#include "sim/shared_cell.h"
+#include "tensor/pool.h"
 #include "tiny_models.h"
 #include "util/rng.h"
 #include "wire/fault_transport.h"
@@ -507,6 +512,96 @@ TEST(WireSession, FrameFaultsFallBackToEdgePredictions) {
   server.stop();
 }
 
+// A stats() poller hammering the server while connections serve live
+// traffic: every stats_ mutation site must go through the same lock, or
+// the TSAN leg flags this test.
+TEST(WireServer, ConcurrentStatsPollerDoesNotRaceLiveConnections) {
+  auto backend = std::make_shared<PixelLabelBackend>();
+  WireServerConfig config;
+  config.max_batch_instances = 1;
+  WireServer server(backend, config);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const WireServerStats stats = server.stats();
+      EXPECT_GE(stats.frames_in, stats.requests_served);
+      // The registry path snapshots the same counters under the same
+      // lock — exercise it concurrently too.
+      (void)diag::DiagnosticRegistry::global().to_json();
+    }
+  });
+
+  WireBackendConfig client_config;
+  client_config.transport_factory = [&server] {
+    PipePair pipe = make_pipe();
+    server.adopt(std::move(pipe.second));
+    return std::move(pipe.first);
+  };
+  WireBackend client(client_config);
+  for (int i = 0; i < 50; ++i) {
+    runtime::OffloadPayload payload;
+    payload.images = instance_with_pixel(static_cast<float>(i % 4));
+    EXPECT_EQ(client.classify(payload), std::vector<int>{i % 4});
+  }
+  stop.store(true);
+  poller.join();
+  server.stop();
+  EXPECT_GE(server.stats().requests_served, 50u);
+}
+
+// The acceptance shape of the unified surface: two live sessions on a
+// shared cell, a wire server, and the (lazily created) GEMM pool all
+// land in ONE registry snapshot.
+TEST(Diagnostics, TwoSessionsCellServerAndPoolInOneSnapshot) {
+  util::Rng rng(9);
+  data::SyntheticDataset ds = data::make_synthetic(tiny_data_spec(), 44);
+  core::MEANet net = tiny_meanet_b(rng, 2);
+  data::ClassDict dict(tiny_data_spec().num_classes, {0, 1});
+
+  auto cell = std::make_shared<sim::SharedCell>(sim::SharedCellConfig{});
+  runtime::TransportConfig transport;
+  transport.cell = cell;
+
+  runtime::EngineConfig cfg;
+  cfg.net = &net;
+  cfg.dict = &dict;
+  cfg.worker_threads = 1;
+  cfg.transport = transport;
+  runtime::InferenceSession first(cfg), second(cfg);
+  for (int i = 0; i < 4; ++i) {
+    first.submit(ds.test.instance(i));
+    second.submit(ds.test.instance(i + 4));
+  }
+  (void)first.drain();
+  (void)second.drain();
+  // Tiny forwards may stay under the pool's fan-out threshold; the
+  // singleton registers on first touch either way.
+  (void)ops::GemmPool::instance().stats();
+
+  WireServer server(std::make_shared<PixelLabelBackend>(), WireServerConfig{});
+
+  const diag::Value snap = diag::DiagnosticRegistry::global().snapshot();
+  ASSERT_NE(snap.find("schema"), nullptr);
+  EXPECT_EQ(snap.find("schema")->as_string(), diag::kSchemaVersion);
+  const diag::Value* providers = snap.find("providers");
+  ASSERT_NE(providers, nullptr);
+  int sessions = 0, cells = 0, servers = 0, pools = 0;
+  for (const auto& [name, tree] : providers->fields()) {
+    (void)tree;
+    if (name.rfind("session/", 0) == 0) ++sessions;
+    if (name.rfind("cell/", 0) == 0) ++cells;
+    if (name.rfind("wire_server/", 0) == 0) ++servers;
+    if (name == "gemm_pool") ++pools;
+  }
+  EXPECT_GE(sessions, 2);
+  EXPECT_GE(cells, 1);
+  EXPECT_GE(servers, 1);
+  EXPECT_EQ(pools, 1);
+  EXPECT_TRUE(diag::json_well_formed(diag::to_json(snap)));
+  server.stop();
+}
+
 // ---- End-to-end against the real meanet_cloudd binary ----
 
 // Runs only when MEANET_CLOUDD names the built daemon (CI sets it; run
@@ -546,6 +641,42 @@ TEST(ClouddEndToEnd, SpawnedDaemonMatchesInProcessModel) {
     }
   }
   EXPECT_TRUE(saw_requests);
+  daemon.terminate();
+  EXPECT_FALSE(daemon.running());
+}
+
+// The wire-served registry snapshot (kStatsRequest + diag flag): the
+// daemon must answer with a well-formed document in the current schema
+// whose providers include its wire server. Same MEANET_CLOUDD gate as
+// above; CI's wire job runs this as its snapshot validation step.
+TEST(ClouddEndToEnd, DiagSnapshotOverWireIsWellFormed) {
+  const char* binary = std::getenv("MEANET_CLOUDD");
+  if (binary == nullptr || binary[0] == '\0') {
+    GTEST_SKIP() << "set MEANET_CLOUDD to the meanet_cloudd binary to run";
+  }
+  const std::string path = test_socket_path("cloudd_diag");
+  ChildProcess daemon(std::vector<std::string>{binary, "--socket", path, "--seed", "77",
+                                               "--image-channels", "2", "--classes", "4"});
+
+  WireBackendConfig cfg;
+  cfg.socket_path = path;
+  cfg.connect_timeout_s = 10.0;
+  WireBackend client(cfg);
+  util::Rng data_rng(6);
+  runtime::OffloadPayload payload;
+  payload.images = Tensor::normal(Shape{2, 2, 4, 4}, data_rng);
+  (void)client.classify(payload);  // traffic so counters are non-trivial
+
+  const std::string snapshot = client.fetch_diagnostics();
+  EXPECT_TRUE(diag::json_well_formed(snapshot)) << snapshot;
+  EXPECT_NE(snapshot.find(diag::kSchemaVersion), std::string::npos);
+  EXPECT_NE(snapshot.find("wire_server/"), std::string::npos);
+  EXPECT_NE(snapshot.find("requests_served"), std::string::npos);
+
+  // The legacy flagless stats request must still work on the same
+  // connection (wire version is unchanged).
+  const StatsEntries stats = client.fetch_stats();
+  EXPECT_FALSE(stats.empty());
   daemon.terminate();
   EXPECT_FALSE(daemon.running());
 }

@@ -15,20 +15,21 @@
 // --model to overwrite the random init with trained weights saved by
 // nn::save_model.
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include <signal.h>
 
 #include "core/builders.h"
+#include "diag/registry.h"
+#include "diag/ticker.h"
 #include "nn/serialize.h"
 #include "runtime/offload_backend.h"
+#include "sim/clock.h"
 #include "sim/cloud_node.h"
 #include "util/rng.h"
 #include "wire/server.h"
@@ -93,12 +94,12 @@ Options parse_args(int argc, char** argv) {
   return opts;
 }
 
-void print_stats(const meanet::wire::WireServerStats& stats) {
-  std::printf("[meanet_cloudd]");
-  for (const auto& [name, val] : stats.to_entries()) {
-    std::printf(" %s=%llu", name.c_str(), static_cast<unsigned long long>(val));
-  }
-  std::printf("\n");
+/// One registry dump: every provider in the process (the wire server,
+/// and the GEMM pool once a batch has run) as the versioned JSON
+/// snapshot — the same document kStatsRequest's diag flag serves.
+void print_diagnostics() {
+  std::printf("[meanet_cloudd] diagnostics %s\n",
+              meanet::diag::DiagnosticRegistry::global().to_json().c_str());
   std::fflush(stdout);
 }
 
@@ -131,18 +132,18 @@ int main(int argc, char** argv) {
               opts.image_channels, opts.classes, opts.max_batch, opts.batch_window_ms);
   std::fflush(stdout);
 
-  auto last_stats = std::chrono::steady_clock::now();
-  while (!g_shutdown.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    if (opts.stats_every_s > 0.0) {
-      const auto now = std::chrono::steady_clock::now();
-      if (std::chrono::duration<double>(now - last_stats).count() >= opts.stats_every_s) {
-        print_stats(server.stats());
-        last_stats = now;
-      }
-    }
+  // The periodic stats dump ticks on the sim::Clock seam: under the
+  // daemon's WallClock this is byte-identical to the old 50 ms polling
+  // loop, and a daemon engine embedded in a virtual-time test can run
+  // the same Ticker on a VirtualClock without blocking time advance.
+  const std::shared_ptr<sim::Clock> clock = sim::wall_clock_ptr();
+  std::unique_ptr<diag::Ticker> ticker;
+  if (opts.stats_every_s > 0.0) {
+    ticker = std::make_unique<diag::Ticker>(clock, opts.stats_every_s, print_diagnostics);
   }
+  while (!g_shutdown.load()) clock->sleep_for(0.05);
+  ticker.reset();
   server.stop();
-  print_stats(server.stats());
+  print_diagnostics();
   return 0;
 }
